@@ -1,0 +1,184 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables or CSV.
+//
+// Usage:
+//
+//	experiments -fig all            # every figure at quick scale
+//	experiments -fig 5b -full       # one figure at full paper scale
+//	experiments -fig 8a -csv        # CSV instead of a table
+//
+// Figure ids: 4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 ablation (or "all").
+// Quick scale completes in seconds to a couple of minutes; -full mirrors
+// the paper (30 graphs, up to 128 processors) and can take tens of
+// minutes on one core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"locmps"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "figure to regenerate (4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 or all)")
+		full = flag.Bool("full", false, "paper-scale parameters (slow) instead of quick ones")
+		csv  = flag.Bool("csv", false, "emit CSV instead of text tables")
+		out  = flag.String("out", "", "also write each figure as <id>.csv into this directory")
+	)
+	flag.Parse()
+	if err := run(*fig, *full, *csv, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, full, csv bool, outDir string) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	suite := locmps.QuickSuiteOptions()
+	app := locmps.QuickAppOptions()
+	if full {
+		suite = locmps.PaperSuiteOptions()
+		app = locmps.PaperAppOptions()
+	}
+
+	ids := []string{fig}
+	if fig == "all" {
+		ids = []string{"4a", "4b", "5a", "5b", "6", "7", "8a", "8b", "9a", "9b", "10a", "10b", "11", "extended", "ablation"}
+	}
+	for _, id := range ids {
+		if err := runOne(id, suite, app, csv, outDir); err != nil {
+			return fmt.Errorf("fig %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func runOne(id string, suite locmps.SuiteOptions, app locmps.AppOptions, csv bool, outDir string) error {
+	var emitErr error
+	emit := func(f locmps.Figure) {
+		if csv {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f.Table())
+		}
+		if outDir != "" && emitErr == nil {
+			emitErr = os.WriteFile(filepath.Join(outDir, f.ID+".csv"), []byte(f.CSV()), 0o644)
+		}
+	}
+	switch id {
+	case "4a", "4b":
+		f, err := locmps.Fig4(id[1], suite)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "5a", "5b":
+		f, err := locmps.Fig5(id[1], suite)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "6":
+		perf, times, err := locmps.Fig6(suite)
+		if err != nil {
+			return err
+		}
+		emit(perf)
+		emit(times)
+	case "7":
+		ccsd, strassen, err := locmps.Fig7(app)
+		if err != nil {
+			return err
+		}
+		fmt.Println("// fig7a: CCSD-T1 task graph")
+		fmt.Println(ccsd)
+		fmt.Println("// fig7b: Strassen task graph")
+		fmt.Println(strassen)
+	case "8a":
+		f, err := locmps.Fig8(true, app)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "8b":
+		f, err := locmps.Fig8(false, app)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "9a":
+		f, err := locmps.Fig9(1024, app)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "9b":
+		f, err := locmps.Fig9(4096, app)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "10a":
+		f, err := locmps.Fig10("ccsd", app)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "10b":
+		f, err := locmps.Fig10("strassen", app)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "11":
+		f, err := locmps.Fig11(app)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "extended":
+		s := suite
+		s.CCR = 0.1
+		f, err := locmps.Extended(s)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "ablation":
+		o := locmps.DefaultAblationOptions()
+		o.Suite.Graphs = 4
+		o.Procs = 16
+		perf, times, err := locmps.AblateLookAhead(o, nil)
+		if err != nil {
+			return err
+		}
+		emit(perf)
+		emit(times)
+		perf, _, err = locmps.AblateCandidateWindow(o, nil)
+		if err != nil {
+			return err
+		}
+		emit(perf)
+		mech, err := locmps.AblateMechanisms(o)
+		if err != nil {
+			return err
+		}
+		emit(mech)
+		perf, _, err = locmps.AblateBlockSize(o, nil)
+		if err != nil {
+			return err
+		}
+		emit(perf)
+	default:
+		return fmt.Errorf("unknown figure id %q", id)
+	}
+	return emitErr
+}

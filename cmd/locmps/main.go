@@ -1,0 +1,149 @@
+// Command locmps schedules a task graph (JSON) onto a simulated cluster
+// with a chosen algorithm and reports the schedule.
+//
+// Usage:
+//
+//	locmps -graph g.json -algo LoC-MPS -procs 16 [-bandwidth 250e6]
+//	       [-no-overlap] [-gantt] [-simulate] [-noise 0.1] [-dot out.dot]
+//
+// With -graph - (or no flag) the graph is read from stdin. The exit code
+// is non-zero on any error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"locmps"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "-", "task graph JSON file ('-' for stdin)")
+		algoName  = flag.String("algo", "LoC-MPS", "algorithm: LoC-MPS, LoC-MPS-NoBF, iCASLB, CPR, CPA, TASK, DATA")
+		procs     = flag.Int("procs", 16, "number of processors")
+		bandwidth = flag.Float64("bandwidth", 250e6, "per-port bandwidth (bytes/s)")
+		noOverlap = flag.Bool("no-overlap", false, "disallow overlap of computation and communication")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		width     = flag.Int("gantt-width", 100, "Gantt chart width in characters")
+		simulate  = flag.Bool("simulate", false, "execute the schedule in the discrete-event simulator")
+		noise     = flag.Float64("noise", 0, "runtime noise amplitude for -simulate (0..1)")
+		seed      = flag.Int64("seed", 1, "noise RNG seed")
+		dotPath   = flag.String("dot", "", "also write the task graph as DOT to this file")
+		jsonPath  = flag.String("json", "", "write the schedule as JSON to this file")
+		csvPath   = flag.String("csv", "", "write the schedule as CSV to this file")
+		svgPath   = flag.String("svg", "", "write a Gantt chart as SVG to this file")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing)")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *algoName, *procs, *bandwidth, !*noOverlap, *gantt, *width,
+		*simulate, *noise, *seed, *dotPath, *jsonPath, *csvPath, *svgPath, *tracePath); err != nil {
+		fmt.Fprintln(os.Stderr, "locmps:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, algoName string, procs int, bandwidth float64, overlap, gantt bool,
+	width int, simulate bool, noise float64, seed int64, dotPath, jsonPath, csvPath, svgPath, tracePath string) error {
+
+	var in io.Reader = os.Stdin
+	if graphPath != "-" {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	tg, err := locmps.ReadTaskGraph(in)
+	if err != nil {
+		return err
+	}
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		if err := tg.WriteDOT(f, "taskgraph"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	alg, err := locmps.SchedulerByName(algoName)
+	if err != nil {
+		return err
+	}
+	c := locmps.Cluster{P: procs, Bandwidth: bandwidth, Overlap: overlap}
+	s, err := alg.Schedule(tg, c)
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(tg); err != nil {
+		return fmt.Errorf("internal error: produced schedule is invalid: %w", err)
+	}
+	fmt.Printf("algorithm:       %s\n", s.Algorithm)
+	fmt.Printf("tasks:           %d\n", tg.N())
+	fmt.Printf("processors:      %d (bandwidth %.3g B/s, overlap=%v)\n", c.P, c.Bandwidth, c.Overlap)
+	fmt.Printf("makespan:        %.6g\n", s.Makespan)
+	fmt.Printf("utilization:     %.1f%%\n", 100*s.Utilization(tg))
+	fmt.Printf("scheduling time: %v\n", s.SchedulingTime)
+	fmt.Println()
+	fmt.Printf("%-4s %-16s %5s %12s %12s %s\n", "id", "task", "np", "start", "finish", "procs")
+	for i, pl := range s.Placements {
+		fmt.Printf("%-4d %-16s %5d %12.5g %12.5g %v\n",
+			i, tg.Tasks[i].Name, pl.NP(), pl.Start, pl.Finish, pl.Procs)
+	}
+	if gantt {
+		fmt.Println()
+		fmt.Print(s.Gantt(tg, width))
+	}
+	if jsonPath != "" {
+		if err := writeTo(jsonPath, func(f *os.File) error { return s.WriteJSON(f, tg) }); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if err := writeTo(csvPath, func(f *os.File) error { return s.WriteCSV(f, tg) }); err != nil {
+			return err
+		}
+	}
+	if svgPath != "" {
+		if err := writeTo(svgPath, func(f *os.File) error { return s.WriteSVG(f, tg) }); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := writeTo(tracePath, func(f *os.File) error { return s.WriteChromeTrace(f, tg, 1e6) }); err != nil {
+			return err
+		}
+	}
+	if simulate {
+		res, err := locmps.Execute(tg, s, locmps.SimOptions{Noise: noise, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Printf("simulated makespan: %.6g (noise %.2g, seed %d)\n", res.Makespan, noise, seed)
+		fmt.Printf("network bytes:      %.6g\n", res.NetworkBytes)
+		fmt.Printf("node-local bytes:   %.6g\n", res.LocalBytes)
+		fmt.Printf("transfers:          %d\n", res.Transfers)
+	}
+	return nil
+}
+
+func writeTo(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,70 @@
+// Command taskgen generates synthetic mixed-parallel task graphs with the
+// paper's §IV.A knobs and writes them as JSON (consumable by cmd/locmps).
+//
+// Usage:
+//
+//	taskgen -tasks 30 -ccr 0.1 -amax 64 -sigma 1 -seed 7 > graph.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locmps"
+)
+
+func main() {
+	var (
+		tasks     = flag.Int("tasks", 30, "number of tasks")
+		degree    = flag.Float64("degree", 4, "average in/out degree")
+		meanWork  = flag.Float64("work", 30, "mean uniprocessor execution time")
+		ccr       = flag.Float64("ccr", 0, "communication-to-computation ratio")
+		amax      = flag.Float64("amax", 64, "Downey Amax (average parallelism upper bound)")
+		sigma     = flag.Float64("sigma", 1, "Downey sigma (variation of parallelism)")
+		bandwidth = flag.Float64("bandwidth", 12.5e6, "network bandwidth (bytes/s) used to size volumes")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		out       = flag.String("o", "-", "output file ('-' for stdout)")
+		sampleP   = flag.Int("sample-procs", 128, "processors to sample non-analytic profiles at")
+		stat      = flag.Bool("stats", false, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	p := locmps.SynthParams{
+		Tasks:     *tasks,
+		AvgDegree: *degree,
+		MeanWork:  *meanWork,
+		CCR:       *ccr,
+		AMax:      *amax,
+		Sigma:     *sigma,
+		Bandwidth: *bandwidth,
+		Seed:      *seed,
+	}
+	tg, err := locmps.Synthetic(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taskgen:", err)
+		os.Exit(1)
+	}
+	if *stat {
+		st, err := locmps.GraphStatistics(tg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taskgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, st)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taskgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tg.WriteJSON(w, *sampleP); err != nil {
+		fmt.Fprintln(os.Stderr, "taskgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+package locmps_test
+
+// Godoc examples: runnable, verified API walkthroughs.
+
+import (
+	"fmt"
+	"log"
+
+	"locmps"
+)
+
+// ExampleNewLoCMPS schedules a two-stage pipeline whose stages scale
+// perfectly: the best schedule is data-parallel, and the bounded
+// look-ahead finds it (the paper's Fig 3).
+func ExampleNewLoCMPS() {
+	tg, err := locmps.NewTaskGraph(
+		[]locmps.Task{
+			{Name: "T1", Profile: locmps.Linear{T1: 40}},
+			{Name: "T2", Profile: locmps.Linear{T1: 80}},
+		}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := locmps.Cluster{P: 4, Bandwidth: 1e9, Overlap: true}
+	s, err := locmps.NewLoCMPS().Schedule(tg, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan %.0f on %d processors\n", s.Makespan, cluster.P)
+	fmt.Printf("T1 width %d, T2 width %d\n", s.Placements[0].NP(), s.Placements[1].NP())
+	// Output:
+	// makespan 30 on 4 processors
+	// T1 width 4, T2 width 4
+}
+
+// ExampleNewDowney evaluates Downey's speedup model.
+func ExampleNewDowney() {
+	prof, err := locmps.NewDowney(100, 8, 0) // perfectly scalable up to A=8
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t(1)=%.0f t(4)=%.0f t(8)=%.1f t(64)=%.1f\n",
+		prof.Time(1), prof.Time(4), prof.Time(8), prof.Time(64))
+	// Output:
+	// t(1)=100 t(4)=25 t(8)=12.5 t(64)=12.5
+}
+
+// ExampleExecute runs a schedule through the discrete-event cluster
+// simulator.
+func ExampleExecute() {
+	serial, err := locmps.NewTable([]float64{5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tg, err := locmps.NewTaskGraph(
+		[]locmps.Task{
+			{Name: "a", Profile: serial},
+			{Name: "b", Profile: serial},
+		},
+		[]locmps.Edge{{From: 0, To: 1, Volume: 0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := locmps.Cluster{P: 2, Bandwidth: 1e9, Overlap: true}
+	s, res, err := locmps.Run(locmps.NewLoCMPS(), tg, c, locmps.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned %.0f, executed %.0f\n", s.Makespan, res.Makespan)
+	// Output:
+	// planned 10, executed 10
+}
+
+// ExampleSimulateJobs reproduces the classic EASY-backfilling picture: a
+// small job slips into the hole in front of a blocked wide job.
+func ExampleSimulateJobs() {
+	jobs := []locmps.RigidJob{
+		{Arrival: 0, Procs: 2, Runtime: 10, Estimate: 10},
+		{Arrival: 0, Procs: 4, Runtime: 10, Estimate: 10},
+		{Arrival: 0, Procs: 2, Runtime: 10, Estimate: 10},
+	}
+	fcfs, err := locmps.SimulateJobs(jobs, 4, locmps.StrategyFCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	easy, err := locmps.SimulateJobs(jobs, 4, locmps.StrategyEASY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FCFS makespan %.0f, EASY makespan %.0f (backfilled %d)\n",
+		fcfs.Makespan, easy.Makespan, easy.Backfilled)
+	// Output:
+	// FCFS makespan 30, EASY makespan 20 (backfilled 1)
+}

@@ -1,0 +1,77 @@
+// Profiling example: the workflow the paper describes for application
+// tasks — measure execution times at a few processor counts, fit Downey's
+// model to the measurements, and schedule with the fitted analytic
+// profiles. Here the "measurements" come from a hidden ground-truth curve
+// plus noise, so the fit quality is checkable.
+//
+//	go run ./examples/profiling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"locmps"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+
+	// Ground truth speedup curves for three "profiled" kernels.
+	truth := map[string]locmps.Downey{
+		"fft":    {T1: 120, A: 24, Sigma: 0.5},
+		"solver": {T1: 300, A: 48, Sigma: 1.0},
+		"io":     {T1: 40, A: 2, Sigma: 2.0},
+	}
+
+	fitted := map[string]locmps.Downey{}
+	for name, d := range truth {
+		// "Profile" on 1..16 processors with 5% measurement noise.
+		times := make([]float64, 16)
+		for p := 1; p <= len(times); p++ {
+			times[p-1] = d.Time(p) * (1 + 0.05*(2*r.Float64()-1))
+		}
+		fit, err := locmps.FitDowney(times)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fitted[name] = fit
+		fmt.Printf("%-7s truth (A=%4.1f s=%4.2f)  fitted (A=%5.1f s=%4.2f)\n",
+			name, d.A, d.Sigma, fit.A, fit.Sigma)
+	}
+
+	// Build a small pipeline out of the fitted kernels and schedule it.
+	tg, err := locmps.NewTaskGraph(
+		[]locmps.Task{
+			{Name: "load", Profile: fitted["io"]},
+			{Name: "fft1", Profile: fitted["fft"]},
+			{Name: "fft2", Profile: fitted["fft"]},
+			{Name: "solve", Profile: fitted["solver"]},
+			{Name: "store", Profile: fitted["io"]},
+		},
+		[]locmps.Edge{
+			{From: 0, To: 1, Volume: 64e6},
+			{From: 0, To: 2, Volume: 64e6},
+			{From: 1, To: 3, Volume: 64e6},
+			{From: 2, To: 3, Volume: 64e6},
+			{From: 3, To: 4, Volume: 64e6},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := locmps.Cluster{P: 32, Bandwidth: 250e6, Overlap: true}
+	s, err := locmps.NewLoCMPS().Schedule(tg, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(s.Summary(tg))
+
+	st, err := locmps.GraphStatistics(tg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(st)
+}

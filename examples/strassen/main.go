@@ -1,0 +1,42 @@
+// Strassen example: schedule one level of Strassen's matrix multiplication
+// (the paper's Fig 7(b)/Fig 9 workload) with every algorithm, at two matrix
+// sizes, and watch the DATA baseline catch up as tasks get more scalable.
+//
+//	go run ./examples/strassen [-procs 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"locmps"
+)
+
+func main() {
+	procs := flag.Int("procs", 32, "number of processors")
+	flag.Parse()
+
+	for _, n := range []int{1024, 4096} {
+		tg, err := locmps.Strassen(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster := locmps.Cluster{P: *procs, Bandwidth: locmps.MyrinetBandwidth, Overlap: true}
+
+		fmt.Printf("Strassen %dx%d on P=%d (%d tasks)\n", n, n, *procs, tg.N())
+		var ref float64
+		for _, alg := range locmps.AllSchedulers() {
+			s, err := alg.Schedule(tg, cluster)
+			if err != nil {
+				log.Fatalf("%s: %v", alg.Name(), err)
+			}
+			if ref == 0 {
+				ref = s.Makespan
+			}
+			fmt.Printf("  %-12s makespan %10.4f s   relative %5.2f   sched %v\n",
+				alg.Name(), s.Makespan, ref/s.Makespan, s.SchedulingTime)
+		}
+		fmt.Println()
+	}
+}

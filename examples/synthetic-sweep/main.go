@@ -1,0 +1,55 @@
+// Synthetic sweep: regenerate the shape of the paper's Figures 4-5 at a
+// configurable scale — relative performance of every scheduler across CCR
+// values and machine sizes on random task graphs.
+//
+//	go run ./examples/synthetic-sweep [-graphs 5] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"locmps"
+)
+
+func main() {
+	graphs := flag.Int("graphs", 5, "random graphs per data point")
+	full := flag.Bool("full", false, "paper-scale sweep (30 graphs, P up to 128; slow)")
+	flag.Parse()
+
+	opt := locmps.QuickSuiteOptions()
+	opt.Graphs = *graphs
+	if *full {
+		opt = locmps.PaperSuiteOptions()
+	}
+
+	fmt.Println("Figure 4(a): CCR=0, Amax=64 sigma=1")
+	f, err := locmps.Fig4('a', opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f.Table())
+
+	fmt.Println("Figure 5(a): CCR=0.1")
+	f, err = locmps.Fig5('a', opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f.Table())
+
+	fmt.Println("Figure 5(b): CCR=1")
+	f, err = locmps.Fig5('b', opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f.Table())
+
+	fmt.Println("Figure 6: backfill vs no-backfill (CCR=0.1, Amax=48 sigma=2)")
+	perf, times, err := locmps.Fig6(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(perf.Table())
+	fmt.Println(times.Table())
+}

@@ -1,0 +1,44 @@
+package locmps
+
+import (
+	"io"
+
+	"locmps/internal/apps"
+	"locmps/internal/formats"
+)
+
+// Task-graph interchange formats. Both carry only sequential costs, so a
+// Malleability model (Downey parameters) supplies the parallel profiles,
+// mirroring how the paper combines TGFF structure with Downey speedups.
+type (
+	// Malleability turns sequential task costs into parallel profiles.
+	Malleability = formats.Malleability
+	// TGFFGraph is one parsed @TASK_GRAPH block.
+	TGFFGraph = formats.TGFFGraph
+	// TGFFCosts maps TGFF type indices to execution/communication costs.
+	TGFFCosts = formats.TGFFCosts
+)
+
+// DefaultMalleability mirrors the paper's (Amax=64, sigma=1) workload.
+func DefaultMalleability() Malleability { return formats.DefaultMalleability() }
+
+// ReadSTG parses a Standard Task Graph Set (.stg) file.
+func ReadSTG(r io.Reader, m Malleability) (*TaskGraph, error) { return formats.ReadSTG(r, m) }
+
+// ParseTGFF parses the @TASK_GRAPH blocks of a TGFF (.tgff) file.
+func ParseTGFF(r io.Reader) ([]TGFFGraph, error) { return formats.ParseTGFF(r) }
+
+// BuildFromTGFF converts a parsed TGFF graph into a task graph.
+func BuildFromTGFF(g TGFFGraph, costs TGFFCosts, m Malleability) (*TaskGraph, error) {
+	return formats.BuildTaskGraph(g, costs, m)
+}
+
+// MontageParams size the Montage-style mosaic workflow.
+type MontageParams = apps.MontageParams
+
+// DefaultMontageParams is a 16-tile mosaic.
+func DefaultMontageParams() MontageParams { return apps.DefaultMontageParams() }
+
+// Montage builds a Montage-style astronomical mosaic workflow DAG, the
+// third application workload of this repository.
+func Montage(p MontageParams) (*TaskGraph, error) { return apps.Montage(p) }

@@ -1,0 +1,3 @@
+module locmps
+
+go 1.22

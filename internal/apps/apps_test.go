@@ -1,0 +1,246 @@
+package apps
+
+import (
+	"testing"
+
+	"locmps/internal/model"
+	"locmps/internal/sched"
+	"locmps/internal/speedup"
+)
+
+func TestStrassenStructure(t *testing.T) {
+	tg, err := Strassen(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// load + 10 pre-adds + 7 multiplies + 4 post-adds + store = 23 tasks.
+	if tg.N() != 23 {
+		t.Errorf("N = %d, want 23", tg.N())
+	}
+	if err := tg.DAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tg.DAG().Sources(); len(got) != 1 {
+		t.Errorf("sources = %v, want single load vertex", got)
+	}
+	if got := tg.DAG().Sinks(); len(got) != 1 {
+		t.Errorf("sinks = %v, want single store vertex", got)
+	}
+	// Seven multiplies named P1..P7, each with exactly two operands.
+	mulCount := 0
+	for i, task := range tg.Tasks {
+		if task.Name[0] == 'P' {
+			mulCount++
+			if ind := len(tg.DAG().Pred(i)); ind != 2 {
+				t.Errorf("%s has %d operands, want 2", task.Name, ind)
+			}
+		}
+	}
+	if mulCount != 7 {
+		t.Errorf("found %d multiplies, want 7", mulCount)
+	}
+}
+
+func TestStrassenScalabilityGrowsWithSize(t *testing.T) {
+	small, err := Strassen(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Strassen(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a multiply in each and compare speedups at 32 procs.
+	sp := func(tg *model.TaskGraph) float64 {
+		for _, task := range tg.Tasks {
+			if task.Name == "P1" {
+				return speedup.Speedup(task.Profile, 32)
+			}
+		}
+		t.Fatal("P1 not found")
+		return 0
+	}
+	if sp(big) <= sp(small) {
+		t.Errorf("4096 multiply speedup %v not above 1024's %v", sp(big), sp(small))
+	}
+}
+
+func TestStrassenValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, -2} {
+		if _, err := Strassen(n); err == nil {
+			t.Errorf("Strassen(%d) accepted", n)
+		}
+	}
+}
+
+func TestCCSDT1Structure(t *testing.T) {
+	tg, err := CCSDT1(DefaultCCSDParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.DAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tg.N() < 15 {
+		t.Errorf("suspiciously small CCSD DAG: %d tasks", tg.N())
+	}
+	// The final residual gathers the three partial products.
+	last := tg.N() - 1
+	if tg.Tasks[last].Name != "r_t1" {
+		t.Fatalf("last task is %q", tg.Tasks[last].Name)
+	}
+	if got := len(tg.DAG().Pred(last)); got != 3 {
+		t.Errorf("r_t1 has %d inputs, want 3", got)
+	}
+	// Few large scalable tasks, many small unscalable ones.
+	large, small := 0, 0
+	for i := range tg.Tasks {
+		if speedup.Speedup(tg.Tasks[i].Profile, 64) > 16 {
+			large++
+		} else if speedup.Speedup(tg.Tasks[i].Profile, 64) < 8 {
+			small++
+		}
+	}
+	if large == 0 || small <= large {
+		t.Errorf("task mix off: %d large, %d small", large, small)
+	}
+}
+
+func TestCCSDT1Validation(t *testing.T) {
+	if _, err := CCSDT1(CCSDParams{O: 0, V: 10}); err == nil {
+		t.Error("O=0 accepted")
+	}
+	if _, err := CCSDT1(CCSDParams{O: 10, V: -1}); err == nil {
+		t.Error("V<0 accepted")
+	}
+}
+
+// End-to-end: all schedulers handle both application graphs under both
+// system models.
+func TestAppsSchedulable(t *testing.T) {
+	strassen, err := Strassen(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccsd, err := CCSDT1(CCSDParams{O: 16, V: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, overlap := range []bool{true, false} {
+		c := StrassenCluster(8, overlap)
+		for _, tg := range []*model.TaskGraph{strassen, ccsd} {
+			for _, alg := range sched.All() {
+				s, err := alg.Schedule(tg, c)
+				if err != nil {
+					t.Errorf("%s overlap=%v: %v", alg.Name(), overlap, err)
+					continue
+				}
+				if err := s.Validate(tg); err != nil {
+					t.Errorf("%s overlap=%v: %v", alg.Name(), overlap, err)
+				}
+			}
+		}
+	}
+}
+
+// The headline claim of Fig 8/9: LoC-MPS beats DATA and TASK on the
+// application graphs at moderate machine sizes.
+func TestLoCMPSBeatsPureSchemesOnApps(t *testing.T) {
+	tg, err := Strassen(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := StrassenCluster(16, true)
+	loc, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := (sched.Task{}).Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := (sched.Data{}).Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Makespan >= task.Makespan {
+		t.Errorf("LoC-MPS %v not better than TASK %v", loc.Makespan, task.Makespan)
+	}
+	if loc.Makespan >= data.Makespan {
+		t.Errorf("LoC-MPS %v not better than DATA %v", loc.Makespan, data.Makespan)
+	}
+}
+
+func TestStrassenRecursiveStructure(t *testing.T) {
+	for depth := 1; depth <= 3; depth++ {
+		tg, err := StrassenRecursive(1024, depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if err := tg.DAG().Validate(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		// Leaf GEMM count is 7^depth.
+		want := 1
+		for i := 0; i < depth; i++ {
+			want *= 7
+		}
+		got := 0
+		for _, task := range tg.Tasks {
+			if len(task.Name) >= 4 && task.Name[len(task.Name)-4:] == "gemm" {
+				got++
+			}
+		}
+		if got != want {
+			t.Errorf("depth %d: %d leaf multiplies, want %d", depth, got, want)
+		}
+		// Single entry and exit.
+		if len(tg.DAG().Sources()) != 1 || len(tg.DAG().Sinks()) != 1 {
+			t.Errorf("depth %d: sources %v sinks %v", depth,
+				tg.DAG().Sources(), tg.DAG().Sinks())
+		}
+	}
+}
+
+func TestStrassenRecursiveValidation(t *testing.T) {
+	if _, err := StrassenRecursive(100, 3); err == nil {
+		t.Error("non-divisible size accepted")
+	}
+	if _, err := StrassenRecursive(1024, 0); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := StrassenRecursive(1024, 9); err == nil {
+		t.Error("depth 9 accepted")
+	}
+}
+
+func TestStrassenRecursiveSchedulable(t *testing.T) {
+	tg, err := StrassenRecursive(1024, 2) // ~120 tasks
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := StrassenCluster(16, true)
+	s, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	// Deeper recursion exposes more task parallelism than one level.
+	one, err := StrassenRecursive(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := tg.DAG().Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := one.DAG().Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 <= w1 {
+		t.Errorf("depth-2 width %d not above depth-1 width %d", w2, w1)
+	}
+}

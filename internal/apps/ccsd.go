@@ -1,0 +1,112 @@
+package apps
+
+import (
+	"fmt"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// CCSDParams size the coupled-cluster singles residual (T1) computation:
+// O is the number of occupied orbitals, V the number of virtual orbitals.
+// The paper's DAG (Fig 7(a)) comes from the Tensor Contraction Engine's
+// CCSD T1 equation; its structural signature is "a few large tasks and many
+// small tasks which are not scalable" with mostly single-incident-edge
+// contractions feeding accumulation vertices with multiple incident edges.
+type CCSDParams struct {
+	O, V int
+}
+
+// DefaultCCSDParams is a mid-size problem (O=32 occupied, V=128 virtual
+// orbitals), large enough that the big two-electron contractions dominate.
+func DefaultCCSDParams() CCSDParams { return CCSDParams{O: 32, V: 128} }
+
+// CCSDCluster returns the paper's Itanium-2/Myrinet system model.
+func CCSDCluster(p int, overlap bool) model.Cluster {
+	return model.Cluster{P: p, Bandwidth: MyrinetBandwidth, Overlap: overlap}
+}
+
+// contractionSpec describes one tensor contraction vertex.
+type contractionSpec struct {
+	name  string
+	flops float64 // contraction work
+	outB  float64 // output tensor volume in bytes
+	amax  float64 // Downey average parallelism
+	sigma float64
+	deps  []string // producing contractions feeding this one
+}
+
+// CCSDT1 builds the CCSD T1 residual DAG. Contractions that read only
+// input tensors (integrals, amplitudes) are sources; intermediates
+// accumulate into partial products (the multi-in-edge vertices of Fig
+// 7(a)); the final vertex assembles the new T1 amplitudes.
+func CCSDT1(p CCSDParams) (*model.TaskGraph, error) {
+	if p.O < 1 || p.V < 1 {
+		return nil, fmt.Errorf("apps: invalid CCSD sizes O=%d V=%d", p.O, p.V)
+	}
+	o, v := float64(p.O), float64(p.V)
+	t1B := o * v * 8     // T1 amplitude tensor
+	ooB := o * o * v * 8 // three-index occupied intermediate
+	vvB := v * v * o * 8 // three-index virtual intermediate
+	rate := flopsPerSec
+
+	// Work classes. Small contractions (f*t1-like terms) are O(O*V^2);
+	// medium ones O(O^2*V^2); the large two-electron terms O(O^2*V^3).
+	small := 2 * o * v * v / rate
+	medium := 2 * o * o * v * v / rate
+	large := 2 * o * o * v * v * v / rate
+
+	specs := []contractionSpec{
+		// Small one-electron terms: poor scalability.
+		{name: "f_ov*t1", flops: small, outB: t1B, amax: 2, sigma: 2},
+		{name: "f_vv*t1", flops: small * v / o, outB: t1B, amax: 4, sigma: 2},
+		{name: "f_oo*t1", flops: small, outB: t1B, amax: 2, sigma: 2},
+		{name: "w_ovov*t1", flops: 8 * medium, outB: t1B, amax: 8, sigma: 1.5},
+		{name: "w_ooov*t1", flops: medium * o / v, outB: t1B, amax: 4, sigma: 2},
+		// Intermediates built from T2 amplitudes: the few large scalable
+		// tasks.
+		{name: "v_oovv*t2:a", flops: 0.92 * large, outB: ooB, amax: 56, sigma: 0.5},
+		{name: "v_oovv*t2:b", flops: 0.81 * large, outB: vvB, amax: 56, sigma: 0.5},
+		{name: "v_vvvo*t2", flops: 1.13 * large, outB: t1B, amax: 64, sigma: 0.5},
+		{name: "v_oovo*t2", flops: large * o / v, outB: t1B, amax: 40, sigma: 1},
+		// Second-level contractions consuming the intermediates.
+		{name: "i_oo*t1", flops: 4 * medium, outB: t1B, amax: 6, sigma: 1.5, deps: []string{"v_oovv*t2:a"}},
+		{name: "i_vv*t1", flops: 4 * medium, outB: t1B, amax: 6, sigma: 1.5, deps: []string{"v_oovv*t2:b"}},
+		{name: "i_ov*t2", flops: large * o / v, outB: t1B, amax: 32, sigma: 1, deps: []string{"v_oovo*t2"}},
+		// Chained small contractions (t1 * t1 disconnected terms).
+		{name: "t1*t1:a", flops: small, outB: t1B, amax: 2, sigma: 2},
+		{name: "t1*t1:b", flops: small, outB: t1B, amax: 2, sigma: 2, deps: []string{"t1*t1:a"}},
+		{name: "i_oo'*t1", flops: medium * o / v, outB: t1B, amax: 4, sigma: 2, deps: []string{"t1*t1:b"}},
+		// Partial-product accumulations (multiple incident edges).
+		{name: "acc1", flops: small, outB: t1B, amax: 2, sigma: 2,
+			deps: []string{"f_ov*t1", "f_vv*t1", "f_oo*t1"}},
+		{name: "acc2", flops: small, outB: t1B, amax: 2, sigma: 2,
+			deps: []string{"w_ovov*t1", "w_ooov*t1", "i_oo*t1", "i_vv*t1"}},
+		{name: "acc3", flops: small, outB: t1B, amax: 2, sigma: 2,
+			deps: []string{"v_vvvo*t2", "i_ov*t2", "i_oo'*t1"}},
+		{name: "r_t1", flops: small, outB: t1B, amax: 2, sigma: 2,
+			deps: []string{"acc1", "acc2", "acc3"}},
+	}
+
+	index := make(map[string]int, len(specs))
+	tasks := make([]model.Task, 0, len(specs))
+	for i, s := range specs {
+		prof, err := speedup.NewDowney(s.flops, s.amax, s.sigma)
+		if err != nil {
+			return nil, fmt.Errorf("apps: contraction %q: %w", s.name, err)
+		}
+		tasks = append(tasks, model.Task{Name: s.name, Profile: prof})
+		index[s.name] = i
+	}
+	var edges []model.Edge
+	for i, s := range specs {
+		for _, dep := range s.deps {
+			from, ok := index[dep]
+			if !ok {
+				return nil, fmt.Errorf("apps: contraction %q depends on unknown %q", s.name, dep)
+			}
+			edges = append(edges, model.Edge{From: from, To: i, Volume: specs[from].outB})
+		}
+	}
+	return model.NewTaskGraph(tasks, edges)
+}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"fmt"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// MontageParams size a Montage-style astronomical image mosaic workflow —
+// the kind of coarse-grained scientific workflow the paper's introduction
+// motivates. Tiles is the number of input images; the workflow is:
+//
+//	project(i)            one per tile, embarrassingly parallel inside
+//	diff(i,j)             one per overlapping tile pair (ring topology)
+//	fit                   gathers all difference coefficients
+//	background(i)         one per tile, corrected against the fit
+//	coadd                 gathers all corrected tiles into the mosaic
+type MontageParams struct {
+	// Tiles is the number of input images (>= 2).
+	Tiles int
+	// PixelsPerTile sizes the work and data volumes (e.g. 4e6 for a
+	// 2k x 2k tile).
+	PixelsPerTile float64
+}
+
+// DefaultMontageParams is a 16-tile mosaic of 2k x 2k images.
+func DefaultMontageParams() MontageParams {
+	return MontageParams{Tiles: 16, PixelsPerTile: 4e6}
+}
+
+// Montage builds the workflow DAG. Projections scale moderately
+// (per-pixel reprojection, A~16); differences and background corrections
+// are small and nearly serial; the final co-addition is memory bound with
+// limited scalability — giving the workflow the mixed profile (wide
+// fan-out of medium tasks, narrow gathers) that rewards mixed parallelism.
+func Montage(p MontageParams) (*model.TaskGraph, error) {
+	if p.Tiles < 2 {
+		return nil, fmt.Errorf("apps: Montage needs >= 2 tiles, got %d", p.Tiles)
+	}
+	if p.PixelsPerTile <= 0 {
+		return nil, fmt.Errorf("apps: invalid pixels per tile %v", p.PixelsPerTile)
+	}
+	tileBytes := p.PixelsPerTile * 8
+	projTime := 40 * p.PixelsPerTile / flopsPerSec // ~40 ops/pixel reprojection
+	diffTime := 4 * p.PixelsPerTile / flopsPerSec
+	fitTime := 2 * float64(p.Tiles) * 1e-3 // tiny least-squares solve
+	bgTime := 2 * p.PixelsPerTile / flopsPerSec
+	coaddTime := 6 * float64(p.Tiles) * p.PixelsPerTile / (memBytes / 8)
+
+	proj, err := speedup.NewDowney(projTime, 16, 1)
+	if err != nil {
+		return nil, err
+	}
+	diff, err := speedup.NewDowney(diffTime, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := speedup.NewDowney(fitTime, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	bg, err := speedup.NewDowney(bgTime, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	coadd, err := speedup.NewDowney(coaddTime, 8, 1.5)
+	if err != nil {
+		return nil, err
+	}
+
+	var tasks []model.Task
+	var edges []model.Edge
+	id := func(name string, prof speedup.Profile) int {
+		tasks = append(tasks, model.Task{Name: name, Profile: prof})
+		return len(tasks) - 1
+	}
+	edge := func(from, to int, vol float64) {
+		edges = append(edges, model.Edge{From: from, To: to, Volume: vol})
+	}
+
+	projs := make([]int, p.Tiles)
+	for i := range projs {
+		projs[i] = id(fmt.Sprintf("project%d", i), proj)
+	}
+	diffs := make([]int, p.Tiles)
+	for i := range diffs {
+		j := (i + 1) % p.Tiles // ring of overlapping neighbours
+		diffs[i] = id(fmt.Sprintf("diff%d_%d", i, j), diff)
+		edge(projs[i], diffs[i], tileBytes/8) // overlap region only
+		edge(projs[j], diffs[i], tileBytes/8)
+	}
+	fitT := id("fit", fit)
+	for _, d := range diffs {
+		edge(d, fitT, 1024) // coefficients are tiny
+	}
+	bgs := make([]int, p.Tiles)
+	for i := range bgs {
+		bgs[i] = id(fmt.Sprintf("background%d", i), bg)
+		edge(projs[i], bgs[i], tileBytes)
+		edge(fitT, bgs[i], 1024)
+	}
+	coaddT := id("coadd", coadd)
+	for _, b := range bgs {
+		edge(b, coaddT, tileBytes)
+	}
+	return model.NewTaskGraph(tasks, edges)
+}

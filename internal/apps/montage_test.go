@@ -1,0 +1,84 @@
+package apps
+
+import (
+	"testing"
+
+	"locmps/internal/sched"
+	"locmps/internal/schedule"
+)
+
+func TestMontageStructure(t *testing.T) {
+	p := DefaultMontageParams()
+	tg, err := Montage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tiles projections + tiles diffs + fit + tiles backgrounds + coadd.
+	want := 3*p.Tiles + 2
+	if tg.N() != want {
+		t.Errorf("N = %d, want %d", tg.N(), want)
+	}
+	if err := tg.DAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// fit gathers every diff.
+	var fit = -1
+	for i, task := range tg.Tasks {
+		if task.Name == "fit" {
+			fit = i
+		}
+	}
+	if fit < 0 {
+		t.Fatal("no fit task")
+	}
+	if got := len(tg.DAG().Pred(fit)); got != p.Tiles {
+		t.Errorf("fit has %d inputs, want %d", got, p.Tiles)
+	}
+	// coadd is the unique sink.
+	sinks := tg.DAG().Sinks()
+	if len(sinks) != 1 || tg.Tasks[sinks[0]].Name != "coadd" {
+		t.Errorf("sinks = %v", sinks)
+	}
+	// Projections are the sources.
+	if got := len(tg.DAG().Sources()); got != p.Tiles {
+		t.Errorf("sources = %d, want %d", got, p.Tiles)
+	}
+}
+
+func TestMontageValidation(t *testing.T) {
+	if _, err := Montage(MontageParams{Tiles: 1, PixelsPerTile: 1e6}); err == nil {
+		t.Error("1 tile accepted")
+	}
+	if _, err := Montage(MontageParams{Tiles: 4, PixelsPerTile: 0}); err == nil {
+		t.Error("zero pixels accepted")
+	}
+}
+
+func TestMontageMixedParallelismWins(t *testing.T) {
+	tg, err := Montage(DefaultMontageParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := StrassenCluster(16, true)
+	loc, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := (sched.Data{}).Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := (sched.Task{}).Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Makespan > data.Makespan+schedule.Eps {
+		t.Errorf("LoC-MPS %v worse than DATA %v on Montage", loc.Makespan, data.Makespan)
+	}
+	if loc.Makespan > task.Makespan+schedule.Eps {
+		t.Errorf("LoC-MPS %v worse than TASK %v on Montage", loc.Makespan, task.Makespan)
+	}
+}

@@ -1,0 +1,139 @@
+// Package apps builds the two application task graphs of the paper's
+// §IV.B: the CCSD-T1 tensor-contraction DAG from the Tensor Contraction
+// Engine, and one level of Strassen's matrix multiplication. The paper
+// obtained per-task speedup curves by profiling on an Itanium-2/Myrinet
+// cluster; this reproduction substitutes analytic profiles with the same
+// qualitative shape (documented per task below and in DESIGN.md), which
+// preserves the scheduling behaviour the evaluation depends on: Strassen's
+// multiplies scale better as the matrix grows, CCSD-T1 mixes a few large
+// scalable contractions with many small unscalable ones.
+package apps
+
+import (
+	"fmt"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// MyrinetBandwidth is the paper's interconnect: 2 Gbps Myrinet, in bytes
+// per second.
+const MyrinetBandwidth = 250e6
+
+// StrassenCluster returns the §IV.B system model with the given processor
+// count.
+func StrassenCluster(p int, overlap bool) model.Cluster {
+	return model.Cluster{P: p, Bandwidth: MyrinetBandwidth, Overlap: overlap}
+}
+
+// strassen task indices (one level of recursion on n x n matrices).
+// Pre-additions S1..S10 combine input submatrices, products P1..P7 are the
+// seven recursive multiplications, post-additions C11..C22 assemble the
+// result.
+const (
+	flopsPerSec = 1e9   // sustained matrix-kernel rate of one node
+	memBytes    = 2.5e9 // sustained memory bandwidth of one node
+)
+
+// Strassen builds the one-level Strassen multiplication DAG for n x n
+// float64 matrices (paper Fig 7(b); n = 1024 and 4096 in the evaluation).
+//
+// Task model: additions on (n/2)^2 submatrices are memory bound and barely
+// scale (average parallelism ~4); the seven multiplications are compute
+// bound with average parallelism growing with the submatrix size, which is
+// what makes DATA relatively better at 4096 than at 1024 (Fig 9).
+func Strassen(n int) (*model.TaskGraph, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("apps: Strassen needs an even matrix size >= 2, got %d", n)
+	}
+	half := float64(n / 2)
+	subBytes := half * half * 8 // one submatrix
+
+	addTime := 3 * subBytes / memBytes // read 2, write 1 submatrix
+	mulTime := 2 * half * half * half / flopsPerSec
+
+	addProf, err := speedup.NewDowney(addTime, 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Multiplication parallelism scales with the work per node: ~n/128
+	// gives A=8 at n=1024 (tasks "do not scale very well", §IV.B) and
+	// A=32 at n=4096, reproducing Fig 9's DATA crossover.
+	mulA := float64(n) / 128
+	if mulA < 1 {
+		mulA = 1
+	}
+	mulProf, err := speedup.NewDowney(mulTime, mulA, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	srcProf, err := speedup.NewDowney(addTime/2, 2, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	var tasks []model.Task
+	var edges []model.Edge
+	id := func(name string, prof speedup.Profile) int {
+		tasks = append(tasks, model.Task{Name: name, Profile: prof})
+		return len(tasks) - 1
+	}
+	edge := func(from, to int, vol float64) {
+		edges = append(edges, model.Edge{From: from, To: to, Volume: vol})
+	}
+
+	src := id("load", srcProf)
+	// Pre-additions S1..S10 (two submatrix operands each).
+	s := make([]int, 10)
+	for i := range s {
+		s[i] = id(fmt.Sprintf("S%d", i+1), addProf)
+		edge(src, s[i], 2*subBytes)
+	}
+	// Products P1..P7. Operands per Strassen's identities: some take a
+	// pre-addition result, some take a raw submatrix (edge from src).
+	p := make([]int, 7)
+	type operand struct {
+		fromS int // 1-based S index, or 0 for a raw submatrix from src
+	}
+	pOperands := [7][2]operand{
+		{{1}, {0}},  // P1 = A11 * S1
+		{{2}, {0}},  // P2 = S2 * B22
+		{{3}, {0}},  // P3 = S3 * B11
+		{{4}, {0}},  // P4 = A22 * S4
+		{{5}, {6}},  // P5 = S5 * S6
+		{{7}, {8}},  // P6 = S7 * S8
+		{{9}, {10}}, // P7 = S9 * S10
+	}
+	for i := range p {
+		p[i] = id(fmt.Sprintf("P%d", i+1), mulProf)
+		for _, op := range pOperands[i] {
+			if op.fromS == 0 {
+				edge(src, p[i], subBytes)
+			} else {
+				edge(s[op.fromS-1], p[i], subBytes)
+			}
+		}
+	}
+	// Post-additions.
+	c11 := id("C11", addProf) // P5 + P4 - P2 + P6
+	c12 := id("C12", addProf) // P1 + P2
+	c21 := id("C21", addProf) // P3 + P4
+	c22 := id("C22", addProf) // P5 + P1 - P3 + P7
+	for _, from := range []int{p[4], p[3], p[1], p[5]} {
+		edge(from, c11, subBytes)
+	}
+	for _, from := range []int{p[0], p[1]} {
+		edge(from, c12, subBytes)
+	}
+	for _, from := range []int{p[2], p[3]} {
+		edge(from, c21, subBytes)
+	}
+	for _, from := range []int{p[4], p[0], p[2], p[6]} {
+		edge(from, c22, subBytes)
+	}
+	sink := id("store", srcProf)
+	for _, from := range []int{c11, c12, c21, c22} {
+		edge(from, sink, subBytes)
+	}
+	return model.NewTaskGraph(tasks, edges)
+}

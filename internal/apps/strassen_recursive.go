@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"fmt"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// StrassenRecursive builds the Strassen multiplication DAG with the given
+// recursion depth: each of the seven sub-multiplications expands into its
+// own split / pre-add / multiply / post-add / combine sub-DAG until the
+// depth is exhausted, where a plain GEMM task bottoms out. Depth 1 is
+// structurally the paper's Fig 7(b); higher depths produce the large
+// irregular graphs (7^depth leaf multiplies) that stress schedulers well
+// beyond the paper's sizes.
+func StrassenRecursive(n, depth int) (*model.TaskGraph, error) {
+	if n < 2 || n%(1<<depth) != 0 {
+		return nil, fmt.Errorf("apps: matrix size %d not divisible by 2^%d", n, depth)
+	}
+	if depth < 1 || depth > 4 {
+		return nil, fmt.Errorf("apps: recursion depth %d outside [1,4]", depth)
+	}
+	b := &strassenBuilder{}
+	root, err := b.multiply(n, depth, "")
+	if err != nil {
+		return nil, err
+	}
+	_ = root
+	return model.NewTaskGraph(b.tasks, b.edges)
+}
+
+type strassenBuilder struct {
+	tasks []model.Task
+	edges []model.Edge
+}
+
+func (b *strassenBuilder) add(name string, prof speedup.Profile) int {
+	b.tasks = append(b.tasks, model.Task{Name: name, Profile: prof})
+	return len(b.tasks) - 1
+}
+
+func (b *strassenBuilder) edge(from, to int, vol float64) {
+	b.edges = append(b.edges, model.Edge{From: from, To: to, Volume: vol})
+}
+
+// multiply creates the sub-DAG for one n x n multiplication and returns
+// its (entry, exit) vertices. prefix disambiguates task names across the
+// recursion tree.
+func (b *strassenBuilder) multiply(n, depth int, prefix string) (entryExit [2]int, err error) {
+	if depth == 0 {
+		// Leaf GEMM.
+		mulTime := 2 * float64(n) * float64(n) * float64(n) / flopsPerSec
+		a := float64(n) / 128
+		if a < 1 {
+			a = 1
+		}
+		prof, err := speedup.NewDowney(mulTime, a, 0.5)
+		if err != nil {
+			return entryExit, err
+		}
+		v := b.add(prefix+"gemm", prof)
+		return [2]int{v, v}, nil
+	}
+	half := n / 2
+	subBytes := float64(half) * float64(half) * 8
+	addTime := 3 * subBytes / memBytes
+	addProf, err := speedup.NewDowney(addTime, 4, 1)
+	if err != nil {
+		return entryExit, err
+	}
+	ioProf, err := speedup.NewDowney(addTime/2, 2, 1)
+	if err != nil {
+		return entryExit, err
+	}
+
+	entry := b.add(prefix+"split", ioProf)
+	// Pre-additions S1..S10.
+	s := make([]int, 10)
+	for i := range s {
+		s[i] = b.add(fmt.Sprintf("%sS%d", prefix, i+1), addProf)
+		b.edge(entry, s[i], 2*subBytes)
+	}
+	// Seven recursive multiplications; operand sources per the identities.
+	operands := [7][2]int{
+		{s[0], -1}, {s[1], -1}, {s[2], -1}, {s[3], -1},
+		{s[4], s[5]}, {s[6], s[7]}, {s[8], s[9]},
+	}
+	exits := make([]int, 7)
+	for i := 0; i < 7; i++ {
+		sub, err := b.multiply(half, depth-1, fmt.Sprintf("%sP%d.", prefix, i+1))
+		if err != nil {
+			return entryExit, err
+		}
+		for _, op := range operands[i] {
+			if op < 0 {
+				b.edge(entry, sub[0], subBytes) // raw submatrix operand
+			} else {
+				b.edge(op, sub[0], subBytes)
+			}
+		}
+		exits[i] = sub[1]
+	}
+	// Post-additions and the combine vertex.
+	cNames := []string{"C11", "C12", "C21", "C22"}
+	cIn := [4][]int{
+		{exits[4], exits[3], exits[1], exits[5]},
+		{exits[0], exits[1]},
+		{exits[2], exits[3]},
+		{exits[4], exits[0], exits[2], exits[6]},
+	}
+	exit := b.add(prefix+"combine", ioProf)
+	for i, name := range cNames {
+		c := b.add(prefix+name, addProf)
+		for _, from := range cIn[i] {
+			b.edge(from, c, subBytes)
+		}
+		b.edge(c, exit, subBytes)
+	}
+	return [2]int{entry, exit}, nil
+}

@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: the LoCBS locality
+// conscious backfill scheduler (Algorithm 2) and the LoC-MPS iterative
+// allocation-and-scheduling algorithm (Algorithm 1), plus the no-backfill
+// variant evaluated in Figure 6 and the communication-blind configuration
+// that reproduces the authors' earlier iCASLB algorithm.
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// infinity is used for open-ended idle slots.
+var infinity = math.Inf(1)
+
+// interval is a half-open busy span [start, end).
+type interval struct {
+	start, end float64
+}
+
+// chart is the 2-D (time x processor) resource chart that backfilling packs
+// (paper §III.F). It tracks, per processor, the sorted list of busy
+// intervals. The no-backfill variant only consults the frontier (the end of
+// the last busy interval), deliberately ignoring interior holes.
+type chart struct {
+	p        int
+	backfill bool
+	busy     [][]interval
+}
+
+func newChart(p int, backfill bool) *chart {
+	return &chart{p: p, backfill: backfill, busy: make([][]interval, p)}
+}
+
+// reserve books [start, end) on processor proc. Caller guarantees the span
+// is free (the placement loop only reserves spans it has verified).
+func (c *chart) reserve(proc int, start, end float64) {
+	if end <= start {
+		return
+	}
+	iv := interval{start, end}
+	list := c.busy[proc]
+	pos := sort.Search(len(list), func(i int) bool { return list[i].start >= iv.start })
+	list = append(list, interval{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = iv
+	c.busy[proc] = list
+}
+
+// frontier returns the end of the last busy interval on proc (0 if idle).
+func (c *chart) frontier(proc int) float64 {
+	list := c.busy[proc]
+	if len(list) == 0 {
+		return 0
+	}
+	return list[len(list)-1].end
+}
+
+// freeAt reports whether proc is idle at time t and, if so, until when
+// (the start of the next busy interval, or +Inf). In no-backfill mode a
+// processor is only "free" from its frontier onward.
+func (c *chart) freeAt(proc int, t float64) (until float64, free bool) {
+	if !c.backfill {
+		if t < c.frontier(proc)-1e-12 {
+			return 0, false
+		}
+		return infinity, true
+	}
+	list := c.busy[proc]
+	// First interval with start > t.
+	pos := sort.Search(len(list), func(i int) bool { return list[i].start > t })
+	if pos > 0 && list[pos-1].end > t+1e-12 {
+		return 0, false // inside the previous interval
+	}
+	if pos == len(list) {
+		return infinity, true
+	}
+	return list[pos].start, true
+}
+
+// candidateTimes returns the sorted distinct times >= est at which the set
+// of free processors can change: est itself plus every busy-interval end
+// (backfill) or every frontier (no-backfill). These are the only start
+// times a minimum-finish-time search needs to probe.
+func (c *chart) candidateTimes(est float64) []float64 {
+	times := []float64{est}
+	for proc := 0; proc < c.p; proc++ {
+		if c.backfill {
+			for _, iv := range c.busy[proc] {
+				if iv.end >= est {
+					times = append(times, iv.end)
+				}
+			}
+		} else if f := c.frontier(proc); f >= est {
+			times = append(times, f)
+		}
+	}
+	sort.Float64s(times)
+	// Dedup in place.
+	out := times[:1]
+	for _, t := range times[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

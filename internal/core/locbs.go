@@ -1,0 +1,502 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"locmps/internal/graph"
+	"locmps/internal/model"
+	"locmps/internal/redist"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+// DefaultBlockBytes is the block-cyclic block size assumed when a Config
+// does not specify one (64 KiB, a typical ScaLAPACK-style tile).
+const DefaultBlockBytes = 64 * 1024
+
+// Config selects the behaviour of the LoCBS placement engine. The zero
+// value plus withDefaults gives the paper's full LoC-MPS configuration.
+type Config struct {
+	// Backfill enables idle-slot (hole) packing; when false the engine
+	// degrades to the frontier-only variant of Figure 6.
+	Backfill bool
+	// Locality makes processor-subset selection prefer nodes already
+	// holding the task's input data. When false subsets are chosen by
+	// lowest processor id (the locality-blind baselines).
+	Locality bool
+	// CommAware makes scheduling *decisions* (priorities) account for
+	// estimated redistribution costs. Timing always charges the real
+	// costs; iCASLB sets this false.
+	CommAware bool
+	// BlockBytes is the block-cyclic block size used by the
+	// redistribution model; 0 selects DefaultBlockBytes.
+	BlockBytes float64
+	// AdaptiveWidth makes the engine choose each task's processor count
+	// at placement time (1..min(P, Pbest)) to minimize that task's finish
+	// time, instead of honouring the allocation vector. This is the
+	// M-HEFT-style one-shot allocation used by the extra baseline in
+	// internal/sched; LoC-MPS never sets it.
+	AdaptiveWidth bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockBytes == 0 {
+		c.BlockBytes = DefaultBlockBytes
+	}
+	return c
+}
+
+// DefaultConfig is the paper's LoC-MPS engine: locality conscious
+// backfilling with communication-aware priorities.
+func DefaultConfig() Config {
+	return Config{Backfill: true, Locality: true, CommAware: true}.withDefaults()
+}
+
+// LoCBS (Algorithm 2) schedules the task graph onto the cluster given a
+// fixed per-task processor allocation np. It returns the schedule with
+// DataReady/CommTime filled so that the schedule-DAG G' and its critical
+// path can be derived.
+func LoCBS(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config) (*schedule.Schedule, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if len(np) != tg.N() {
+		return nil, fmt.Errorf("core: allocation vector has %d entries for %d tasks", len(np), tg.N())
+	}
+	for t, n := range np {
+		if n < 1 || n > cluster.P {
+			return nil, fmt.Errorf("core: task %d allocated %d processors outside [1,%d]", t, n, cluster.P)
+		}
+	}
+	cfg = cfg.withDefaults()
+	e := &placer{
+		tg:      tg,
+		cluster: cluster,
+		np:      np,
+		cfg:     cfg,
+		rm:      redistModel(cfg, cluster),
+		chart:   newChart(cluster.P, cfg.Backfill),
+		sched:   schedule.NewSchedule(engineName(cfg), cluster, tg.N()),
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.sched, nil
+}
+
+func redistModel(cfg Config, cluster model.Cluster) redist.Model {
+	return redist.Model{BlockBytes: cfg.BlockBytes, Bandwidth: cluster.Bandwidth}
+}
+
+func engineName(cfg Config) string {
+	switch {
+	case !cfg.CommAware:
+		return "iCASLB"
+	case !cfg.Backfill:
+		return "LoC-MPS-NoBF"
+	case !cfg.Locality:
+		return "MPS-NoLoc"
+	default:
+		return "LoC-MPS"
+	}
+}
+
+// placer holds the state of one LoCBS run.
+type placer struct {
+	tg      *model.TaskGraph
+	cluster model.Cluster
+	np      []int
+	cfg     Config
+	rm      redist.Model
+	chart   *chart
+	sched   *schedule.Schedule
+
+	// preset marks tasks whose placements were fixed by a Preset (they
+	// are never re-placed); factor holds per-node speed multipliers
+	// (nil = homogeneous).
+	preset []bool
+	factor []float64
+
+	priority []float64
+	placed   []bool
+	// costBuf and score are reusable hot-path scratch: per-call
+	// redistribution lookups and the per-processor locality scores of the
+	// task currently being placed. freeBuf/procBuf/untilBuf are slot-search
+	// scratch slices.
+	costBuf  *redist.CostBuffer
+	score    []float64
+	freeBuf  []freeProc
+	procBuf  []int
+	untilBuf []float64
+	commBuf  []float64
+}
+
+// attempt is one candidate placement under evaluation.
+type attempt struct {
+	procs     []int // ascending physical ids
+	start     float64
+	finish    float64
+	dataReady float64
+	commTime  float64
+	occupy    float64 // reservation begins here (start, or comm start when no overlap)
+	// comm holds the charged redistribution time per incoming edge,
+	// aligned with the task's predecessor list.
+	comm []float64
+}
+
+func (e *placer) run() error {
+	if err := e.computePriorities(); err != nil {
+		return err
+	}
+	e.placed = make([]bool, e.tg.N())
+	e.costBuf = redist.NewCostBuffer(e.cluster.P)
+	e.score = make([]float64, e.cluster.P)
+	remaining := e.tg.N()
+	for t, fixed := range e.preset {
+		if fixed {
+			e.placed[t] = true
+			remaining--
+		}
+	}
+
+	for done := 0; done < remaining; done++ {
+		tp := e.pickReady()
+		if tp < 0 {
+			return fmt.Errorf("core: no ready task with %d of %d placed (cycle?)", done, e.tg.N())
+		}
+		best, err := e.place(tp)
+		if err != nil {
+			return err
+		}
+		pl := schedule.Placement{
+			Procs:     best.procs,
+			Start:     best.start,
+			Finish:    best.finish,
+			DataReady: best.dataReady,
+			CommTime:  best.commTime,
+		}
+		e.sched.Placements[tp] = pl
+		for i, par := range e.tg.DAG().Pred(tp) {
+			e.sched.EdgeComm[[2]int{par, tp}] = best.comm[i]
+		}
+		for _, proc := range best.procs {
+			e.chart.reserve(proc, best.occupy, best.finish)
+		}
+		e.placed[tp] = true
+	}
+	e.sched.ComputeMakespan()
+	return nil
+}
+
+// computePriorities sets priority(t) = bottomL(t) + max parent edge weight
+// (Algorithm 2 step 4), with bottom levels over the current allocation and,
+// when CommAware, the paper's aggregate-bandwidth edge estimates.
+func (e *placer) computePriorities() error {
+	vw := func(v int) float64 { return e.tg.ExecTime(v, e.np[v]) }
+	ew := func(u, v int) float64 {
+		if !e.cfg.CommAware {
+			return 0
+		}
+		return e.cluster.EdgeCost(e.tg.Volume(u, v), e.np[u], e.np[v])
+	}
+	lv, err := graph.ComputeLevels(e.tg.DAG(), vw, ew)
+	if err != nil {
+		return err
+	}
+	e.priority = make([]float64, e.tg.N())
+	for t := range e.priority {
+		maxIn := 0.0
+		for _, par := range e.tg.DAG().Pred(t) {
+			if w := ew(par, t); w > maxIn {
+				maxIn = w
+			}
+		}
+		e.priority[t] = lv.Bottom[t] + maxIn
+	}
+	return nil
+}
+
+// pickReady returns the unplaced task with all predecessors placed and the
+// highest priority (ties broken by lower id), or -1.
+func (e *placer) pickReady() int {
+	best, bestP := -1, math.Inf(-1)
+	for t := 0; t < e.tg.N(); t++ {
+		if e.placed[t] {
+			continue
+		}
+		ready := true
+		for _, par := range e.tg.DAG().Pred(t) {
+			if !e.placed[par] {
+				ready = false
+				break
+			}
+		}
+		if ready && e.priority[t] > bestP {
+			best, bestP = t, e.priority[t]
+		}
+	}
+	return best
+}
+
+// place finds the processor set and start time minimizing tp's finish time
+// across the chart's idle slots (Algorithm 2 steps 5-16). With
+// AdaptiveWidth it additionally searches over processor counts.
+func (e *placer) place(tp int) (attempt, error) {
+	parents := e.tg.DAG().Pred(tp)
+	maxParentFt := 0.0
+	for _, par := range parents {
+		if ft := e.sched.Placements[par].Finish; ft > maxParentFt {
+			maxParentFt = ft
+		}
+	}
+	if e.cfg.Locality {
+		if err := e.fillLocalityScores(tp, parents); err != nil {
+			return attempt{}, err
+		}
+	}
+
+	widths := []int{e.np[tp]}
+	if e.cfg.AdaptiveWidth {
+		limit := speedup.Pbest(e.tg.Tasks[tp].Profile, e.cluster.P)
+		widths = widths[:0]
+		for n := 1; n <= limit; n++ {
+			widths = append(widths, n)
+		}
+	}
+	var best attempt
+	bestOK := false
+	for _, n := range widths {
+		et := e.tg.ExecTime(tp, n)
+		etFastest := et * e.minFactor()
+		for _, tau := range e.chart.candidateTimes(maxParentFt) {
+			if bestOK && tau+etFastest >= best.finish {
+				break // later slots can only finish later
+			}
+			att, ok, err := e.tryAt(tp, tau, n, et, parents, maxParentFt)
+			if err != nil {
+				return attempt{}, err
+			}
+			if ok && (!bestOK || att.finish < best.finish-schedule.Eps) {
+				best, bestOK = att, true
+			}
+		}
+	}
+	if !bestOK {
+		return attempt{}, fmt.Errorf("core: could not place task %d (np=%d) on P=%d", tp, e.np[tp], e.cluster.P)
+	}
+	if e.cfg.AdaptiveWidth {
+		// Record the chosen width so priorities and validation agree.
+		e.np[tp] = len(best.procs)
+	}
+	return best, nil
+}
+
+// freeProc is one idle processor during a candidate slot.
+type freeProc struct {
+	id    int
+	until float64
+	score float64
+}
+
+// tryAt evaluates placing tp in the idle slot beginning at tau. Because the
+// redistribution time depends on the chosen subset and the subset must stay
+// idle until the (redistribution-delayed) finish time, the search iterates
+// to a fixed point, tightening the required idle window each round.
+func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []int, maxParentFt float64) (attempt, bool, error) {
+	free := e.freeBuf[:0]
+	for proc := 0; proc < e.cluster.P; proc++ {
+		if until, ok := e.chart.freeAt(proc, tau); ok {
+			score := 0.0
+			if e.cfg.Locality {
+				score = e.score[proc]
+			}
+			free = append(free, freeProc{id: proc, until: until, score: score})
+		}
+	}
+	e.freeBuf = free
+	if len(free) < n {
+		return attempt{}, false, nil
+	}
+	// Sort once by preference; each fixed-point round then takes the first
+	// n sufficiently-idle processors in this order. A slow node in the
+	// subset stretches the whole task (it runs at the slowest member's
+	// pace), which almost always costs more than re-fetching input data:
+	// node speed dominates locality, locality breaks ties among equally
+	// fast nodes.
+	sort.Slice(free, func(i, j int) bool {
+		if e.factor != nil && e.factor[free[i].id] != e.factor[free[j].id] {
+			return e.factor[free[i].id] < e.factor[free[j].id]
+		}
+		if free[i].score != free[j].score {
+			return free[i].score > free[j].score
+		}
+		return free[i].id < free[j].id
+	})
+
+	need := tau + et // minimal idle window; grows as comm delays surface
+	for round := 0; round < 4; round++ {
+		procs := e.procBuf[:0]
+		until := e.untilBuf[:0]
+		for _, fp := range free {
+			if fp.until >= need-schedule.Eps {
+				procs = append(procs, fp.id)
+				until = append(until, fp.until)
+				if len(procs) == n {
+					break
+				}
+			}
+		}
+		e.procBuf, e.untilBuf = procs, until
+		if len(procs) < n {
+			return attempt{}, false, nil
+		}
+		// Canonical block-cyclic layout order; until follows procs.
+		sort.Sort(&procsByID{procs: procs, until: until})
+
+		att, err := e.timeOn(tp, tau, et, parents, maxParentFt, procs)
+		if err != nil {
+			return attempt{}, false, err
+		}
+		ok := true
+		for i := range procs {
+			if until[i] < att.finish-schedule.Eps {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			// Detach from the shared scratch buffers: the caller keeps the
+			// best attempt across further probes.
+			att.procs = append([]int(nil), procs...)
+			att.comm = append([]float64(nil), att.comm...)
+			return att, true, nil
+		}
+		if att.finish <= need+schedule.Eps {
+			return attempt{}, false, nil // no progress possible
+		}
+		need = att.finish
+	}
+	return attempt{}, false, nil
+}
+
+// procsByID co-sorts a processor set and its idle-until times by id.
+type procsByID struct {
+	procs []int
+	until []float64
+}
+
+func (s *procsByID) Len() int           { return len(s.procs) }
+func (s *procsByID) Less(i, j int) bool { return s.procs[i] < s.procs[j] }
+func (s *procsByID) Swap(i, j int) {
+	s.procs[i], s.procs[j] = s.procs[j], s.procs[i]
+	s.until[i], s.until[j] = s.until[j], s.until[i]
+}
+
+// timeOn computes start/finish and communication charges for running tp on
+// the given processor set with the slot opening at tau.
+func (e *placer) timeOn(tp int, tau, et float64, parents []int, maxParentFt float64, procs []int) (attempt, error) {
+	att := attempt{procs: procs, comm: e.commBuf[:0]}
+	var maxCt, sumCt, rct float64
+	for _, par := range parents {
+		vol := e.tg.Volume(par, tp)
+		ct, err := e.edgeCost(par, vol, procs)
+		if err != nil {
+			return attempt{}, err
+		}
+		att.comm = append(att.comm, ct)
+		if ct > maxCt {
+			maxCt = ct
+		}
+		sumCt += ct
+		if arr := e.sched.Placements[par].Finish + ct; arr > rct {
+			rct = arr
+		}
+	}
+	e.commBuf = att.comm // keep any growth for reuse
+	if e.cluster.Overlap {
+		// Asynchronous transfers: data redistribution proceeds while the
+		// target processors may still be busy with other work.
+		att.dataReady = rct
+		att.start = math.Max(tau, rct)
+		att.occupy = att.start
+		att.commTime = maxCt
+	} else {
+		// Communication occupies the receiving processors: transfers from
+		// distinct parents serialize on the single port.
+		commStart := math.Max(tau, maxParentFt)
+		att.dataReady = maxParentFt + sumCt
+		att.start = commStart + sumCt
+		att.occupy = commStart
+		att.commTime = sumCt
+	}
+	att.finish = att.start + et*e.maxFactor(procs)
+	return att, nil
+}
+
+// maxFactor is the execution-time multiplier of the slowest node in the
+// set (1 for homogeneous clusters).
+func (e *placer) maxFactor(procs []int) float64 {
+	if e.factor == nil {
+		return 1
+	}
+	worst := 0.0
+	for _, p := range procs {
+		if e.factor[p] > worst {
+			worst = e.factor[p]
+		}
+	}
+	if worst == 0 {
+		return 1
+	}
+	return worst
+}
+
+// minFactor is the multiplier of the fastest node, used as an admissible
+// bound when pruning the candidate-time search.
+func (e *placer) minFactor() float64 {
+	if e.factor == nil {
+		return 1
+	}
+	best := math.Inf(1)
+	for _, f := range e.factor {
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// edgeCost is the locality-aware redistribution time from parent's group to
+// the candidate subset.
+func (e *placer) edgeCost(par int, vol float64, procs []int) (float64, error) {
+	if vol == 0 {
+		return 0, nil
+	}
+	return e.rm.FastCostBuf(vol, e.sched.Placements[par].Procs, procs, e.costBuf), nil
+}
+
+// fillLocalityScores computes, for every processor, the number of bytes of
+// tp's input data already resident there across all parents. Scores do not
+// depend on the candidate start time, so they are computed once per task.
+func (e *placer) fillLocalityScores(tp int, parents []int) error {
+	for i := range e.score {
+		e.score[i] = 0
+	}
+	for _, par := range parents {
+		vol := e.tg.Volume(par, tp)
+		if vol == 0 {
+			continue
+		}
+		pp := e.sched.Placements[par].Procs
+		share, err := e.rm.ResidentShare(vol, pp)
+		if err != nil {
+			return err
+		}
+		for rank, proc := range pp {
+			e.score[proc] += share[rank]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"locmps/internal/graph"
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+// DefaultLookAheadDepth is the bounded look-ahead of §III.E ("a bound of 20
+// iterations was found to yield good results").
+const DefaultLookAheadDepth = 20
+
+// DefaultTopFraction is the §III.C candidate window: the best candidate is
+// the minimum-concurrency-ratio task among the top 10% by execution-time
+// improvement.
+const DefaultTopFraction = 0.10
+
+// LoCMPS is the paper's locality conscious mixed-parallel allocation and
+// scheduling algorithm (Algorithm 1). The zero value is not usable; create
+// instances with New, NewNoBackfill or NewICASLB, or fill every field.
+type LoCMPS struct {
+	// AlgorithmName labels produced schedules.
+	AlgorithmName string
+	// Engine configures the LoCBS placement engine used at every
+	// iteration.
+	Engine Config
+	// LookAheadDepth bounds the look-ahead search (0 selects the default).
+	LookAheadDepth int
+	// TopFraction is the best-candidate window (0 selects the default).
+	TopFraction float64
+	// MaxOuterIters caps the outer repeat-until loop as a safety net;
+	// 0 selects 4*|V|*P.
+	MaxOuterIters int
+
+	// stats records the most recent Schedule invocation (see LastStats).
+	stats SearchStats
+	// initAlloc optionally overrides the pure task-parallel starting
+	// allocation (used by ScheduleDual).
+	initAlloc []int
+}
+
+// SearchStats describes the work done by one Schedule invocation — useful
+// when studying how the bounded look-ahead explores the allocation space.
+type SearchStats struct {
+	// OuterIterations counts repeat-until rounds (Algorithm 1 steps 5-40).
+	OuterIterations int
+	// LookAheadSteps counts inner look-ahead iterations across all rounds.
+	LookAheadSteps int
+	// LoCBSRuns counts placement-engine invocations.
+	LoCBSRuns int
+	// Commits counts rounds that improved the committed best schedule.
+	Commits int
+	// Marks counts entry points marked as bad starting points.
+	Marks int
+}
+
+// LastStats returns the statistics of the most recent Schedule call on
+// this instance. Not safe for concurrent Schedule calls.
+func (s *LoCMPS) LastStats() SearchStats { return s.stats }
+
+// New returns the full LoC-MPS configuration of the paper.
+func New() *LoCMPS {
+	return &LoCMPS{AlgorithmName: "LoC-MPS", Engine: DefaultConfig()}
+}
+
+// NewNoBackfill returns the Figure 6 variant: identical allocation logic,
+// but the placement engine tracks only the latest free time per processor.
+func NewNoBackfill() *LoCMPS {
+	cfg := DefaultConfig()
+	cfg.Backfill = false
+	return &LoCMPS{AlgorithmName: "LoC-MPS-NoBF", Engine: cfg}
+}
+
+// NewICASLB reproduces the authors' earlier iCASLB algorithm [4]: the same
+// iterative look-ahead allocation, but every scheduling decision assumes
+// inter-task communication is negligible — the critical path carries no
+// edge weights, edges are never widened, and placement is locality-blind.
+// Timing still charges real redistribution costs, which is exactly why
+// iCASLB degrades as CCR grows (Figure 5).
+func NewICASLB() *LoCMPS {
+	return &LoCMPS{
+		AlgorithmName: "iCASLB",
+		Engine:        Config{Backfill: true, Locality: false, CommAware: false}.withDefaults(),
+	}
+}
+
+// Name implements schedule.Scheduler.
+func (s *LoCMPS) Name() string {
+	if s.AlgorithmName != "" {
+		return s.AlgorithmName
+	}
+	return "LoC-MPS"
+}
+
+func (s *LoCMPS) depth() int {
+	if s.LookAheadDepth > 0 {
+		return s.LookAheadDepth
+	}
+	return DefaultLookAheadDepth
+}
+
+func (s *LoCMPS) topFraction() float64 {
+	if s.TopFraction > 0 {
+		return s.TopFraction
+	}
+	return DefaultTopFraction
+}
+
+// Schedule implements schedule.Scheduler (Algorithm 1).
+func (s *LoCMPS) Schedule(tg *model.TaskGraph, cluster model.Cluster) (*schedule.Schedule, error) {
+	return s.ScheduleWithPreset(tg, cluster, Preset{})
+}
+
+// ScheduleWithPreset runs the full LoC-MPS allocation-and-scheduling loop
+// around mid-execution state: preset tasks keep their placements and
+// widths, remaining tasks are (re-)allocated and (re-)placed from scratch
+// on the partially busy, possibly heterogeneous-speed machine. This is the
+// re-planning entry point of the on-line runtime (internal/online).
+func (s *LoCMPS) ScheduleWithPreset(tg *model.TaskGraph, cluster model.Cluster, preset Preset) (*schedule.Schedule, error) {
+	started := time.Now()
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	n := tg.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty task graph")
+	}
+	if err := preset.validate(tg, cluster); err != nil {
+		return nil, err
+	}
+	cfg := s.Engine.withDefaults()
+	fixed := func(t int) bool { _, ok := preset.Fixed[t]; return ok }
+
+	pbest := make([]int, n)
+	caps := make([]int, n)
+	cr := make([]float64, n)
+	for t := 0; t < n; t++ {
+		pbest[t] = speedup.Pbest(tg.Tasks[t].Profile, cluster.P)
+		caps[t] = cluster.P
+		cr[t] = tg.ConcurrencyRatio(t)
+		if fixed(t) {
+			// Frozen width: never a widening candidate.
+			pbest[t] = preset.Fixed[t].NP()
+			caps[t] = preset.Fixed[t].NP()
+		}
+	}
+
+	// Steps 1-4: pure task-parallel start (preset tasks keep their
+	// committed widths). ScheduleDual may inject a different start.
+	bestAlloc := make([]int, n)
+	for t := range bestAlloc {
+		switch {
+		case fixed(t):
+			bestAlloc[t] = preset.Fixed[t].NP()
+		case s.initAlloc != nil:
+			bestAlloc[t] = s.initAlloc[t]
+			if bestAlloc[t] < 1 {
+				bestAlloc[t] = 1
+			}
+			if bestAlloc[t] > caps[t] {
+				bestAlloc[t] = caps[t]
+			}
+		default:
+			bestAlloc[t] = 1
+		}
+	}
+	s.stats = SearchStats{}
+	runLoCBS := func(np []int) (*schedule.Schedule, error) {
+		s.stats.LoCBSRuns++
+		return LoCBSWithPreset(tg, cluster, np, cfg, preset)
+	}
+	bestSched, err := runLoCBS(bestAlloc)
+	if err != nil {
+		return nil, err
+	}
+	bestSL := objective(bestSched)
+
+	markedTask := make(map[int]bool)
+	markedEdge := make(map[[2]int]bool)
+
+	maxOuter := s.MaxOuterIters
+	if maxOuter == 0 {
+		maxOuter = 4 * n * cluster.P
+	}
+
+	for outer := 0; outer < maxOuter; outer++ {
+		s.stats.OuterIterations++
+		// Steps 6-7: restart the look-ahead from the committed best.
+		np := append([]int(nil), bestAlloc...)
+		cur := bestSched
+		oldSL := bestSL
+
+		var entryTask = -1
+		var entryEdge = [2]int{-1, -1}
+
+		for iter := 0; iter < s.depth(); iter++ {
+			s.stats.LookAheadSteps++
+			cp, err := s.criticalPath(cur, tg, cfg.CommAware, np)
+			if err != nil {
+				return nil, err
+			}
+			tcomp, tcomm := s.pathCosts(cur, tg, cfg.CommAware, np, cp)
+
+			kindTask := tcomp > tcomm
+			applied := false
+			for attempt := 0; attempt < 2 && !applied; attempt++ {
+				if kindTask {
+					t := s.bestCandidateTask(tg, np, pbest, cr, cp, cluster.P, iter == 0, markedTask)
+					if t >= 0 {
+						if iter == 0 {
+							entryTask, entryEdge = t, [2]int{-1, -1}
+						}
+						np[t]++
+						applied = true
+					}
+				} else if cfg.CommAware {
+					eg := s.heaviestEdge(tg, cur, np, caps, cp, iter == 0, markedEdge)
+					if eg[0] >= 0 {
+						if iter == 0 {
+							entryEdge, entryTask = eg, -1
+						}
+						widenEdge(np, eg, caps)
+						applied = true
+					}
+				}
+				kindTask = !kindTask // fall back to the other kind once
+			}
+			if !applied {
+				break // nothing on the critical path can be refined
+			}
+
+			cur, err = runLoCBS(np)
+			if err != nil {
+				return nil, err
+			}
+			if curSL := objective(cur); curSL.better(bestSL) {
+				bestSL = curSL
+				bestAlloc = append([]int(nil), np...)
+				bestSched = cur
+			}
+		}
+
+		improved := bestSL.better(oldSL)
+		switch {
+		case improved:
+			// Step 39: commit and clear all marks.
+			s.stats.Commits++
+			markedTask = make(map[int]bool)
+			markedEdge = make(map[[2]int]bool)
+		case entryTask >= 0:
+			s.stats.Marks++
+			markedTask[entryTask] = true
+		case entryEdge[0] >= 0:
+			s.stats.Marks++
+			markedEdge[entryEdge] = true
+		default:
+			// The look-ahead could not even choose an entry point: the
+			// critical path is saturated.
+			outer = maxOuter
+		}
+
+		if s.terminated(tg, bestSched, bestAlloc, pbest, cluster.P, markedTask, markedEdge, cfg.CommAware) {
+			break
+		}
+	}
+
+	bestSched.Algorithm = s.Name()
+	bestSched.SchedulingTime = time.Since(started)
+	return bestSched, nil
+}
+
+// criticalPath returns CP(G') for the current schedule. When commAware is
+// false the edge weights are treated as zero (iCASLB's view of the world).
+func (s *LoCMPS) criticalPath(cur *schedule.Schedule, tg *model.TaskGraph, commAware bool, np []int) ([]int, error) {
+	g := cur.ScheduleDAG(tg)
+	vw := func(v int) float64 { return tg.ExecTime(v, np[v]) }
+	ew := func(u, v int) float64 {
+		if commAware && tg.DAG().HasEdge(u, v) {
+			return cur.CommOn(u, v)
+		}
+		return 0
+	}
+	_, path, err := graph.CriticalPath(g, vw, ew)
+	return path, err
+}
+
+// pathCosts splits the critical path into computation and communication
+// components (Algorithm 1 steps 12-13).
+func (s *LoCMPS) pathCosts(cur *schedule.Schedule, tg *model.TaskGraph, commAware bool, np []int, cp []int) (tcomp, tcomm float64) {
+	for i, v := range cp {
+		tcomp += tg.ExecTime(v, np[v])
+		if commAware && i+1 < len(cp) && tg.DAG().HasEdge(v, cp[i+1]) {
+			tcomm += cur.CommOn(v, cp[i+1])
+		}
+	}
+	return tcomp, tcomm
+}
+
+// bestCandidateTask implements §III.C: among unsaturated (and, at the entry
+// of a look-ahead, unmarked) critical-path tasks, rank by execution-time
+// improvement and take the minimum-concurrency-ratio task within the top
+// fraction.
+func (s *LoCMPS) bestCandidateTask(tg *model.TaskGraph, np, pbest []int, cr []float64, cp []int, maxP int, entry bool, marked map[int]bool) int {
+	type cand struct {
+		t    int
+		gain float64
+	}
+	var cands []cand
+	for _, t := range cp {
+		limit := pbest[t]
+		if maxP < limit {
+			limit = maxP
+		}
+		if np[t] >= limit {
+			continue
+		}
+		if entry && marked[t] {
+			continue
+		}
+		gain := tg.ExecTime(t, np[t]) - tg.ExecTime(t, np[t]+1)
+		cands = append(cands, cand{t, gain})
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].t < cands[j].t
+	})
+	k := int(math.Ceil(s.topFraction() * float64(len(cands))))
+	if k < 1 {
+		k = 1
+	}
+	best := cands[0].t
+	for _, c := range cands[1:k] {
+		if cr[c.t] < cr[best] || (cr[c.t] == cr[best] && c.t < best) {
+			best = c.t
+		}
+	}
+	return best
+}
+
+// heaviestEdge implements §III.D: the heaviest (by charged redistribution
+// time) real edge along the critical path whose endpoints can still grow
+// within their per-task caps.
+func (s *LoCMPS) heaviestEdge(tg *model.TaskGraph, cur *schedule.Schedule, np, caps []int, cp []int, entry bool, marked map[[2]int]bool) [2]int {
+	best := [2]int{-1, -1}
+	bestW := 0.0
+	for i := 0; i+1 < len(cp); i++ {
+		u, v := cp[i], cp[i+1]
+		if !tg.DAG().HasEdge(u, v) {
+			continue // pseudo-edge
+		}
+		if np[u] >= caps[u] && np[v] >= caps[v] {
+			continue
+		}
+		key := [2]int{u, v}
+		if entry && marked[key] {
+			continue
+		}
+		if w := cur.CommOn(u, v); w > bestW {
+			bestW = w
+			best = key
+		}
+	}
+	return best
+}
+
+// widenEdge increments the allocation of the lighter endpoint, or both when
+// equal (§III.D), respecting per-task caps.
+func widenEdge(np []int, e [2]int, caps []int) {
+	ts, td := e[0], e[1]
+	switch {
+	case np[ts] > np[td]:
+		if np[td] < caps[td] {
+			np[td]++
+		}
+	case np[ts] < np[td]:
+		if np[ts] < caps[ts] {
+			np[ts]++
+		}
+	default:
+		if np[td] < caps[td] {
+			np[td]++
+		}
+		if np[ts] < caps[ts] {
+			np[ts]++
+		}
+	}
+}
+
+// terminated evaluates the repeat-until condition: every task and edge on
+// the committed schedule's critical path is marked (or saturated), or every
+// critical-path task is at the full machine width.
+func (s *LoCMPS) terminated(tg *model.TaskGraph, best *schedule.Schedule, np, pbest []int, maxP int, markedTask map[int]bool, markedEdge map[[2]int]bool, commAware bool) bool {
+	cp, err := s.criticalPath(best, tg, commAware, np)
+	if err != nil || len(cp) == 0 {
+		return true
+	}
+	allAtP := true
+	allBlocked := true
+	for _, t := range cp {
+		if np[t] < maxP {
+			allAtP = false
+		}
+		limit := pbest[t]
+		if maxP < limit {
+			limit = maxP
+		}
+		if np[t] < limit && !markedTask[t] {
+			allBlocked = false
+		}
+	}
+	if commAware {
+		for i := 0; i+1 < len(cp); i++ {
+			u, v := cp[i], cp[i+1]
+			if !tg.DAG().HasEdge(u, v) || best.CommOn(u, v) == 0 {
+				continue
+			}
+			key := [2]int{u, v}
+			if (np[u] < maxP || np[v] < maxP) && !markedEdge[key] {
+				allBlocked = false
+			}
+		}
+	}
+	return allAtP || allBlocked
+}
+
+// score is LoC-MPS's lexicographic objective: the makespan first, the sum
+// of task completion times as a tie-breaker. The secondary criterion keeps
+// the search moving when a long-running (e.g. preset) task pins the
+// makespan: finishing everything else earlier is still progress.
+type score struct {
+	makespan  float64
+	sumFinish float64
+}
+
+func objective(s *schedule.Schedule) score {
+	var sum float64
+	for _, pl := range s.Placements {
+		sum += pl.Finish
+	}
+	return score{makespan: s.Makespan, sumFinish: sum}
+}
+
+// better reports whether a strictly improves on b.
+func (a score) better(b score) bool {
+	if a.makespan < b.makespan-schedule.Eps {
+		return true
+	}
+	if a.makespan > b.makespan+schedule.Eps {
+		return false
+	}
+	return a.sumFinish < b.sumFinish-schedule.Eps
+}
+
+// ScheduleDual runs the search twice — once from the paper's pure
+// task-parallel start and once from the saturated data-parallel
+// allocation (np = min(P, Pbest) per task) — and returns the better
+// schedule. Landscapes like Fig 3's have minima reachable from one end
+// but not the other; the dual start covers both at roughly twice the
+// scheduling cost. LastStats reflects the winning run... the second run's
+// stats when it wins, the first's otherwise.
+func (s *LoCMPS) ScheduleDual(tg *model.TaskGraph, cluster model.Cluster) (*schedule.Schedule, error) {
+	started := time.Now()
+	fromTask, err := s.Schedule(tg, cluster)
+	if err != nil {
+		return nil, err
+	}
+	taskStats := s.stats
+
+	wide := make([]int, tg.N())
+	for t := range wide {
+		wide[t] = speedup.Pbest(tg.Tasks[t].Profile, cluster.P)
+		if wide[t] > cluster.P {
+			wide[t] = cluster.P
+		}
+	}
+	s.initAlloc = wide
+	fromData, err := s.Schedule(tg, cluster)
+	s.initAlloc = nil
+	if err != nil {
+		return nil, err
+	}
+	best := fromTask
+	if objective(fromData).better(objective(fromTask)) {
+		best = fromData
+	} else {
+		s.stats = taskStats
+	}
+	best.SchedulingTime = time.Since(started)
+	return best, nil
+}

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+
+	"locmps/internal/core"
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+	"locmps/internal/stats"
+)
+
+// Ablations quantify the contribution of each LoC-MPS design choice the
+// paper motivates in §III: the bounded look-ahead (Fig 3's local-minima
+// escape), the 10% best-candidate window (§III.C), locality conscious
+// placement (§III.D/F) and backfilling (Fig 6). Each returns a Figure whose
+// X axis is the ablated parameter rather than the processor count.
+
+// AblationOptions configure the ablation sweeps.
+type AblationOptions struct {
+	// Suite provides the workload (CCR, Amax, sigma, graph sizes, seed).
+	Suite SuiteOptions
+	// Procs is the single machine size the sweep runs at.
+	Procs int
+}
+
+// DefaultAblationOptions uses a communication-heavy mid-size setup where
+// every mechanism matters.
+func DefaultAblationOptions() AblationOptions {
+	s := PaperSuiteOptions()
+	s.Graphs = 8
+	s.MinTasks, s.MaxTasks = 15, 40
+	s.CCR = 0.5
+	return AblationOptions{Suite: s, Procs: 32}
+}
+
+func (o AblationOptions) validate() error {
+	if o.Procs < 1 {
+		return fmt.Errorf("exp: invalid processor count %d", o.Procs)
+	}
+	return o.Suite.validate()
+}
+
+// sweep evaluates one scheduler variant per X value over the suite and
+// reports the geometric-mean makespan ratio relative to the reference
+// configuration (the first X value), plus a mean scheduling-time series.
+func (o AblationOptions) sweep(id, title, xlabel string, xs []float64,
+	mk func(x float64) schedule.Scheduler) (perf, times Figure, err error) {
+
+	if err := o.validate(); err != nil {
+		return Figure{}, Figure{}, err
+	}
+	graphs, err := o.Suite.graphs()
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	c := model.Cluster{P: o.Procs, Bandwidth: o.Suite.Bandwidth, Overlap: o.Suite.Overlap}
+
+	perf = Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "relative performance (ref/variant)"}
+	times = Figure{ID: id + "-time", Title: title + " (scheduling time)", XLabel: xlabel, YLabel: "scheduling time (s)"}
+	var ps, ts Series
+	ps.Name, ts.Name = "variant", "variant"
+
+	ref := make([]float64, len(graphs))
+	for gi, tg := range graphs {
+		s, err := mk(xs[0]).Schedule(tg, c)
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		ref[gi] = s.Makespan
+	}
+	for _, x := range xs {
+		ratios := make([]float64, 0, len(graphs))
+		secs := make([]float64, 0, len(graphs))
+		for gi, tg := range graphs {
+			s, err := mk(x).Schedule(tg, c)
+			if err != nil {
+				return Figure{}, Figure{}, err
+			}
+			ratios = append(ratios, ref[gi]/s.Makespan)
+			secs = append(secs, s.SchedulingTime.Seconds())
+		}
+		g, err := stats.GeoMean(ratios)
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		ps.Points = append(ps.Points, Point{X: x, Y: g})
+		ts.Points = append(ts.Points, Point{X: x, Y: stats.Mean(secs)})
+	}
+	perf.Series = []Series{ps}
+	times.Series = []Series{ts}
+	return perf, times, nil
+}
+
+// AblateLookAhead sweeps the bounded look-ahead depth (paper default 20).
+// Depth 1 is the greedy algorithm that Fig 3 shows getting trapped.
+func AblateLookAhead(o AblationOptions, depths []int) (perf, times Figure, err error) {
+	if len(depths) == 0 {
+		depths = []int{1, 5, 10, 20, 40}
+	}
+	xs := make([]float64, len(depths))
+	for i, d := range depths {
+		xs[i] = float64(d)
+	}
+	return o.sweep("ablation-lookahead", "look-ahead depth sweep", "depth", xs,
+		func(x float64) schedule.Scheduler {
+			alg := core.New()
+			alg.LookAheadDepth = int(x)
+			return alg
+		})
+}
+
+// AblateCandidateWindow sweeps the §III.C top-fraction within which the
+// minimum-concurrency-ratio candidate is picked (paper default 0.10).
+// Fraction ~0 degenerates to the greedy max-gain choice; 1.0 considers
+// every critical-path task.
+func AblateCandidateWindow(o AblationOptions, fractions []float64) (perf, times Figure, err error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.01, 0.1, 0.25, 0.5, 1.0}
+	}
+	return o.sweep("ablation-window", "best-candidate window sweep", "top fraction", fractions,
+		func(x float64) schedule.Scheduler {
+			alg := core.New()
+			alg.TopFraction = x
+			return alg
+		})
+}
+
+// AblateMechanisms compares the full algorithm against single-mechanism
+// knockouts: no locality, no backfill, communication-blind. X encodes the
+// variant index; the series name spells the mapping.
+func AblateMechanisms(o AblationOptions) (Figure, error) {
+	if err := o.validate(); err != nil {
+		return Figure{}, err
+	}
+	graphs, err := o.Suite.graphs()
+	if err != nil {
+		return Figure{}, err
+	}
+	c := model.Cluster{P: o.Procs, Bandwidth: o.Suite.Bandwidth, Overlap: o.Suite.Overlap}
+
+	variants := []struct {
+		name string
+		alg  schedule.Scheduler
+	}{
+		{"full", core.New()},
+		{"no-locality", func() schedule.Scheduler {
+			a := core.New()
+			a.AlgorithmName = "MPS-NoLoc"
+			a.Engine.Locality = false
+			return a
+		}()},
+		{"no-backfill", core.NewNoBackfill()},
+		{"comm-blind", core.NewICASLB()},
+	}
+	fig := Figure{
+		ID:     "ablation-mechanisms",
+		Title:  "mechanism knockouts (ratio full/variant; lower = variant worse)",
+		XLabel: "procs", YLabel: "relative performance",
+	}
+	ref := make([]float64, len(graphs))
+	for gi, tg := range graphs {
+		s, err := variants[0].alg.Schedule(tg, c)
+		if err != nil {
+			return Figure{}, err
+		}
+		ref[gi] = s.Makespan
+	}
+	for _, v := range variants {
+		ratios := make([]float64, 0, len(graphs))
+		for gi, tg := range graphs {
+			s, err := v.alg.Schedule(tg, c)
+			if err != nil {
+				return Figure{}, err
+			}
+			ratios = append(ratios, ref[gi]/s.Makespan)
+		}
+		g, err := stats.GeoMean(ratios)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, Series{Name: v.name, Points: []Point{{X: float64(o.Procs), Y: g}}})
+	}
+	return fig, nil
+}
+
+// AblateBlockSize sweeps the block-cyclic block size used by the
+// redistribution model: larger blocks coarsen locality accounting.
+func AblateBlockSize(o AblationOptions, blockBytes []float64) (perf, times Figure, err error) {
+	if len(blockBytes) == 0 {
+		blockBytes = []float64{4 << 10, 64 << 10, 1 << 20, 16 << 20}
+	}
+	return o.sweep("ablation-block", "block size sweep", "block bytes", blockBytes,
+		func(x float64) schedule.Scheduler {
+			alg := core.New()
+			alg.Engine.BlockBytes = x
+			return alg
+		})
+}

@@ -1,0 +1,87 @@
+package exp
+
+import "testing"
+
+func tinyAblation() AblationOptions {
+	o := DefaultAblationOptions()
+	o.Suite.Graphs = 2
+	o.Suite.MinTasks, o.Suite.MaxTasks = 8, 12
+	o.Procs = 8
+	return o
+}
+
+func TestAblateLookAhead(t *testing.T) {
+	perf, times, err := AblateLookAhead(tinyAblation(), []int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Series) != 1 || len(perf.Series[0].Points) != 2 {
+		t.Fatalf("perf series malformed: %+v", perf.Series)
+	}
+	// Reference point (first X) must be exactly 1.
+	if perf.Series[0].Points[0].Y != 1 {
+		t.Errorf("reference ratio = %v", perf.Series[0].Points[0].Y)
+	}
+	// Deeper look-ahead never hurts on average (ratio >= 1 means the
+	// variant is at least as good as depth-1).
+	if perf.Series[0].Points[1].Y < 0.98 {
+		t.Errorf("depth 5 notably worse than depth 1: %v", perf.Series[0].Points[1].Y)
+	}
+	if len(times.Series[0].Points) != 2 {
+		t.Error("times series malformed")
+	}
+}
+
+func TestAblateCandidateWindow(t *testing.T) {
+	perf, _, err := AblateCandidateWindow(tinyAblation(), []float64{0.1, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range perf.Series[0].Points {
+		if p.Y <= 0 {
+			t.Errorf("non-positive ratio %v", p.Y)
+		}
+	}
+}
+
+func TestAblateMechanisms(t *testing.T) {
+	fig, err := AblateMechanisms(tinyAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	full, ok := fig.SeriesByName("full")
+	if !ok || full.Points[0].Y != 1 {
+		t.Errorf("full variant not the unit reference: %+v", full)
+	}
+	for _, s := range fig.Series {
+		if s.Points[0].Y <= 0 {
+			t.Errorf("%s ratio %v", s.Name, s.Points[0].Y)
+		}
+	}
+}
+
+func TestAblateBlockSize(t *testing.T) {
+	perf, _, err := AblateBlockSize(tinyAblation(), []float64{64 << 10, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Series[0].Points) != 2 {
+		t.Fatal("points missing")
+	}
+}
+
+func TestAblationValidation(t *testing.T) {
+	o := tinyAblation()
+	o.Procs = 0
+	if _, _, err := AblateLookAhead(o, nil); err == nil {
+		t.Error("Procs=0 accepted")
+	}
+	o = tinyAblation()
+	o.Suite.Graphs = 0
+	if _, err := AblateMechanisms(o); err == nil {
+		t.Error("Graphs=0 accepted")
+	}
+}

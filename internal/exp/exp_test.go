@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinySuite() SuiteOptions {
+	o := QuickSuiteOptions()
+	o.Graphs = 3
+	o.MinTasks, o.MaxTasks = 8, 14
+	o.Procs = []int{4, 8}
+	return o
+}
+
+func tinyApps() AppOptions {
+	o := QuickAppOptions()
+	o.Procs = []int{4, 8}
+	return o
+}
+
+func checkRelPerfFigure(t *testing.T, f Figure, wantSeries int) {
+	t.Helper()
+	if len(f.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", f.ID, len(f.Series), wantSeries)
+	}
+	ref := f.Series[0]
+	for _, p := range ref.Points {
+		if p.Y != 1 {
+			t.Errorf("%s: reference series %s not identically 1 at P=%v: %v", f.ID, ref.Name, p.X, p.Y)
+		}
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != len(ref.Points) {
+			t.Errorf("%s: series %s has %d points, want %d", f.ID, s.Name, len(s.Points), len(ref.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("%s: series %s has non-positive ratio %v", f.ID, s.Name, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	f, err := Fig4('a', tinySuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRelPerfFigure(t, f, 6)
+	if _, err := Fig4('x', tinySuite()); err == nil {
+		t.Error("bad variant accepted")
+	}
+	// At CCR=0 iCASLB sees the same world as LoC-MPS: its relative
+	// performance must be near 1.
+	ic, ok := f.SeriesByName("iCASLB")
+	if !ok {
+		t.Fatal("no iCASLB series")
+	}
+	for _, p := range ic.Points {
+		if p.Y < 0.5 || p.Y > 1.6 {
+			t.Errorf("iCASLB ratio %v at P=%v far from parity at CCR=0", p.Y, p.X)
+		}
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	f, err := Fig5('b', tinySuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRelPerfFigure(t, f, 6)
+	if _, err := Fig5('z', tinySuite()); err == nil {
+		t.Error("bad variant accepted")
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	perf, times, err := Fig6(tinySuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRelPerfFigure(t, perf, 2)
+	if len(times.Series) != 2 {
+		t.Fatalf("times series = %d", len(times.Series))
+	}
+	for _, s := range times.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 {
+				t.Errorf("negative scheduling time %v", p.Y)
+			}
+		}
+	}
+}
+
+func TestFig7DOT(t *testing.T) {
+	ccsd, strassen, err := Fig7(tinyApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ccsd, "digraph") || !strings.Contains(ccsd, "r_t1") {
+		t.Error("CCSD DOT malformed")
+	}
+	if !strings.Contains(strassen, "digraph") || !strings.Contains(strassen, "P7") {
+		t.Error("Strassen DOT malformed")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	for _, overlap := range []bool{true, false} {
+		f, err := Fig8(overlap, tinyApps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRelPerfFigure(t, f, 6)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	f, err := Fig9(1024, tinyApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRelPerfFigure(t, f, 6)
+}
+
+func TestFig10Quick(t *testing.T) {
+	f, err := Fig10("strassen", tinyApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 6 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	if _, err := Fig10("nope", tinyApps()); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	f, err := Fig11(tinyApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRelPerfFigure(t, f, 6)
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Figure{
+		ID: "t", Title: "demo", XLabel: "procs", YLabel: "y",
+		Series: []Series{
+			{Name: "s1", Points: []Point{{X: 4, Y: 1}, {X: 8, Y: 0.9}}},
+			{Name: "s2", Points: []Point{{X: 4, Y: 0.5}}},
+		},
+	}
+	tab := f.Table()
+	if !strings.Contains(tab, "s1") || !strings.Contains(tab, "s2") || !strings.Contains(tab, "demo") {
+		t.Errorf("table missing content:\n%s", tab)
+	}
+	if !strings.Contains(tab, "-") { // missing point placeholder
+		t.Errorf("missing-point placeholder absent:\n%s", tab)
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "procs,s1,s2\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "4,1,0.5") {
+		t.Errorf("csv rows wrong:\n%s", csv)
+	}
+	if _, ok := f.SeriesByName("s2"); !ok {
+		t.Error("SeriesByName failed")
+	}
+	if _, ok := f.SeriesByName("zz"); ok {
+		t.Error("SeriesByName found ghost")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	o := tinySuite()
+	o.Graphs = 0
+	if _, err := Fig4('a', o); err == nil {
+		t.Error("Graphs=0 accepted")
+	}
+	o = tinySuite()
+	o.Procs = nil
+	if _, err := Fig5('a', o); err == nil {
+		t.Error("empty procs accepted")
+	}
+	a := tinyApps()
+	a.Procs = []int{0}
+	if _, err := Fig8(true, a); err == nil {
+		t.Error("P=0 accepted")
+	}
+}
+
+func TestExtendedComparison(t *testing.T) {
+	o := tinySuite()
+	o.CCR = 0.1
+	f, err := Extended(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRelPerfFigure(t, f, 7)
+	if _, ok := f.SeriesByName("M-HEFT"); !ok {
+		t.Error("M-HEFT series missing")
+	}
+}

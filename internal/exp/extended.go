@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"locmps/internal/sched"
+	"locmps/internal/schedule"
+)
+
+// Extended reproduces the Figure 4/5-style comparison with the extra
+// baselines this repository adds beyond the paper: M-HEFT (one-shot greedy
+// width selection) next to the paper's six algorithms. CCR, Amax and Sigma
+// come from the options.
+func Extended(opt SuiteOptions) (Figure, error) {
+	if err := opt.validate(); err != nil {
+		return Figure{}, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return Figure{}, err
+	}
+	algs := append(sched.All(), sched.MHEFT{})
+	title := "extended comparison (paper algorithms + M-HEFT)"
+	return relativePerformance("extended", title, graphs, algs, opt.Procs, opt.cluster, ScheduledMakespan)
+}
+
+var _ schedule.Scheduler = sched.MHEFT{}

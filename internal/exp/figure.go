@@ -1,0 +1,116 @@
+// Package exp regenerates every figure of the paper's evaluation (§IV):
+// the synthetic-suite comparisons (Figs 4-6), the application task graphs
+// (Fig 7) and their scheduling results (Figs 8-10), and the simulated
+// "actual execution" (Fig 11). Each driver returns a Figure — a set of
+// named series over processor counts — that can be printed as a text table
+// or CSV and is exercised by the module's benchmark harness.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series; X is typically the processor
+// count.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced table/figure.
+type Figure struct {
+	ID     string // "fig4a", "fig10b", ...
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Table renders the figure as an aligned text table: one row per X value,
+// one column per series.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	xs := f.xValues()
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-10.4g", x)
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				fmt.Fprintf(&b, " %14.4g", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range f.xValues() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := s.at(x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeriesByName returns the named series, or false.
+func (f Figure) SeriesByName(name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+func (f Figure) xValues() []float64 {
+	set := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			set[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func (s Series) at(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

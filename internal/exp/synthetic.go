@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"fmt"
+
+	"locmps/internal/core"
+	"locmps/internal/model"
+	"locmps/internal/sched"
+	"locmps/internal/schedule"
+	"locmps/internal/stats"
+	"locmps/internal/synth"
+)
+
+// SuiteOptions configure the synthetic-graph experiments (Figs 4-6).
+type SuiteOptions struct {
+	// Graphs is the number of random DAGs averaged per data point (the
+	// paper uses 30).
+	Graphs int
+	// MinTasks and MaxTasks bound the per-graph task counts (10-50).
+	MinTasks, MaxTasks int
+	// Procs is the machine-size sweep.
+	Procs []int
+	// CCR, AMax and Sigma are the workload knobs of §IV.A.
+	CCR, AMax, Sigma float64
+	// Bandwidth is the interconnect (the paper's 100 Mbps Fast Ethernet).
+	Bandwidth float64
+	// Overlap selects the system model.
+	Overlap bool
+	// Seed makes the suite deterministic.
+	Seed int64
+}
+
+// PaperSuiteOptions reproduces §IV.A at full scale: 30 graphs of 10-50
+// tasks on 8-128 processors. Expect minutes of compute.
+func PaperSuiteOptions() SuiteOptions {
+	return SuiteOptions{
+		Graphs: 30, MinTasks: 10, MaxTasks: 50,
+		Procs: []int{8, 16, 32, 64, 128},
+		CCR:   0, AMax: 64, Sigma: 1,
+		Bandwidth: 12.5e6, Overlap: true, Seed: 2006,
+	}
+}
+
+// QuickSuiteOptions is a reduced configuration for tests and smoke runs.
+func QuickSuiteOptions() SuiteOptions {
+	o := PaperSuiteOptions()
+	o.Graphs = 5
+	o.MaxTasks = 25
+	o.Procs = []int{4, 8, 16}
+	return o
+}
+
+func (o SuiteOptions) validate() error {
+	if o.Graphs < 1 {
+		return fmt.Errorf("exp: need at least one graph, got %d", o.Graphs)
+	}
+	if len(o.Procs) == 0 {
+		return fmt.Errorf("exp: empty processor sweep")
+	}
+	for _, p := range o.Procs {
+		if p < 1 {
+			return fmt.Errorf("exp: invalid processor count %d", p)
+		}
+	}
+	return nil
+}
+
+func (o SuiteOptions) graphs() ([]*model.TaskGraph, error) {
+	p := synth.DefaultParams()
+	p.CCR = o.CCR
+	p.AMax = o.AMax
+	p.Sigma = o.Sigma
+	p.Bandwidth = o.Bandwidth
+	p.Seed = o.Seed
+	return synth.Suite(p, o.Graphs, o.MinTasks, o.MaxTasks)
+}
+
+func (o SuiteOptions) cluster(p int) model.Cluster {
+	return model.Cluster{P: p, Bandwidth: o.Bandwidth, Overlap: o.Overlap}
+}
+
+// Measure maps one (algorithm, graph, cluster) cell to the metric being
+// plotted — the scheduled makespan by default, the simulated makespan for
+// Figure 11.
+type Measure func(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (float64, error)
+
+// ScheduledMakespan is the default Measure.
+func ScheduledMakespan(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (float64, error) {
+	s, err := alg.Schedule(tg, c)
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan, nil
+}
+
+// relativePerformance builds the paper's standard plot: for every
+// algorithm and machine size, the geometric mean over the graphs of
+// makespan(LoC-MPS)/makespan(algorithm). The reference algorithm is the
+// first in algs and its series is identically 1.
+func relativePerformance(id, title string, graphs []*model.TaskGraph, algs []schedule.Scheduler,
+	procs []int, cluster func(int) model.Cluster, measure Measure) (Figure, error) {
+
+	fig := Figure{
+		ID: id, Title: title,
+		XLabel: "procs", YLabel: "relative performance (LoC-MPS/algo)",
+	}
+	// The reference (LoC-MPS) makespans are computed once per (graph, P)
+	// cell and reused for every comparator's ratio.
+	ref := algs[0]
+	refSpan := make(map[[2]int]float64, len(graphs)*len(procs))
+	for _, p := range procs {
+		c := cluster(p)
+		for gi, tg := range graphs {
+			span, err := measure(ref, tg, c)
+			if err != nil {
+				return Figure{}, fmt.Errorf("exp: %s graph %d P=%d: %w", ref.Name(), gi, p, err)
+			}
+			if span <= 0 {
+				return Figure{}, fmt.Errorf("exp: non-positive reference makespan %v", span)
+			}
+			refSpan[[2]int{gi, p}] = span
+		}
+	}
+	for ai, alg := range algs {
+		series := Series{Name: alg.Name()}
+		for _, p := range procs {
+			c := cluster(p)
+			ratios := make([]float64, 0, len(graphs))
+			for gi, tg := range graphs {
+				span := refSpan[[2]int{gi, p}]
+				if ai > 0 {
+					var err error
+					span, err = measure(alg, tg, c)
+					if err != nil {
+						return Figure{}, fmt.Errorf("exp: %s graph %d P=%d: %w", alg.Name(), gi, p, err)
+					}
+					if span <= 0 {
+						return Figure{}, fmt.Errorf("exp: non-positive makespan %v", span)
+					}
+				}
+				ratios = append(ratios, refSpan[[2]int{gi, p}]/span)
+			}
+			g, err := stats.GeoMean(ratios)
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: float64(p), Y: g})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig4 reproduces Figure 4: synthetic graphs with negligible communication
+// (CCR=0). Variant 'a' uses (Amax, sigma) = (64, 1); 'b' uses (48, 2).
+func Fig4(variant byte, opt SuiteOptions) (Figure, error) {
+	switch variant {
+	case 'a':
+		opt.AMax, opt.Sigma = 64, 1
+	case 'b':
+		opt.AMax, opt.Sigma = 48, 2
+	default:
+		return Figure{}, fmt.Errorf("exp: Fig4 variant %q (want 'a' or 'b')", variant)
+	}
+	opt.CCR = 0
+	if err := opt.validate(); err != nil {
+		return Figure{}, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return Figure{}, err
+	}
+	title := fmt.Sprintf("synthetic, CCR=0, Amax=%g sigma=%g", opt.AMax, opt.Sigma)
+	return relativePerformance("fig4"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan)
+}
+
+// Fig5 reproduces Figure 5: Amax=64, sigma=1 with significant
+// communication. Variant 'a' is CCR=0.1, 'b' is CCR=1.
+func Fig5(variant byte, opt SuiteOptions) (Figure, error) {
+	switch variant {
+	case 'a':
+		opt.CCR = 0.1
+	case 'b':
+		opt.CCR = 1
+	default:
+		return Figure{}, fmt.Errorf("exp: Fig5 variant %q (want 'a' or 'b')", variant)
+	}
+	opt.AMax, opt.Sigma = 64, 1
+	if err := opt.validate(); err != nil {
+		return Figure{}, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return Figure{}, err
+	}
+	title := fmt.Sprintf("synthetic, CCR=%g, Amax=64 sigma=1", opt.CCR)
+	return relativePerformance("fig5"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan)
+}
+
+// Fig6 reproduces Figure 6: LoC-MPS with and without backfilling on
+// CCR=0.1, Amax=48, sigma=2 — (a) schedule quality as relative
+// performance, (b) scheduling times in seconds.
+func Fig6(opt SuiteOptions) (perf, times Figure, err error) {
+	opt.CCR, opt.AMax, opt.Sigma = 0.1, 48, 2
+	if err := opt.validate(); err != nil {
+		return Figure{}, Figure{}, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	algs := []schedule.Scheduler{core.New(), core.NewNoBackfill()}
+	perf = Figure{
+		ID: "fig6a", Title: "backfill vs no-backfill, CCR=0.1 Amax=48 sigma=2",
+		XLabel: "procs", YLabel: "relative performance (backfill/variant)",
+	}
+	times = Figure{
+		ID: "fig6b", Title: "scheduling times, backfill vs no-backfill",
+		XLabel: "procs", YLabel: "scheduling time (s)",
+	}
+	perfSeries := make([]Series, len(algs))
+	timeSeries := make([]Series, len(algs))
+	for i, alg := range algs {
+		perfSeries[i].Name = alg.Name()
+		timeSeries[i].Name = alg.Name()
+	}
+	for _, p := range opt.Procs {
+		c := opt.cluster(p)
+		ratios := make([][]float64, len(algs))
+		secs := make([][]float64, len(algs))
+		for _, tg := range graphs {
+			var refSpan float64
+			for i, alg := range algs {
+				s, err := alg.Schedule(tg, c)
+				if err != nil {
+					return Figure{}, Figure{}, err
+				}
+				if i == 0 {
+					refSpan = s.Makespan
+				}
+				ratios[i] = append(ratios[i], refSpan/s.Makespan)
+				secs[i] = append(secs[i], s.SchedulingTime.Seconds())
+			}
+		}
+		for i := range algs {
+			g, err := stats.GeoMean(ratios[i])
+			if err != nil {
+				return Figure{}, Figure{}, err
+			}
+			perfSeries[i].Points = append(perfSeries[i].Points, Point{X: float64(p), Y: g})
+			timeSeries[i].Points = append(timeSeries[i].Points, Point{X: float64(p), Y: stats.Mean(secs[i])})
+		}
+	}
+	perf.Series = perfSeries
+	times.Series = timeSeries
+	return perf, times, nil
+}

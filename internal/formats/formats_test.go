@@ -1,0 +1,225 @@
+package formats
+
+import (
+	"strings"
+	"testing"
+
+	"locmps/internal/model"
+	"locmps/internal/sched"
+)
+
+const sampleSTG = `
+  4            # tasks excluding dummies
+  0  0  0      # dummy source
+  1  3  1 0
+  2  5  1 0
+  3  2  2 1 2
+  4  7  1 3
+  5  0  1 4    # dummy sink
+`
+
+func TestReadSTG(t *testing.T) {
+	tg, err := ReadSTG(strings.NewReader(sampleSTG), DefaultMalleability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.N() != 6 {
+		t.Fatalf("N = %d, want 6", tg.N())
+	}
+	if tg.DAG().M() != 6 {
+		t.Errorf("M = %d, want 6", tg.DAG().M())
+	}
+	// Uniprocessor costs preserved.
+	if got := tg.ExecTime(1, 1); got != 3 {
+		t.Errorf("task 1 cost = %v", got)
+	}
+	if got := tg.ExecTime(4, 1); got != 7 {
+		t.Errorf("task 4 cost = %v", got)
+	}
+	// Dummies are negligible.
+	if tg.ExecTime(0, 1) > 1e-6 {
+		t.Errorf("dummy source cost = %v", tg.ExecTime(0, 1))
+	}
+	// Structure: 3 depends on both 1 and 2.
+	preds := tg.DAG().Pred(3)
+	if len(preds) != 2 {
+		t.Errorf("preds(3) = %v", preds)
+	}
+	// STG edges carry no volume.
+	for _, e := range tg.Edges() {
+		if e.Volume != 0 {
+			t.Errorf("edge %v has volume", e)
+		}
+	}
+}
+
+func TestReadSTGDeterministicAndSchedulable(t *testing.T) {
+	m := DefaultMalleability()
+	g1, err := ReadSTG(strings.NewReader(sampleSTG), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSTG(strings.NewReader(sampleSTG), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g1.N(); i++ {
+		if g1.ExecTime(i, 4) != g2.ExecTime(i, 4) {
+			t.Fatal("profiles not deterministic")
+		}
+	}
+	c := model.Cluster{P: 4, Bandwidth: 1e6, Overlap: true}
+	s, err := sched.LoCMPS().Schedule(g1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSTGErrors(t *testing.T) {
+	cases := []string{
+		"",                             // empty
+		"2\n0 0 0\n1 5 1 0\n",          // missing lines
+		"x\n",                          // bad header
+		"1 2\n",                        // multi-field header
+		"1\n0 0 0\n5 1 1 0\n2 0 1 1\n", // wrong id sequence
+		"1\n0 0 0\n1 -4 0\n2 0 1 1\n",  // negative cost
+		"1\n0 0 0\n1 5 2 0\n2 0 1 1\n", // predecessor count mismatch
+		"1\n0 0 0\n1 5 1 9\n2 0 1 1\n", // predecessor out of range
+		"1\n0 0 0\n1 5 1 1\n2 0 1 1\n", // self loop
+	}
+	for i, c := range cases {
+		if _, err := ReadSTG(strings.NewReader(c), DefaultMalleability()); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+	bad := DefaultMalleability()
+	bad.AMax = 0
+	if _, err := ReadSTG(strings.NewReader(sampleSTG), bad); err == nil {
+		t.Error("invalid malleability accepted")
+	}
+}
+
+const sampleTGFF = `
+@HYPERPERIOD 300
+
+@TASK_GRAPH 0 {
+	PERIOD 300
+	TASK t0_0	TYPE 2
+	TASK t0_1	TYPE 5
+	TASK t0_2	TYPE 1
+	ARC a0_0	FROM t0_0 TO t0_1 TYPE 3
+	ARC a0_1	FROM t0_0 TO t0_2 TYPE 3
+	# a comment inside a block
+}
+
+@COMMUN 0 {
+	0 0 10
+	3 0 20
+}
+
+@TASK_GRAPH 1 {
+	TASK t1_0	TYPE 0
+	TASK t1_1	TYPE 0
+	ARC a1_0	FROM t1_0 TO t1_1 TYPE 0
+}
+`
+
+func TestParseTGFF(t *testing.T) {
+	graphs, err := ParseTGFF(strings.NewReader(sampleTGFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 2 {
+		t.Fatalf("graphs = %d", len(graphs))
+	}
+	g := graphs[0]
+	if g.ID != 0 || len(g.Tasks) != 3 || len(g.Arcs) != 2 {
+		t.Fatalf("graph 0 = %+v", g)
+	}
+	if g.Tasks[1].Name != "t0_1" || g.Tasks[1].Type != 5 {
+		t.Errorf("task parse: %+v", g.Tasks[1])
+	}
+	if g.Arcs[0].From != "t0_0" || g.Arcs[0].To != "t0_1" || g.Arcs[0].Type != 3 {
+		t.Errorf("arc parse: %+v", g.Arcs[0])
+	}
+}
+
+func TestParseTGFFErrors(t *testing.T) {
+	cases := []string{
+		"TASK a TYPE 1\n", // no block
+		"@TASK_GRAPH x {\nTASK a TYPE 1\n}\n",
+		"@TASK_GRAPH 0 {\nTASK a\n}\n",
+		"@TASK_GRAPH 0 {\nTASK a TYPE z\n}\n",
+		"@TASK_GRAPH 0 {\nTASK a TYPE 1\nARC x FROM a\n}\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseTGFF(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+func TestBuildTaskGraphFromTGFF(t *testing.T) {
+	graphs, err := ParseTGFF(strings.NewReader(sampleTGFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := TGFFCosts{
+		TaskTime:    map[int]float64{1: 10, 2: 20, 5: 30},
+		ArcCost:     map[int]float64{3: 2},
+		DefaultTime: 15,
+		DefaultArc:  1,
+	}
+	mall := DefaultMalleability()
+	mall.CommCostToVolume = 100
+	tg, err := BuildTaskGraph(graphs[0], costs, mall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.N() != 3 {
+		t.Fatalf("N = %d", tg.N())
+	}
+	if got := tg.ExecTime(0, 1); got != 20 { // type 2
+		t.Errorf("t0_0 time = %v", got)
+	}
+	if got := tg.ExecTime(1, 1); got != 30 { // type 5
+		t.Errorf("t0_1 time = %v", got)
+	}
+	if got := tg.Volume(0, 1); got != 200 { // arc type 3 cost 2 * 100
+		t.Errorf("volume = %v", got)
+	}
+
+	// Unknown types fall back to defaults.
+	tg2, err := BuildTaskGraph(graphs[1], costs, mall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tg2.ExecTime(0, 1); got != 15 {
+		t.Errorf("default time = %v", got)
+	}
+	if got := tg2.Volume(0, 1); got != 100 {
+		t.Errorf("default volume = %v", got)
+	}
+
+	// Dangling arc endpoint rejected.
+	bad := TGFFGraph{ID: 9, Tasks: []TGFFTask{{Name: "a", Type: 0}},
+		Arcs: []TGFFArc{{Name: "x", From: "a", To: "ghost"}}}
+	if _, err := BuildTaskGraph(bad, costs, mall); err == nil {
+		t.Error("dangling arc accepted")
+	}
+	// Duplicate task names rejected.
+	dup := TGFFGraph{ID: 9, Tasks: []TGFFTask{{Name: "a"}, {Name: "a"}}}
+	if _, err := BuildTaskGraph(dup, costs, mall); err == nil {
+		t.Error("duplicate task accepted")
+	}
+	// Non-positive time rejected.
+	zero := TGFFGraph{ID: 9, Tasks: []TGFFTask{{Name: "a", Type: 7}}}
+	zc := costs
+	zc.DefaultTime = 0
+	if _, err := BuildTaskGraph(zero, zc, mall); err == nil {
+		t.Error("zero default time accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package formats
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzzers assert that arbitrary input never panics the parsers — they must
+// fail with errors. `go test` runs the seed corpus; use
+// `go test -fuzz FuzzReadSTG ./internal/formats` for exploration.
+
+func FuzzReadSTG(f *testing.F) {
+	f.Add(sampleSTG)
+	f.Add("")
+	f.Add("1\n0 0 0\n1 5 1 0\n2 0 1 1\n")
+	f.Add("9999999999\n")
+	f.Add("2\n0 0 0\n# nothing else")
+	f.Fuzz(func(t *testing.T, input string) {
+		tg, err := ReadSTG(strings.NewReader(input), DefaultMalleability())
+		if err == nil && tg == nil {
+			t.Error("nil graph without error")
+		}
+		if tg != nil {
+			if err := tg.DAG().Validate(); err != nil {
+				t.Errorf("accepted graph is cyclic: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzParseTGFF(f *testing.F) {
+	f.Add(sampleTGFF)
+	f.Add("@TASK_GRAPH 0 {\nTASK a TYPE 1\n}")
+	f.Add("@TASK_GRAPH")
+	f.Add("ARC x FROM TO TYPE")
+	f.Add(strings.Repeat("@TASK_GRAPH 1 {\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		graphs, err := ParseTGFF(strings.NewReader(input))
+		if err == nil && len(graphs) == 0 {
+			t.Error("no graphs and no error")
+		}
+	})
+}

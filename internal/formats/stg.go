@@ -1,0 +1,141 @@
+// Package formats parses established task-graph interchange formats into
+// this module's model: the Standard Task Graph Set (.stg) and TGFF (.tgff),
+// the generator the paper's synthetic workloads came from. Since both
+// formats carry only sequential execution costs, the caller provides the
+// malleability model (Downey parameters, deterministically seeded) that
+// turns each sequential task into a parallel one — mirroring §IV.A, where
+// TGFF graph structure is combined with Downey speedups.
+package formats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// Malleability describes how sequential task costs become parallel-task
+// profiles: Downey average parallelism drawn uniformly from [1, AMax] with
+// the given Sigma, seeded deterministically.
+type Malleability struct {
+	AMax  float64
+	Sigma float64
+	Seed  int64
+	// CommCostToVolume converts an edge's communication cost (in the same
+	// units as task costs) into bytes. Formats without edge costs produce
+	// zero-volume edges regardless.
+	CommCostToVolume float64
+}
+
+// DefaultMalleability mirrors the paper's (Amax=64, sigma=1) workload with
+// 100 Mbps Fast Ethernet volumes.
+func DefaultMalleability() Malleability {
+	return Malleability{AMax: 64, Sigma: 1, Seed: 1, CommCostToVolume: 12.5e6}
+}
+
+func (m Malleability) validate() error {
+	if m.AMax < 1 {
+		return fmt.Errorf("formats: AMax %v < 1", m.AMax)
+	}
+	if m.Sigma < 0 {
+		return fmt.Errorf("formats: negative sigma %v", m.Sigma)
+	}
+	if m.CommCostToVolume < 0 {
+		return fmt.Errorf("formats: negative volume factor %v", m.CommCostToVolume)
+	}
+	return nil
+}
+
+// profileFor draws a Downey profile for a task with sequential cost t1.
+// Zero-cost dummy tasks (STG entry/exit) become negligible serial stubs.
+func (m Malleability) profileFor(r *rand.Rand, t1 float64) (speedup.Profile, error) {
+	if t1 <= 0 {
+		t1 = 1e-9 // dummy entry/exit vertices
+	}
+	a := 1 + r.Float64()*(m.AMax-1)
+	return speedup.NewDowney(t1, a, m.Sigma)
+}
+
+// ReadSTG parses a Standard Task Graph Set file:
+//
+//	<number of tasks n (excluding the two dummy vertices)>
+//	<task id> <processing time> <#predecessors> <pred ids...>
+//	... (n+2 task lines: dummy source first, dummy sink last)
+//
+// Comments start with '#'. Task ids must be consecutive from 0 in file
+// order. STG carries no communication costs; all edges get volume 0.
+func ReadSTG(r io.Reader, mall Malleability) (*model.TaskGraph, error) {
+	if err := mall.validate(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var fields [][]string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields = append(fields, strings.Fields(line))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("formats: reading STG: %w", err)
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("formats: empty STG file")
+	}
+	if len(fields[0]) != 1 {
+		return nil, fmt.Errorf("formats: STG header must be a single task count, got %v", fields[0])
+	}
+	n, err := strconv.Atoi(fields[0][0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("formats: invalid STG task count %q", fields[0][0])
+	}
+	total := n + 2 // dummy source and sink
+	if len(fields)-1 < total {
+		return nil, fmt.Errorf("formats: STG declares %d tasks but has %d lines", total, len(fields)-1)
+	}
+
+	rng := rand.New(rand.NewSource(mall.Seed))
+	tasks := make([]model.Task, total)
+	var edges []model.Edge
+	for i := 0; i < total; i++ {
+		f := fields[1+i]
+		if len(f) < 3 {
+			return nil, fmt.Errorf("formats: STG line %d too short: %v", i+2, f)
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil || id != i {
+			return nil, fmt.Errorf("formats: STG line %d: expected task id %d, got %q", i+2, i, f[0])
+		}
+		cost, err := strconv.ParseFloat(f[1], 64)
+		if err != nil || cost < 0 {
+			return nil, fmt.Errorf("formats: STG task %d: invalid cost %q", i, f[1])
+		}
+		np, err := strconv.Atoi(f[2])
+		if err != nil || np < 0 || len(f) != 3+np {
+			return nil, fmt.Errorf("formats: STG task %d: predecessor list malformed: %v", i, f)
+		}
+		prof, err := mall.profileFor(rng, cost)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = model.Task{Name: fmt.Sprintf("n%d", i), Profile: prof}
+		for k := 0; k < np; k++ {
+			pred, err := strconv.Atoi(f[3+k])
+			if err != nil || pred < 0 || pred >= total {
+				return nil, fmt.Errorf("formats: STG task %d: invalid predecessor %q", i, f[3+k])
+			}
+			edges = append(edges, model.Edge{From: pred, To: i})
+		}
+	}
+	return model.NewTaskGraph(tasks, edges)
+}

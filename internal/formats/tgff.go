@@ -1,0 +1,194 @@
+package formats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"locmps/internal/model"
+)
+
+// TGFFGraph is one @TASK_GRAPH block of a .tgff file, in raw form.
+type TGFFGraph struct {
+	ID    int
+	Tasks []TGFFTask
+	Arcs  []TGFFArc
+}
+
+// TGFFTask is a TASK line: name and the type index into the cost tables.
+type TGFFTask struct {
+	Name string
+	Type int
+}
+
+// TGFFArc is an ARC line: endpoints by task name and the type index into
+// the communication-quantity tables.
+type TGFFArc struct {
+	Name     string
+	From, To string
+	Type     int
+}
+
+// ParseTGFF reads every @TASK_GRAPH block of a TGFF file (the generator
+// behind the paper's synthetic workloads, "Task Graphs For Free"). Other
+// blocks (@COMMUN, @PROC, arbitrary attribute tables) are tolerated and
+// skipped; cost assignment is done separately by BuildTaskGraph, since TGFF
+// attribute tables vary per configuration file.
+func ParseTGFF(r io.Reader) ([]TGFFGraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var graphs []TGFFGraph
+	var cur *TGFFGraph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "@TASK_GRAPH"):
+			f := strings.Fields(line)
+			if len(f) < 2 {
+				return nil, fmt.Errorf("formats: tgff line %d: malformed %q", lineNo, line)
+			}
+			id, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("formats: tgff line %d: graph id %q", lineNo, f[1])
+			}
+			graphs = append(graphs, TGFFGraph{ID: id})
+			cur = &graphs[len(graphs)-1]
+		case strings.HasPrefix(line, "@"):
+			cur = nil // some other attribute block
+		case line == "{" || line == "}":
+			// block delimiters; '}' does not end task-graph state parsing
+			// since TASK/ARC lines only appear inside their block anyway.
+		case strings.HasPrefix(line, "TASK") && cur != nil:
+			t, err := parseTGFFTask(line)
+			if err != nil {
+				return nil, fmt.Errorf("formats: tgff line %d: %w", lineNo, err)
+			}
+			cur.Tasks = append(cur.Tasks, t)
+		case strings.HasPrefix(line, "ARC") && cur != nil:
+			a, err := parseTGFFArc(line)
+			if err != nil {
+				return nil, fmt.Errorf("formats: tgff line %d: %w", lineNo, err)
+			}
+			cur.Arcs = append(cur.Arcs, a)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("formats: reading tgff: %w", err)
+	}
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("formats: no @TASK_GRAPH blocks found")
+	}
+	return graphs, nil
+}
+
+func parseTGFFTask(line string) (TGFFTask, error) {
+	// TASK <name> TYPE <n>
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.EqualFold(f[2], "TYPE") {
+		return TGFFTask{}, fmt.Errorf("malformed TASK line %q", line)
+	}
+	ty, err := strconv.Atoi(f[3])
+	if err != nil {
+		return TGFFTask{}, fmt.Errorf("TASK type %q", f[3])
+	}
+	return TGFFTask{Name: f[1], Type: ty}, nil
+}
+
+func parseTGFFArc(line string) (TGFFArc, error) {
+	// ARC <name> FROM <t> TO <t> TYPE <n>
+	f := strings.Fields(line)
+	arc := TGFFArc{Type: -1}
+	if len(f) < 2 {
+		return arc, fmt.Errorf("malformed ARC line %q", line)
+	}
+	arc.Name = f[1]
+	for i := 2; i+1 < len(f); i += 2 {
+		switch strings.ToUpper(f[i]) {
+		case "FROM":
+			arc.From = f[i+1]
+		case "TO":
+			arc.To = f[i+1]
+		case "TYPE":
+			ty, err := strconv.Atoi(f[i+1])
+			if err != nil {
+				return arc, fmt.Errorf("ARC type %q", f[i+1])
+			}
+			arc.Type = ty
+		}
+	}
+	if arc.From == "" || arc.To == "" {
+		return arc, fmt.Errorf("ARC %q missing FROM/TO", arc.Name)
+	}
+	return arc, nil
+}
+
+// TGFFCosts maps TGFF type indices to costs: task execution times and arc
+// communication costs (same units). Missing entries fall back to the
+// defaults, which must be positive for tasks.
+type TGFFCosts struct {
+	TaskTime    map[int]float64
+	ArcCost     map[int]float64
+	DefaultTime float64
+	DefaultArc  float64
+}
+
+// BuildTaskGraph converts one parsed TGFF graph into a task graph, drawing
+// malleability per the given model (deterministic in mall.Seed and the
+// graph's task order).
+func BuildTaskGraph(g TGFFGraph, costs TGFFCosts, mall Malleability) (*model.TaskGraph, error) {
+	if err := mall.validate(); err != nil {
+		return nil, err
+	}
+	if len(g.Tasks) == 0 {
+		return nil, fmt.Errorf("formats: tgff graph %d has no tasks", g.ID)
+	}
+	rng := rand.New(rand.NewSource(mall.Seed))
+	index := make(map[string]int, len(g.Tasks))
+	tasks := make([]model.Task, len(g.Tasks))
+	for i, t := range g.Tasks {
+		if _, dup := index[t.Name]; dup {
+			return nil, fmt.Errorf("formats: tgff graph %d: duplicate task %q", g.ID, t.Name)
+		}
+		index[t.Name] = i
+		cost, ok := costs.TaskTime[t.Type]
+		if !ok {
+			cost = costs.DefaultTime
+		}
+		if cost <= 0 {
+			return nil, fmt.Errorf("formats: tgff task %q (type %d) has non-positive time %v", t.Name, t.Type, cost)
+		}
+		prof, err := mall.profileFor(rng, cost)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = model.Task{Name: t.Name, Profile: prof}
+	}
+	var edges []model.Edge
+	for _, a := range g.Arcs {
+		from, ok := index[a.From]
+		if !ok {
+			return nil, fmt.Errorf("formats: arc %q references unknown task %q", a.Name, a.From)
+		}
+		to, ok := index[a.To]
+		if !ok {
+			return nil, fmt.Errorf("formats: arc %q references unknown task %q", a.Name, a.To)
+		}
+		cost, ok := costs.ArcCost[a.Type]
+		if !ok {
+			cost = costs.DefaultArc
+		}
+		edges = append(edges, model.Edge{From: from, To: to, Volume: cost * mall.CommCostToVolume})
+	}
+	return model.NewTaskGraph(tasks, edges)
+}

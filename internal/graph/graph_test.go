@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, d *DAG, u, v int) {
+	t.Helper()
+	if err := d.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+// diamond builds 0 -> {1,2} -> 3.
+func diamond(t *testing.T) *DAG {
+	t.Helper()
+	d := New(4)
+	mustEdge(t, d, 0, 1)
+	mustEdge(t, d, 0, 2)
+	mustEdge(t, d, 1, 3)
+	mustEdge(t, d, 2, 3)
+	return d
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	d := New(3)
+	if err := d.AddEdge(0, 0); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := d.AddEdge(-1, 2); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if err := d.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	mustEdge(t, d, 0, 1)
+	mustEdge(t, d, 0, 1) // duplicate is a no-op
+	if d.M() != 1 {
+		t.Errorf("M = %d after duplicate insert, want 1", d.M())
+	}
+}
+
+func TestTopoOrderDeterministicAndValid(t *testing.T) {
+	d := diamond(t)
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Errorf("order = %v", order)
+	}
+	pos := make([]int, d.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range d.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topo order", e)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	d := New(3)
+	mustEdge(t, d, 0, 1)
+	mustEdge(t, d, 1, 2)
+	mustEdge(t, d, 2, 0)
+	if _, err := d.TopoOrder(); err != ErrCycle {
+		t.Errorf("err = %v, want ErrCycle", err)
+	}
+	if d.Validate() != ErrCycle {
+		t.Error("Validate did not report cycle")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	d := diamond(t)
+	if got := d.Sources(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := d.Sinks(); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("Sinks = %v", got)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	d := diamond(t)
+	tt := d.Transpose().Transpose()
+	if !reflect.DeepEqual(d.Edges(), tt.Edges()) {
+		t.Errorf("double transpose changed edges: %v vs %v", d.Edges(), tt.Edges())
+	}
+	tr := d.Transpose()
+	for _, e := range d.Edges() {
+		if !tr.HasEdge(e[1], e[0]) {
+			t.Errorf("transpose missing reversed edge %v", e)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	d := diamond(t)
+	c := d.Clone()
+	mustEdge(t, c, 1, 2)
+	if d.HasEdge(1, 2) {
+		t.Error("edge added to clone leaked into original")
+	}
+	if c.M() != d.M()+1 {
+		t.Errorf("clone M = %d, want %d", c.M(), d.M()+1)
+	}
+}
+
+func TestReachabilityAndConcurrency(t *testing.T) {
+	// 0 -> 1 -> 3, 0 -> 2, 4 isolated.
+	d := New(5)
+	mustEdge(t, d, 0, 1)
+	mustEdge(t, d, 1, 3)
+	mustEdge(t, d, 0, 2)
+
+	reach := d.ReachableFrom(1)
+	wantReach := []bool{false, true, false, true, false}
+	if !reflect.DeepEqual(reach, wantReach) {
+		t.Errorf("ReachableFrom(1) = %v", reach)
+	}
+	anc := d.Ancestors(3)
+	wantAnc := []bool{true, true, false, true, false}
+	if !reflect.DeepEqual(anc, wantAnc) {
+		t.Errorf("Ancestors(3) = %v", anc)
+	}
+	if got := d.Concurrent(1); !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Errorf("Concurrent(1) = %v", got)
+	}
+	if got := d.Concurrent(4); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("Concurrent(4) = %v", got)
+	}
+}
+
+// randomDAG builds a random DAG where edges always go from lower to higher
+// id, guaranteeing acyclicity.
+func randomDAG(r *rand.Rand, n int, p float64) *DAG {
+	d := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				if err := d.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func TestConcurrencyIsSymmetricProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := randomDAG(rr, 2+rr.Intn(15), 0.3)
+		conc := make([][]int, d.N())
+		for v := 0; v < d.N(); v++ {
+			conc[v] = d.Concurrent(v)
+		}
+		member := func(s []int, x int) bool {
+			for _, y := range s {
+				if y == x {
+					return true
+				}
+			}
+			return false
+		}
+		for v := 0; v < d.N(); v++ {
+			for _, w := range conc[v] {
+				if !member(conc[w], v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopoOrderRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := randomDAG(rr, 1+rr.Intn(25), 0.25)
+		order, err := d.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, d.N())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range d.Edges() {
+			if pos[e[0]] >= pos[e[1]] {
+				return false
+			}
+		}
+		return len(order) == d.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthBasicShapes(t *testing.T) {
+	// Chain: width 1.
+	chain := New(4)
+	mustEdge(t, chain, 0, 1)
+	mustEdge(t, chain, 1, 2)
+	mustEdge(t, chain, 2, 3)
+	if w, err := chain.Width(); err != nil || w != 1 {
+		t.Errorf("chain width = %d (%v), want 1", w, err)
+	}
+	// Independent set: width n.
+	indep := New(5)
+	if w, err := indep.Width(); err != nil || w != 5 {
+		t.Errorf("independent width = %d (%v), want 5", w, err)
+	}
+	// Diamond: width 2.
+	d := diamond(t)
+	if w, err := d.Width(); err != nil || w != 2 {
+		t.Errorf("diamond width = %d (%v), want 2", w, err)
+	}
+	// Empty graph.
+	if w, err := New(0).Width(); err != nil || w != 0 {
+		t.Errorf("empty width = %d (%v)", w, err)
+	}
+	// Cyclic graph errors.
+	c := New(2)
+	mustEdge(t, c, 0, 1)
+	mustEdge(t, c, 1, 0)
+	if _, err := c.Width(); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestWidthLayeredGraph(t *testing.T) {
+	// Two layers of 3, fully bipartitely connected: width 3.
+	d := New(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			mustEdge(t, d, u, v)
+		}
+	}
+	if w, err := d.Width(); err != nil || w != 3 {
+		t.Errorf("width = %d (%v), want 3", w, err)
+	}
+}
+
+// bruteWidth computes the maximum antichain by subset enumeration.
+func bruteWidth(d *DAG) int {
+	n := d.N()
+	comp := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		down := d.ReachableFrom(v)
+		up := d.Ancestors(v)
+		comp[v] = make([]bool, n)
+		for u := 0; u < n; u++ {
+			comp[v][u] = u != v && (down[u] || up[u])
+		}
+	}
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		size := 0
+		for v := 0; v < n && ok; v++ {
+			if mask&(1<<v) == 0 {
+				continue
+			}
+			size++
+			for u := v + 1; u < n; u++ {
+				if mask&(1<<u) != 0 && comp[v][u] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestWidthMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDAG(r, 1+r.Intn(10), 0.3)
+		w, err := d.Width()
+		if err != nil {
+			return false
+		}
+		return w == bruteWidth(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAntichainIsValidAntichain(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDAG(r, 1+r.Intn(12), 0.25)
+		anti, err := d.MaxAntichain()
+		if err != nil {
+			return false
+		}
+		for i, v := range anti {
+			down := d.ReachableFrom(v)
+			up := d.Ancestors(v)
+			for j, u := range anti {
+				if i != j && (down[u] || up[u]) {
+					return false
+				}
+			}
+		}
+		w, err := d.Width()
+		if err != nil {
+			return false
+		}
+		return len(anti) <= w && len(anti) >= 1 || d.N() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON asserts the task-graph decoder never panics and that any
+// accepted graph satisfies the package's invariants.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"tasks":[{"name":"a","profile":{"type":"linear","t1":5}}],"edges":[]}`)
+	f.Add(`{"tasks":[{"name":"a","profile":{"type":"downey","t1":5,"a":4,"sigma":1}},
+	        {"name":"b","profile":{"type":"table","times":[3,2]}}],
+	       "edges":[{"from":0,"to":1,"volume":10}]}`)
+	f.Add(`{`)
+	f.Add(`{"tasks":[],"edges":[{"from":0,"to":1,"volume":1}]}`)
+	f.Add(`{"tasks":[{"name":"x","profile":{"type":"amdahl","t1":1,"f":2}}],"edges":[]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tg, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tg == nil {
+			t.Fatal("nil graph without error")
+		}
+		if err := tg.DAG().Validate(); err != nil {
+			t.Errorf("accepted cyclic graph: %v", err)
+		}
+		for i := 0; i < tg.N(); i++ {
+			if et := tg.ExecTime(i, 1); et < 0 {
+				t.Errorf("task %d negative time %v", i, et)
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"locmps/internal/speedup"
+)
+
+// ProfileSpec is the serialized form of a speedup profile. Exactly one of
+// the parameter groups is consulted, selected by Type:
+//
+//	"downey": T1, A, Sigma
+//	"amdahl": T1, F
+//	"linear": T1
+//	"table":  Times
+type ProfileSpec struct {
+	Type  string    `json:"type"`
+	T1    float64   `json:"t1,omitempty"`
+	A     float64   `json:"a,omitempty"`
+	Sigma float64   `json:"sigma,omitempty"`
+	F     float64   `json:"f,omitempty"`
+	Times []float64 `json:"times,omitempty"`
+}
+
+// Build materializes the profile described by the spec.
+func (s ProfileSpec) Build() (speedup.Profile, error) {
+	switch strings.ToLower(s.Type) {
+	case "downey":
+		return speedup.NewDowney(s.T1, s.A, s.Sigma)
+	case "amdahl":
+		return speedup.NewAmdahl(s.T1, s.F)
+	case "linear":
+		if s.T1 <= 0 {
+			return nil, fmt.Errorf("model: linear profile needs T1 > 0, got %v", s.T1)
+		}
+		return speedup.Linear{T1: s.T1}, nil
+	case "table":
+		return speedup.NewTable(s.Times)
+	default:
+		return nil, fmt.Errorf("model: unknown profile type %q", s.Type)
+	}
+}
+
+// SpecFor produces a serializable spec for the known profile types. Table
+// profiles round-trip exactly; unknown implementations are sampled into a
+// table up to maxP processors.
+func SpecFor(p speedup.Profile, maxP int) ProfileSpec {
+	switch v := p.(type) {
+	case speedup.Downey:
+		return ProfileSpec{Type: "downey", T1: v.T1, A: v.A, Sigma: v.Sigma}
+	case speedup.Amdahl:
+		return ProfileSpec{Type: "amdahl", T1: v.T1, F: v.F}
+	case speedup.Linear:
+		return ProfileSpec{Type: "linear", T1: v.T1}
+	case speedup.Table:
+		times := make([]float64, v.Len())
+		for i := range times {
+			times[i] = v.Time(i + 1)
+		}
+		return ProfileSpec{Type: "table", Times: times}
+	default:
+		if maxP < 1 {
+			maxP = 1
+		}
+		times := make([]float64, maxP)
+		for i := range times {
+			times[i] = p.Time(i + 1)
+		}
+		return ProfileSpec{Type: "table", Times: times}
+	}
+}
+
+// taskJSON and graphJSON are the on-disk forms.
+type taskJSON struct {
+	Name    string      `json:"name"`
+	Profile ProfileSpec `json:"profile"`
+}
+
+type edgeJSON struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Volume float64 `json:"volume"`
+}
+
+type graphJSON struct {
+	Tasks []taskJSON `json:"tasks"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+// WriteJSON serializes the task graph. Profiles without a native spec are
+// sampled up to sampleP processors.
+func (tg *TaskGraph) WriteJSON(w io.Writer, sampleP int) error {
+	gj := graphJSON{}
+	for _, t := range tg.Tasks {
+		gj.Tasks = append(gj.Tasks, taskJSON{Name: t.Name, Profile: SpecFor(t.Profile, sampleP)})
+	}
+	for _, e := range tg.Edges() {
+		gj.Edges = append(gj.Edges, edgeJSON{From: e.From, To: e.To, Volume: e.Volume})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(gj)
+}
+
+// ReadJSON parses a task graph produced by WriteJSON (or hand-written in
+// the same schema) and validates it.
+func ReadJSON(r io.Reader) (*TaskGraph, error) {
+	var gj graphJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&gj); err != nil {
+		return nil, fmt.Errorf("model: decoding task graph: %w", err)
+	}
+	tasks := make([]Task, len(gj.Tasks))
+	for i, tj := range gj.Tasks {
+		prof, err := tj.Profile.Build()
+		if err != nil {
+			return nil, fmt.Errorf("model: task %d (%q): %w", i, tj.Name, err)
+		}
+		tasks[i] = Task{Name: tj.Name, Profile: prof}
+	}
+	edges := make([]Edge, len(gj.Edges))
+	for i, ej := range gj.Edges {
+		edges[i] = Edge{From: ej.From, To: ej.To, Volume: ej.Volume}
+	}
+	return NewTaskGraph(tasks, edges)
+}
+
+// WriteDOT emits the task graph in Graphviz DOT format. Vertex labels show
+// the name and uniprocessor time; edge labels show data volumes.
+func (tg *TaskGraph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", title)
+	for i, t := range tg.Tasks {
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("v%d", i)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\net(1)=%.3g\"];\n", i, name, tg.ExecTime(i, 1))
+	}
+	edges := tg.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		if e.Volume > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", e.From, e.To, e.Volume)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,199 @@
+// Package model defines the macro data-flow graph of the paper's §II: a
+// weighted DAG whose vertices are malleable parallel tasks (execution time a
+// function of allocated processors, via internal/speedup profiles) and whose
+// edges carry the data volumes to be redistributed between producer and
+// consumer processor groups. It also defines the homogeneous-cluster system
+// model (processor count, per-port bandwidth, overlap of computation and
+// communication).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"locmps/internal/graph"
+	"locmps/internal/speedup"
+)
+
+// Task is one data-parallel vertex of the application DAG.
+type Task struct {
+	// Name is a human-readable label ("T1", "P3-mult", ...). Names need
+	// not be unique but unique names make Gantt charts and DOT dumps
+	// legible.
+	Name string
+	// Profile gives the task's execution time as a function of the number
+	// of processors allocated to it.
+	Profile speedup.Profile
+}
+
+// Edge is a precedence constraint with an associated data volume (bytes)
+// that must be redistributed from the producer's processor group to the
+// consumer's.
+type Edge struct {
+	From, To int
+	// Volume is the number of bytes communicated if the two tasks share no
+	// processors. Zero-volume edges are pure precedence constraints.
+	Volume float64
+}
+
+// TaskGraph couples the structural DAG with tasks and data volumes.
+// Construct with NewTaskGraph or incrementally with Builder.
+type TaskGraph struct {
+	Tasks []Task
+	dag   *graph.DAG
+	// volume[{u,v}] is the data volume of edge u->v.
+	volume map[[2]int]float64
+}
+
+// NewTaskGraph builds and validates a task graph.
+func NewTaskGraph(tasks []Task, edges []Edge) (*TaskGraph, error) {
+	tg := &TaskGraph{
+		Tasks:  tasks,
+		dag:    graph.New(len(tasks)),
+		volume: make(map[[2]int]float64, len(edges)),
+	}
+	for i, t := range tasks {
+		if t.Profile == nil {
+			return nil, fmt.Errorf("model: task %d (%q) has no execution profile", i, t.Name)
+		}
+		if et := t.Profile.Time(1); et < 0 || math.IsNaN(et) || math.IsInf(et, 0) {
+			return nil, fmt.Errorf("model: task %d (%q) has invalid uniprocessor time %v", i, t.Name, et)
+		}
+	}
+	for _, e := range edges {
+		if e.Volume < 0 || math.IsNaN(e.Volume) || math.IsInf(e.Volume, 0) {
+			return nil, fmt.Errorf("model: edge (%d,%d) has invalid volume %v", e.From, e.To, e.Volume)
+		}
+		if err := tg.dag.AddEdge(e.From, e.To); err != nil {
+			return nil, fmt.Errorf("model: %w", err)
+		}
+		key := [2]int{e.From, e.To}
+		if prev, dup := tg.volume[key]; dup && prev != e.Volume {
+			return nil, fmt.Errorf("model: duplicate edge (%d,%d) with conflicting volumes %v and %v",
+				e.From, e.To, prev, e.Volume)
+		}
+		tg.volume[key] = e.Volume
+	}
+	if err := tg.dag.Validate(); err != nil {
+		return nil, fmt.Errorf("model: task graph is not acyclic: %w", err)
+	}
+	return tg, nil
+}
+
+// N reports the number of tasks.
+func (tg *TaskGraph) N() int { return len(tg.Tasks) }
+
+// DAG exposes the underlying structural DAG. Callers must not mutate it;
+// use Clone on the DAG when pseudo-edges are needed.
+func (tg *TaskGraph) DAG() *graph.DAG { return tg.dag }
+
+// Volume returns the data volume on edge u->v (0 if the edge is absent).
+func (tg *TaskGraph) Volume(u, v int) float64 { return tg.volume[[2]int{u, v}] }
+
+// Edges returns all edges with volumes in deterministic order.
+func (tg *TaskGraph) Edges() []Edge {
+	raw := tg.dag.Edges()
+	es := make([]Edge, len(raw))
+	for i, e := range raw {
+		es[i] = Edge{From: e[0], To: e[1], Volume: tg.volume[e]}
+	}
+	return es
+}
+
+// ExecTime returns et(t, p): the execution time of task t on p processors.
+func (tg *TaskGraph) ExecTime(t, p int) float64 { return tg.Tasks[t].Profile.Time(p) }
+
+// SerialWork returns the total uniprocessor work of the graph, a lower
+// bound on P * makespan.
+func (tg *TaskGraph) SerialWork() float64 {
+	var sum float64
+	for i := range tg.Tasks {
+		sum += tg.ExecTime(i, 1)
+	}
+	return sum
+}
+
+// ConcurrencyRatio computes cr(t) of §III.C: the total uniprocessor work of
+// the maximal concurrent set of t, relative to t's own uniprocessor work.
+// For a zero-work task the ratio is +Inf when any concurrent work exists.
+func (tg *TaskGraph) ConcurrencyRatio(t int) float64 {
+	var work float64
+	for _, u := range tg.dag.Concurrent(t) {
+		work += tg.ExecTime(u, 1)
+	}
+	own := tg.ExecTime(t, 1)
+	if own == 0 {
+		if work == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return work / own
+}
+
+// Cluster is the homogeneous compute cluster of §II: P identical nodes with
+// local storage, single-port NICs with the given point-to-point bandwidth,
+// and an interconnect that either does or does not allow computation to
+// overlap communication.
+type Cluster struct {
+	// P is the number of processors (one per node).
+	P int
+	// Bandwidth is the per-port link bandwidth in bytes per unit time.
+	// The aggregate bandwidth between two groups is
+	// min(|src|,|dst|) * Bandwidth, as in §III.B.
+	Bandwidth float64
+	// Overlap reports whether computation and communication overlap
+	// (asynchronous transfers). When false, incoming redistribution
+	// occupies the receiving processors.
+	Overlap bool
+}
+
+// Validate checks the cluster parameters.
+func (c Cluster) Validate() error {
+	if c.P < 1 {
+		return fmt.Errorf("model: cluster needs at least 1 processor, got %d", c.P)
+	}
+	if c.Bandwidth <= 0 || math.IsNaN(c.Bandwidth) || math.IsInf(c.Bandwidth, 0) {
+		return fmt.Errorf("model: invalid bandwidth %v", c.Bandwidth)
+	}
+	return nil
+}
+
+// AggregateBandwidth returns bw(i,j) = min(npI, npJ) * Bandwidth, the
+// paper's parallel-transfer bandwidth between two processor groups.
+func (c Cluster) AggregateBandwidth(npI, npJ int) float64 {
+	m := npI
+	if npJ < m {
+		m = npJ
+	}
+	if m < 1 {
+		m = 1
+	}
+	return float64(m) * c.Bandwidth
+}
+
+// EdgeCost is the paper's allocation-time estimate of an edge's weight:
+// wt(e) = D / (min(np_i, np_j) * bandwidth). It ignores placement; the
+// locality-aware placement cost lives in internal/redist.
+func (c Cluster) EdgeCost(volume float64, npI, npJ int) float64 {
+	if volume == 0 {
+		return 0
+	}
+	return volume / c.AggregateBandwidth(npI, npJ)
+}
+
+// CCR computes the communication-to-computation ratio of the graph for the
+// all-uniprocessor allocation, the definition used in §IV.A.
+func CCR(tg *TaskGraph, c Cluster) float64 {
+	var comm, comp float64
+	for _, e := range tg.Edges() {
+		comm += c.EdgeCost(e.Volume, 1, 1)
+	}
+	for i := range tg.Tasks {
+		comp += tg.ExecTime(i, 1)
+	}
+	if comp == 0 {
+		return 0
+	}
+	return comm / comp
+}

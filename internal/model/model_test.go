@@ -1,0 +1,217 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"locmps/internal/speedup"
+)
+
+func linTask(name string, t1 float64) Task {
+	return Task{Name: name, Profile: speedup.Linear{T1: t1}}
+}
+
+func mustGraph(t *testing.T, tasks []Task, edges []Edge) *TaskGraph {
+	t.Helper()
+	tg, err := NewTaskGraph(tasks, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestNewTaskGraphValidation(t *testing.T) {
+	if _, err := NewTaskGraph([]Task{{Name: "x"}}, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	tasks := []Task{linTask("a", 10), linTask("b", 20)}
+	if _, err := NewTaskGraph(tasks, []Edge{{From: 0, To: 1, Volume: -5}}); err == nil {
+		t.Error("negative volume accepted")
+	}
+	if _, err := NewTaskGraph(tasks, []Edge{{From: 0, To: 1, Volume: math.NaN()}}); err == nil {
+		t.Error("NaN volume accepted")
+	}
+	if _, err := NewTaskGraph(tasks, []Edge{{From: 0, To: 2, Volume: 1}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := NewTaskGraph(tasks, []Edge{
+		{From: 0, To: 1, Volume: 1}, {From: 0, To: 1, Volume: 2},
+	}); err == nil {
+		t.Error("conflicting duplicate edge accepted")
+	}
+	// Cycle through two tasks.
+	if _, err := NewTaskGraph(tasks, []Edge{
+		{From: 0, To: 1, Volume: 1}, {From: 1, To: 0, Volume: 1},
+	}); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestVolumeAndEdges(t *testing.T) {
+	tg := mustGraph(t,
+		[]Task{linTask("a", 10), linTask("b", 20), linTask("c", 5)},
+		[]Edge{{0, 1, 100}, {0, 2, 0}, {1, 2, 50}})
+	if v := tg.Volume(0, 1); v != 100 {
+		t.Errorf("Volume(0,1) = %v", v)
+	}
+	if v := tg.Volume(1, 0); v != 0 {
+		t.Errorf("Volume on absent edge = %v", v)
+	}
+	es := tg.Edges()
+	if len(es) != 3 || es[0] != (Edge{0, 1, 100}) || es[2] != (Edge{1, 2, 50}) {
+		t.Errorf("Edges = %v", es)
+	}
+	if w := tg.SerialWork(); w != 35 {
+		t.Errorf("SerialWork = %v", w)
+	}
+}
+
+func TestConcurrencyRatio(t *testing.T) {
+	// Paper Fig 2 shape: T1 on CP with heavy concurrent work; T2 with none.
+	// 0(T1) -> 1(T2); 0 -> 2(T3); 0 -> 3(T4)? No: build fork where T3, T4
+	// are concurrent with T2's sibling.
+	// Graph: s(0) -> a(1), s -> b(2), s -> c(3). a concurrent with {b, c}.
+	tg := mustGraph(t,
+		[]Task{linTask("s", 1), linTask("a", 10), linTask("b", 20), linTask("c", 30)},
+		[]Edge{{0, 1, 0}, {0, 2, 0}, {0, 3, 0}})
+	if cr := tg.ConcurrencyRatio(1); cr != 5 { // (20+30)/10
+		t.Errorf("cr(a) = %v, want 5", cr)
+	}
+	if cr := tg.ConcurrencyRatio(0); cr != 0 { // source has no concurrent tasks
+		t.Errorf("cr(s) = %v, want 0", cr)
+	}
+}
+
+func TestClusterValidateAndBandwidth(t *testing.T) {
+	if err := (Cluster{P: 0, Bandwidth: 1}).Validate(); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if err := (Cluster{P: 4, Bandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	c := Cluster{P: 16, Bandwidth: 100}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bw := c.AggregateBandwidth(4, 8); bw != 400 {
+		t.Errorf("AggregateBandwidth(4,8) = %v", bw)
+	}
+	if cost := c.EdgeCost(1000, 2, 5); cost != 5 { // 1000/(2*100)
+		t.Errorf("EdgeCost = %v", cost)
+	}
+	if cost := c.EdgeCost(0, 2, 5); cost != 0 {
+		t.Errorf("zero-volume EdgeCost = %v", cost)
+	}
+}
+
+func TestCCRDefinition(t *testing.T) {
+	// comp = 30+30 = 60, comm = 600/10 = 60 => CCR 1.
+	tg := mustGraph(t,
+		[]Task{linTask("a", 30), linTask("b", 30)},
+		[]Edge{{0, 1, 600}})
+	c := Cluster{P: 4, Bandwidth: 10}
+	if ccr := CCR(tg, c); math.Abs(ccr-1) > 1e-12 {
+		t.Errorf("CCR = %v, want 1", ccr)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dow, err := speedup.NewDowney(30, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := speedup.NewAmdahl(50, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := speedup.NewTable([]float64{9, 5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := mustGraph(t,
+		[]Task{
+			{Name: "d", Profile: dow},
+			{Name: "a", Profile: amd},
+			{Name: "l", Profile: speedup.Linear{T1: 7}},
+			{Name: "t", Profile: tbl},
+		},
+		[]Edge{{0, 1, 10}, {1, 3, 20}, {2, 3, 0}})
+
+	var buf bytes.Buffer
+	if err := tg.WriteJSON(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 {
+		t.Fatalf("N = %d", back.N())
+	}
+	for i := 0; i < 4; i++ {
+		for p := 1; p <= 8; p++ {
+			if got, want := back.ExecTime(i, p), tg.ExecTime(i, p); math.Abs(got-want) > 1e-12 {
+				t.Errorf("task %d p=%d: %v vs %v", i, p, got, want)
+			}
+		}
+	}
+	if back.Volume(1, 3) != 20 {
+		t.Errorf("volume lost: %v", back.Volume(1, 3))
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"tasks":[{"name":"x","profile":{"type":"nope"}}],"edges":[]}`,
+		`{"tasks":[{"name":"x","profile":{"type":"downey","t1":-1,"a":4}}],"edges":[]}`,
+		`{"tasks":[{"name":"x","profile":{"type":"linear","t1":1}}],"edges":[{"from":0,"to":5,"volume":1}]}`,
+		`{"bogus":1}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted invalid JSON: %s", c)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tg := mustGraph(t,
+		[]Task{linTask("src", 3), linTask("", 4)},
+		[]Edge{{0, 1, 128}})
+	var buf bytes.Buffer
+	if err := tg.WriteDOT(&buf, "g"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "src", "v1", "n0 -> n1", "128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecForUnknownProfileSamples(t *testing.T) {
+	spec := SpecFor(customProfile{}, 4)
+	if spec.Type != "table" || len(spec.Times) != 4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time(3) != (customProfile{}).Time(3) {
+		t.Error("sampled table diverges from source profile")
+	}
+}
+
+type customProfile struct{}
+
+func (customProfile) Time(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return 100 / float64(p)
+}

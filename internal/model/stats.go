@@ -1,0 +1,110 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"locmps/internal/graph"
+	"locmps/internal/speedup"
+)
+
+// GraphStats summarizes the structural and workload properties of a task
+// graph that drive scheduler behaviour.
+type GraphStats struct {
+	Tasks int
+	Edges int
+	// Depth is the number of vertices on the longest chain.
+	Depth int
+	// MaxWidth is the largest number of tasks sharing a depth level — a
+	// cheap estimate of exploitable task parallelism.
+	MaxWidth int
+	// Width is the exact maximum antichain size (Dilworth): the true cap
+	// on how many tasks can ever run concurrently.
+	Width int
+	// SerialWork is the total uniprocessor execution time.
+	SerialWork float64
+	// CriticalPathWork is the uniprocessor length of the longest
+	// computation chain (zero communication); SerialWork/CriticalPathWork
+	// approximates the graph's average task parallelism.
+	CriticalPathWork float64
+	// TotalVolume is the sum of edge data volumes in bytes.
+	TotalVolume float64
+	// MeanParallelism averages the tasks' Downey-style average
+	// parallelism, measured as speedup at a large processor count.
+	MeanParallelism float64
+}
+
+// Stats computes GraphStats.
+func Stats(tg *TaskGraph) (GraphStats, error) {
+	st := GraphStats{Tasks: tg.N(), Edges: tg.DAG().M()}
+	order, err := tg.DAG().TopoOrder()
+	if err != nil {
+		return GraphStats{}, err
+	}
+	depth := make([]int, tg.N())
+	levelCount := map[int]int{}
+	for _, v := range order {
+		d := 0
+		for _, u := range tg.DAG().Pred(v) {
+			if depth[u]+1 > d {
+				d = depth[u] + 1
+			}
+		}
+		depth[v] = d
+		levelCount[d]++
+		if d+1 > st.Depth {
+			st.Depth = d + 1
+		}
+	}
+	for _, c := range levelCount {
+		if c > st.MaxWidth {
+			st.MaxWidth = c
+		}
+	}
+	st.Width, err = tg.DAG().Width()
+	if err != nil {
+		return GraphStats{}, err
+	}
+	st.SerialWork = tg.SerialWork()
+	vw := func(v int) float64 { return tg.ExecTime(v, 1) }
+	cp, _, err := graph.CriticalPath(tg.DAG(), vw, func(int, int) float64 { return 0 })
+	if err != nil {
+		return GraphStats{}, err
+	}
+	st.CriticalPathWork = cp
+	for _, e := range tg.Edges() {
+		st.TotalVolume += e.Volume
+	}
+	var par float64
+	for i := range tg.Tasks {
+		par += speedup.Speedup(tg.Tasks[i].Profile, 1<<16)
+	}
+	if tg.N() > 0 {
+		st.MeanParallelism = par / float64(tg.N())
+	}
+	return st, nil
+}
+
+// TaskParallelism is SerialWork / CriticalPathWork, the graph's inherent
+// degree of task parallelism (1 = pure chain).
+func (s GraphStats) TaskParallelism() float64 {
+	if s.CriticalPathWork == 0 {
+		return 0
+	}
+	return s.SerialWork / s.CriticalPathWork
+}
+
+// String renders a compact multi-line report.
+func (s GraphStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks:             %d\n", s.Tasks)
+	fmt.Fprintf(&b, "edges:             %d\n", s.Edges)
+	fmt.Fprintf(&b, "depth:             %d levels\n", s.Depth)
+	fmt.Fprintf(&b, "max width:         %d tasks (level), %d (antichain)\n", s.MaxWidth, s.Width)
+	fmt.Fprintf(&b, "serial work:       %.6g\n", s.SerialWork)
+	fmt.Fprintf(&b, "critical path:     %.6g\n", s.CriticalPathWork)
+	fmt.Fprintf(&b, "task parallelism:  %.3g\n", s.TaskParallelism())
+	fmt.Fprintf(&b, "data volume:       %.6g bytes\n", s.TotalVolume)
+	fmt.Fprintf(&b, "mean parallelism:  %.3g (per-task speedup bound)\n", s.MeanParallelism)
+	return b.String()
+}

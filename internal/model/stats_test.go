@@ -1,0 +1,88 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"locmps/internal/speedup"
+)
+
+func TestStatsDiamond(t *testing.T) {
+	// s -> a, s -> b, a -> t, b -> t : depth 3, max width 2.
+	tg := mustGraph(t,
+		[]Task{linTask("s", 5), linTask("a", 10), linTask("b", 20), linTask("t", 5)},
+		[]Edge{
+			{From: 0, To: 1, Volume: 100}, {From: 0, To: 2, Volume: 100},
+			{From: 1, To: 3, Volume: 50}, {From: 2, To: 3, Volume: 50},
+		})
+	st, err := Stats(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 4 || st.Edges != 4 {
+		t.Errorf("tasks/edges = %d/%d", st.Tasks, st.Edges)
+	}
+	if st.Depth != 3 {
+		t.Errorf("depth = %d, want 3", st.Depth)
+	}
+	if st.MaxWidth != 2 {
+		t.Errorf("max width = %d, want 2", st.MaxWidth)
+	}
+	if st.SerialWork != 40 {
+		t.Errorf("serial work = %v", st.SerialWork)
+	}
+	if st.CriticalPathWork != 30 { // s + b + t
+		t.Errorf("cp work = %v", st.CriticalPathWork)
+	}
+	if math.Abs(st.TaskParallelism()-40.0/30) > 1e-12 {
+		t.Errorf("task parallelism = %v", st.TaskParallelism())
+	}
+	if st.TotalVolume != 300 {
+		t.Errorf("volume = %v", st.TotalVolume)
+	}
+	out := st.String()
+	for _, want := range []string{"tasks:", "depth:", "critical path:", "data volume:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsChainVsIndependent(t *testing.T) {
+	chainTasks := []Task{linTask("a", 10), linTask("b", 10), linTask("c", 10)}
+	chain := mustGraph(t, chainTasks, []Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	indep := mustGraph(t, chainTasks, nil)
+	sc, err := Stats(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := Stats(indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TaskParallelism() != 1 {
+		t.Errorf("chain parallelism = %v", sc.TaskParallelism())
+	}
+	if si.TaskParallelism() != 3 {
+		t.Errorf("independent parallelism = %v", si.TaskParallelism())
+	}
+	if sc.Depth != 3 || si.Depth != 1 {
+		t.Errorf("depths = %d/%d", sc.Depth, si.Depth)
+	}
+}
+
+func TestStatsMeanParallelism(t *testing.T) {
+	d, err := speedup.NewDowney(10, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := mustGraph(t, []Task{{Name: "x", Profile: d}}, nil)
+	st, err := Stats(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MeanParallelism-8) > 1e-9 {
+		t.Errorf("mean parallelism = %v, want 8", st.MeanParallelism)
+	}
+}

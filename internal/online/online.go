@@ -1,0 +1,380 @@
+// Package online implements the on-line scheduling direction the paper
+// lists as future work (§VI: "incorporation of the scheduling strategy
+// into a run-time framework for the on-line scheduling of mixed parallel
+// applications").
+//
+// The runtime executes a task graph on the simulated cluster while the
+// machine misbehaves — per-task runtime noise and persistent node
+// slowdowns — and, when observed completions drift too far from the plan,
+// re-invokes the locality conscious backfill scheduler over the *remaining*
+// tasks. The reschedule keeps finished and running tasks fixed (their
+// locations determine data locality for everything downstream), seeds the
+// resource chart with current node availability, and passes the observed
+// node speeds so the planner can steer work away from degraded nodes.
+package online
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"locmps/internal/core"
+	"locmps/internal/model"
+	"locmps/internal/redist"
+	"locmps/internal/schedule"
+)
+
+// Slowdown is a persistent change in a node's speed taking effect at a
+// point in simulated time. Factor is the execution-time multiplier from
+// then on (2 = half speed); Factor 1 restores nominal speed.
+type Slowdown struct {
+	Time   float64
+	Node   int
+	Factor float64
+}
+
+// Policy controls when the runtime re-plans.
+type Policy struct {
+	// DriftThreshold triggers a reschedule when a task finishes more than
+	// this fraction of the planned makespan away from its planned finish
+	// time. Zero disables rescheduling (static execution).
+	DriftThreshold float64
+	// MaxReschedules bounds the number of re-planning rounds (0 = no
+	// bound).
+	MaxReschedules int
+	// Reallocate re-runs the full LoC-MPS allocation loop on each
+	// re-plan, letting remaining tasks change processor *counts* (e.g.
+	// shrink off a degraded node), not just processor sets. More
+	// expensive per reschedule but far more effective when the plan used
+	// wide allocations.
+	Reallocate bool
+}
+
+// Options configure an on-line run.
+type Options struct {
+	// Noise is per-task multiplicative runtime noise (as in internal/sim).
+	Noise float64
+	// Seed drives the noise generator.
+	Seed int64
+	// Slowdowns are the node-speed events injected during the run.
+	Slowdowns []Slowdown
+	// Policy is the rescheduling policy.
+	Policy Policy
+	// BlockBytes is the redistribution block size (0 = 64 KiB).
+	BlockBytes float64
+}
+
+// Trace reports what happened.
+type Trace struct {
+	// Makespan is the achieved completion time.
+	Makespan float64
+	// PlannedMakespan is the initial (static) plan's makespan.
+	PlannedMakespan float64
+	// Reschedules counts re-planning rounds that actually ran.
+	Reschedules int
+	// Start and Finish are per-task actual times.
+	Start, Finish []float64
+	// Migrated counts tasks whose processor set changed versus the
+	// immediately preceding plan across all reschedules.
+	Migrated int
+}
+
+// Execute runs the task graph under the given initial scheduler and
+// runtime conditions.
+func Execute(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster, opt Options) (Trace, error) {
+	if opt.Noise < 0 || opt.Noise >= 1 {
+		if opt.Noise != 0 {
+			return Trace{}, fmt.Errorf("online: noise %v outside [0,1)", opt.Noise)
+		}
+	}
+	for _, s := range opt.Slowdowns {
+		if s.Node < 0 || s.Node >= c.P {
+			return Trace{}, fmt.Errorf("online: slowdown on node %d outside [0,%d)", s.Node, c.P)
+		}
+		if s.Factor <= 0 {
+			return Trace{}, fmt.Errorf("online: slowdown factor %v must be positive", s.Factor)
+		}
+		if s.Time < 0 {
+			return Trace{}, fmt.Errorf("online: slowdown at negative time %v", s.Time)
+		}
+	}
+	plan, err := alg.Schedule(tg, c)
+	if err != nil {
+		return Trace{}, err
+	}
+	if err := plan.Validate(tg); err != nil {
+		return Trace{}, fmt.Errorf("online: initial plan invalid: %w", err)
+	}
+
+	blockBytes := opt.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = core.DefaultBlockBytes
+	}
+	rm := redist.Model{BlockBytes: blockBytes, Bandwidth: c.Bandwidth}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	noise := make([]float64, tg.N())
+	for t := range noise {
+		noise[t] = 1
+		if opt.Noise > 0 {
+			noise[t] = 1 + opt.Noise*(2*rng.Float64()-1)
+		}
+	}
+	slowdowns := append([]Slowdown(nil), opt.Slowdowns...)
+	sort.Slice(slowdowns, func(i, j int) bool { return slowdowns[i].Time < slowdowns[j].Time })
+
+	r := &runtime{
+		tg: tg, c: c, rm: rm,
+		plan:      plan,
+		noise:     noise,
+		slowdowns: slowdowns,
+		policy:    opt.Policy,
+		cfg:       core.DefaultConfig(),
+		cpu:       make([]float64, c.P),
+		port:      make([]float64, c.P),
+		speed:     make([]float64, c.P),
+		trace: Trace{
+			PlannedMakespan: plan.Makespan,
+			Start:           make([]float64, tg.N()),
+			Finish:          make([]float64, tg.N()),
+		},
+	}
+	r.cfg.BlockBytes = blockBytes
+	for i := range r.speed {
+		r.speed[i] = 1
+	}
+	if !c.Overlap {
+		r.port = r.cpu
+	}
+	if err := r.run(); err != nil {
+		return Trace{}, err
+	}
+	return r.trace, nil
+}
+
+type runtime struct {
+	tg        *model.TaskGraph
+	c         model.Cluster
+	rm        redist.Model
+	plan      *schedule.Schedule
+	noise     []float64
+	slowdowns []Slowdown
+	policy    Policy
+	cfg       core.Config
+
+	cpu, port []float64
+	speed     []float64 // current execution-time multiplier per node
+	applied   int       // slowdowns already applied
+	started   []bool
+	trace     Trace
+}
+
+// factorAt applies all slowdown events with Time <= t and returns the
+// worst multiplier across the given nodes.
+func (r *runtime) factorAt(t float64, procs []int) float64 {
+	for r.applied < len(r.slowdowns) && r.slowdowns[r.applied].Time <= t {
+		ev := r.slowdowns[r.applied]
+		r.speed[ev.Node] = ev.Factor
+		r.applied++
+	}
+	worst := 1.0
+	for _, p := range procs {
+		if r.speed[p] > worst {
+			worst = r.speed[p]
+		}
+	}
+	return worst
+}
+
+// nextTask picks the unstarted task, all of whose predecessors have
+// finished in actuality, with the earliest planned start (ties by id).
+func (r *runtime) nextTask() int {
+	best := -1
+	for t := 0; t < r.tg.N(); t++ {
+		if r.started[t] {
+			continue
+		}
+		ready := true
+		for _, par := range r.tg.DAG().Pred(t) {
+			if !r.started[par] {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if best < 0 || r.plan.Placements[t].Start < r.plan.Placements[best].Start ||
+			(r.plan.Placements[t].Start == r.plan.Placements[best].Start && t < best) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (r *runtime) run() error {
+	r.started = make([]bool, r.tg.N())
+	for done := 0; done < r.tg.N(); {
+		t := r.nextTask()
+		if t < 0 {
+			return fmt.Errorf("online: no runnable task with %d done", done)
+		}
+		pl := r.plan.Placements[t]
+
+		ready := 0.0
+		for _, p := range pl.Procs {
+			if r.cpu[p] > ready {
+				ready = r.cpu[p]
+			}
+		}
+
+		// Event-triggered re-planning: if a slowdown takes effect before
+		// this task would start, a monitoring runtime knows about it now —
+		// re-plan before committing the task to a degraded placement.
+		if r.policy.DriftThreshold > 0 && r.canReschedule() {
+			tent := ready
+			for _, par := range r.tg.DAG().Pred(t) {
+				if f := r.trace.Finish[par]; f > tent {
+					tent = f
+				}
+			}
+			if r.applied < len(r.slowdowns) && r.slowdowns[r.applied].Time <= tent {
+				r.factorAt(tent, nil) // apply the pending events
+				if err := r.reschedule(); err != nil {
+					return err
+				}
+				continue // re-pick under the new plan
+			}
+		}
+		arrival := 0.0
+		for _, par := range r.tg.DAG().Pred(t) {
+			if f := r.trace.Finish[par]; f > arrival {
+				arrival = f
+			}
+			vol := r.tg.Volume(par, t)
+			if vol == 0 {
+				continue
+			}
+			mat, err := r.rm.TransferMatrix(vol, r.plan.Placements[par].Procs, pl.Procs)
+			if err != nil {
+				return fmt.Errorf("online: edge %d->%d: %w", par, t, err)
+			}
+			if dur := r.rm.SinglePortTime(mat); dur > 0 {
+				involved := map[int]struct{}{}
+				for _, tr := range mat.Transfers() {
+					involved[tr.Src] = struct{}{}
+					involved[tr.Dst] = struct{}{}
+				}
+				start := r.trace.Finish[par]
+				for n := range involved {
+					if r.port[n] > start {
+						start = r.port[n]
+					}
+				}
+				end := start + dur
+				for n := range involved {
+					r.port[n] = end
+				}
+				if end > arrival {
+					arrival = end
+				}
+			}
+		}
+		start := math.Max(ready, arrival)
+		dur := r.tg.ExecTime(t, pl.NP()) * r.noise[t] * r.factorAt(start, pl.Procs)
+		finish := start + dur
+		for _, p := range pl.Procs {
+			r.cpu[p] = finish
+		}
+		r.started[t] = true
+		r.trace.Start[t], r.trace.Finish[t] = start, finish
+		if finish > r.trace.Makespan {
+			r.trace.Makespan = finish
+		}
+
+		if r.shouldReschedule(t, finish) {
+			if err := r.reschedule(); err != nil {
+				return err
+			}
+		}
+		done++
+	}
+	return nil
+}
+
+func (r *runtime) canReschedule() bool {
+	return r.policy.MaxReschedules == 0 || r.trace.Reschedules < r.policy.MaxReschedules
+}
+
+func (r *runtime) shouldReschedule(t int, actualFinish float64) bool {
+	if r.policy.DriftThreshold <= 0 || !r.canReschedule() {
+		return false
+	}
+	drift := math.Abs(actualFinish-r.plan.Placements[t].Finish) / r.trace.PlannedMakespan
+	return drift > r.policy.DriftThreshold
+}
+
+// reschedule re-plans every unstarted task, keeping started tasks where
+// they ran and seeding the chart with current node availability and
+// observed speeds.
+func (r *runtime) reschedule() error {
+	fixed := make(map[int]schedule.Placement, r.tg.N())
+	np := make([]int, r.tg.N())
+	for t := 0; t < r.tg.N(); t++ {
+		pl := r.plan.Placements[t]
+		np[t] = pl.NP()
+		if r.started[t] {
+			fixed[t] = schedule.Placement{
+				Procs:     pl.Procs,
+				Start:     r.trace.Start[t],
+				Finish:    r.trace.Finish[t],
+				DataReady: r.trace.Start[t],
+			}
+		}
+	}
+	// Per-processor availability: a node is free when its own work (and
+	// port traffic) drains, regardless of the drifted task that triggered
+	// the re-plan — the runtime notices a slow task while it runs, so the
+	// remaining work can be re-packed onto the healthy nodes immediately.
+	busy := make([]float64, r.c.P)
+	for p := range busy {
+		busy[p] = math.Max(r.cpu[p], r.port[p])
+	}
+	preset := core.Preset{
+		Fixed:      fixed,
+		BusyUntil:  busy,
+		NodeFactor: append([]float64(nil), r.speed...),
+	}
+	var newPlan *schedule.Schedule
+	var err error
+	if r.policy.Reallocate {
+		alg := core.New()
+		alg.Engine = r.cfg
+		newPlan, err = alg.ScheduleWithPreset(r.tg, r.c, preset)
+	} else {
+		newPlan, err = core.LoCBSWithPreset(r.tg, r.c, np, r.cfg, preset)
+	}
+	if err != nil {
+		return fmt.Errorf("online: reschedule: %w", err)
+	}
+	for t := 0; t < r.tg.N(); t++ {
+		if !r.started[t] && !samePlacementProcs(r.plan.Placements[t].Procs, newPlan.Placements[t].Procs) {
+			r.trace.Migrated++
+		}
+	}
+	r.plan = newPlan
+	r.trace.Reschedules++
+	return nil
+}
+
+func samePlacementProcs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locmps/internal/model"
+	"locmps/internal/sched"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+func mustTG(t *testing.T, tasks []model.Task, edges []model.Edge) *model.TaskGraph {
+	t.Helper()
+	tg, err := model.NewTaskGraph(tasks, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+// wideGraph: many independent scalable tasks — plenty of placement freedom
+// for the rescheduler to exploit.
+func wideGraph(t *testing.T, n int) *model.TaskGraph {
+	t.Helper()
+	tasks := make([]model.Task, n)
+	for i := range tasks {
+		tasks[i] = model.Task{Name: "w", Profile: speedup.Linear{T1: 10}}
+	}
+	return mustTG(t, tasks, nil)
+}
+
+var cl = model.Cluster{P: 4, Bandwidth: 1e6, Overlap: true}
+
+func TestStaticRunMatchesPlanWithoutDisturbance(t *testing.T) {
+	tg := wideGraph(t, 8)
+	tr, err := Execute(sched.LoCMPS(), tg, cl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Reschedules != 0 {
+		t.Errorf("rescheduled %d times with no policy", tr.Reschedules)
+	}
+	if tr.Makespan != tr.PlannedMakespan {
+		t.Errorf("makespan %v != planned %v on an undisturbed run", tr.Makespan, tr.PlannedMakespan)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tg := wideGraph(t, 2)
+	if _, err := Execute(sched.LoCMPS(), tg, cl, Options{Noise: 2}); err == nil {
+		t.Error("noise 2 accepted")
+	}
+	if _, err := Execute(sched.LoCMPS(), tg, cl, Options{Slowdowns: []Slowdown{{Node: 9, Factor: 2}}}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := Execute(sched.LoCMPS(), tg, cl, Options{Slowdowns: []Slowdown{{Node: 0, Factor: 0}}}); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := Execute(sched.LoCMPS(), tg, cl, Options{Slowdowns: []Slowdown{{Node: 0, Factor: 2, Time: -1}}}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestSlowdownDelaysExecution(t *testing.T) {
+	tg := wideGraph(t, 8)
+	base, err := Execute(sched.LoCMPS(), tg, cl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Execute(sched.LoCMPS(), tg, cl, Options{
+		Slowdowns: []Slowdown{{Time: 0, Node: 0, Factor: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= base.Makespan {
+		t.Errorf("slowdown did not hurt: %v vs %v", slow.Makespan, base.Makespan)
+	}
+}
+
+func TestReschedulingMitigatesSlowdown(t *testing.T) {
+	// 12 independent *unscalable* 10s tasks on P=4 (width stays 1, so
+	// pure re-placement suffices): static plan packs 3 rounds. Node 0
+	// drops to 1/8 speed immediately; without replanning every task that
+	// was planned on node 0 takes 80s. With replanning, later tasks avoid
+	// node 0.
+	serial, err := speedup.NewTable([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]model.Task, 12)
+	for i := range tasks {
+		tasks[i] = model.Task{Name: "u", Profile: serial}
+	}
+	tg := mustTG(t, tasks, nil)
+	ev := []Slowdown{{Time: 0.1, Node: 0, Factor: 8}}
+
+	static, err := Execute(sched.LoCMPS(), tg, cl, Options{Slowdowns: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Execute(sched.LoCMPS(), tg, cl, Options{
+		Slowdowns: ev,
+		Policy:    Policy{DriftThreshold: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Reschedules == 0 {
+		t.Fatal("adaptive run never rescheduled")
+	}
+	if adaptive.Makespan >= static.Makespan {
+		t.Errorf("rescheduling did not help: adaptive %v vs static %v (reschedules %d, migrated %d)",
+			adaptive.Makespan, static.Makespan, adaptive.Reschedules, adaptive.Migrated)
+	}
+}
+
+func TestReallocateShrinksOffSlowNode(t *testing.T) {
+	// Scalable tasks get wide allocations that span every node, so pure
+	// re-placement cannot dodge a degraded node — only re-allocation can.
+	tasks := make([]model.Task, 6)
+	for i := range tasks {
+		tasks[i] = model.Task{Name: "w", Profile: speedup.Linear{T1: 40}}
+	}
+	tg := mustTG(t, tasks, nil)
+	ev := []Slowdown{{Time: 0.1, Node: 0, Factor: 8}}
+
+	placeOnly, err := Execute(sched.LoCMPS(), tg, cl, Options{
+		Slowdowns: ev,
+		Policy:    Policy{DriftThreshold: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	realloc, err := Execute(sched.LoCMPS(), tg, cl, Options{
+		Slowdowns: ev,
+		Policy:    Policy{DriftThreshold: 0.05, Reallocate: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realloc.Reschedules == 0 {
+		t.Fatal("reallocating run never rescheduled")
+	}
+	if realloc.Makespan >= placeOnly.Makespan {
+		t.Errorf("reallocation (%v) not better than re-placement (%v)",
+			realloc.Makespan, placeOnly.Makespan)
+	}
+}
+
+func TestMaxReschedulesBound(t *testing.T) {
+	tg := wideGraph(t, 12)
+	tr, err := Execute(sched.LoCMPS(), tg, cl, Options{
+		Slowdowns: []Slowdown{{Time: 0.1, Node: 0, Factor: 8}},
+		Policy:    Policy{DriftThreshold: 0.01, MaxReschedules: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Reschedules > 2 {
+		t.Errorf("reschedules %d exceed bound", tr.Reschedules)
+	}
+}
+
+// Property: on random DAGs with noise, slowdowns and rescheduling, the
+// trace always respects precedence and monotone task intervals.
+func TestOnlineInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(8)
+		tasks := make([]model.Task, n)
+		for i := range tasks {
+			tasks[i] = model.Task{Name: "t", Profile: speedup.Downey{T1: 5 + r.Float64()*20, A: 1 + r.Float64()*8, Sigma: 1}}
+		}
+		var edges []model.Edge
+		for v := 1; v < n; v++ {
+			if r.Intn(2) == 0 {
+				edges = append(edges, model.Edge{From: r.Intn(v), To: v, Volume: r.Float64() * 1e5})
+			}
+		}
+		tg, err := model.NewTaskGraph(tasks, edges)
+		if err != nil {
+			return false
+		}
+		c := model.Cluster{P: 2 + r.Intn(5), Bandwidth: 1e6, Overlap: seed%2 == 0}
+		tr, err := Execute(sched.LoCMPS(), tg, c, Options{
+			Noise: 0.2, Seed: seed,
+			Slowdowns: []Slowdown{{Time: r.Float64() * 10, Node: r.Intn(c.P), Factor: 1 + r.Float64()*4}},
+			Policy:    Policy{DriftThreshold: 0.1, MaxReschedules: 5},
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, e := range tg.Edges() {
+			if tr.Start[e.To] < tr.Finish[e.From]-schedule.Eps {
+				return false
+			}
+		}
+		for i := range tr.Start {
+			if tr.Start[i] < 0 || tr.Finish[i] < tr.Start[i] {
+				return false
+			}
+		}
+		return tr.Makespan > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

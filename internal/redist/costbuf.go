@@ -1,0 +1,93 @@
+package redist
+
+// CostBuffer holds reusable lookup tables for FastCostBuf, avoiding the
+// per-call map allocations of FastCost on scheduler hot paths. A buffer is
+// sized by the largest physical processor id it will see and must not be
+// shared between goroutines.
+type CostBuffer struct {
+	dstRank []int32 // physical id -> rank in dst, -1 if absent
+	inSrc   []bool  // physical id -> member of src
+	srcSh   []float64
+	dstSh   []float64
+}
+
+// NewCostBuffer returns a buffer valid for processor ids in [0, maxProc).
+func NewCostBuffer(maxProc int) *CostBuffer {
+	b := &CostBuffer{
+		dstRank: make([]int32, maxProc),
+		inSrc:   make([]bool, maxProc),
+	}
+	for i := range b.dstRank {
+		b.dstRank[i] = -1
+	}
+	return b
+}
+
+// FastCostBuf computes the same result as FastCost using the caller's
+// buffer. Inputs must satisfy FastCost's contracts (validated model,
+// non-empty groups of distinct in-range ids, finite non-negative volume);
+// unlike FastCost this hot-path variant does not re-validate them.
+func (m Model) FastCostBuf(volume float64, src, dst []int, buf *CostBuffer) float64 {
+	if volume == 0 || sameLayout(src, dst) {
+		return 0
+	}
+	p, q := int64(len(src)), int64(len(dst))
+	full, rem := m.blockCount(volume)
+	buf.srcSh = shareByRankInto(buf.srcSh[:0], full, rem, p, m.BlockBytes)
+	buf.dstSh = shareByRankInto(buf.dstSh[:0], full, rem, q, m.BlockBytes)
+
+	for c, node := range dst {
+		buf.dstRank[node] = int32(c)
+	}
+	for _, node := range src {
+		buf.inSrc[node] = true
+	}
+
+	var worst float64
+	for a, node := range src {
+		load := buf.srcSh[a]
+		if c := buf.dstRank[node]; c >= 0 {
+			local := float64(countCongruent(full, int64(a), p, int64(c), q)) * m.BlockBytes
+			if rem > 0 && full%p == int64(a) && full%q == int64(c) {
+				local += rem
+			}
+			load = (buf.srcSh[a] - local) + (buf.dstSh[c] - local)
+		}
+		if load > worst {
+			worst = load
+		}
+	}
+	for c, node := range dst {
+		if !buf.inSrc[node] && buf.dstSh[c] > worst {
+			worst = buf.dstSh[c]
+		}
+	}
+
+	// Reset the touched entries for the next call.
+	for _, node := range dst {
+		buf.dstRank[node] = -1
+	}
+	for _, node := range src {
+		buf.inSrc[node] = false
+	}
+	if worst < 0 {
+		worst = 0
+	}
+	return worst / m.Bandwidth
+}
+
+// shareByRankInto is shareByRank appending into a reused slice.
+func shareByRankInto(share []float64, full int64, rem float64, g int64, blockBytes float64) []float64 {
+	base, extra := full/g, full%g
+	for r := int64(0); r < g; r++ {
+		n := base
+		if r < extra {
+			n++
+		}
+		share = append(share, float64(n)*blockBytes)
+	}
+	if rem > 0 {
+		share[full%g] += rem
+	}
+	return share
+}

@@ -1,0 +1,143 @@
+package redist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomData(r *rand.Rand, n int) []byte {
+	d := make([]byte, n)
+	r.Read(d)
+	return d
+}
+
+func TestDistributeGatherRoundTrip(t *testing.T) {
+	m := Model{BlockBytes: 8, Bandwidth: 1}
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 65, 1000} {
+		for _, ranks := range []int{1, 2, 3, 5} {
+			data := randomData(r, n)
+			parts, err := m.Distribute(data, ranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := m.Gather(parts, n)
+			if err != nil {
+				t.Fatalf("n=%d ranks=%d: %v", n, ranks, err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("n=%d ranks=%d: round trip corrupted data", n, ranks)
+			}
+		}
+	}
+}
+
+func TestDistributeValidation(t *testing.T) {
+	m := Model{BlockBytes: 8, Bandwidth: 1}
+	if _, err := m.Distribute(nil, 0); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	frac := Model{BlockBytes: 8.5, Bandwidth: 1}
+	if _, err := frac.Distribute([]byte{1}, 2); err == nil {
+		t.Error("fractional block size accepted")
+	}
+	if _, err := m.Gather(nil, 4); err == nil {
+		t.Error("gather with no parts accepted")
+	}
+	if _, err := m.Gather([][]byte{{1, 2}}, -1); err == nil {
+		t.Error("negative total accepted")
+	}
+	// Underfull rank detected.
+	if _, err := m.Gather([][]byte{{1, 2}}, 50); err == nil {
+		t.Error("underfull gather accepted")
+	}
+}
+
+func TestRedistributeMovesDataCorrectly(t *testing.T) {
+	m := Model{BlockBytes: 4, Bandwidth: 1}
+	r := rand.New(rand.NewSource(9))
+	data := randomData(r, 107) // deliberately not block aligned
+	src := []int{0, 1, 2}
+	dst := []int{2, 3} // node 2 shared
+
+	srcParts, err := m.Distribute(data, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstParts, network, local, err := m.Redistribute(srcParts, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The result must equal distributing the original data over dst.
+	want, err := m.Distribute(data, len(dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(dstParts[i], want[i]) {
+			t.Fatalf("dst rank %d content wrong", i)
+		}
+	}
+	if network+local != 107 {
+		t.Errorf("network %v + local %v != 107", network, local)
+	}
+	if local == 0 {
+		t.Error("shared node moved everything over the network")
+	}
+	// And gather still reproduces the original bytes.
+	back, err := m.Gather(dstParts, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Error("redistribute+gather corrupted data")
+	}
+}
+
+// Property: executed byte movement always agrees with the analytic
+// transfer matrix (the cross-check inside Redistribute), and the result is
+// exactly the direct distribution over the destination group.
+func TestRedistributeMatchesMatrixProperty(t *testing.T) {
+	m := Model{BlockBytes: 16, Bandwidth: 1}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(5)
+		q := 1 + r.Intn(5)
+		perm := r.Perm(8)
+		src := perm[:p]
+		dst := append([]int(nil), r.Perm(8)[:q]...)
+		n := r.Intn(2000)
+		data := randomData(r, n)
+		srcParts, err := m.Distribute(data, p)
+		if err != nil {
+			return false
+		}
+		dstParts, _, _, err := m.Redistribute(srcParts, src, dst)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want, err := m.Distribute(data, q)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(dstParts[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedistributeValidation(t *testing.T) {
+	m := Model{BlockBytes: 4, Bandwidth: 1}
+	if _, _, _, err := m.Redistribute([][]byte{{1}}, []int{0, 1}, []int{2}); err == nil {
+		t.Error("part/rank mismatch accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package redist
+
+import "fmt"
+
+// FastCost computes the same locality-aware single-port redistribution time
+// as Cost, without materializing the p x q transfer matrix. It exploits the
+// structure of block-cyclic redistribution:
+//
+//   - source rank a sends everything it holds (its resident share) except
+//     the volume destined for the same physical node,
+//   - destination rank c receives everything it will hold except the volume
+//     already resident on that node,
+//   - only nodes shared between the two groups have a nonzero local volume,
+//     and that volume is the count of blocks j with j ≡ a (mod p) and
+//     j ≡ c (mod q), available in closed form via the CRT.
+//
+// The result is max over nodes of (net bytes sent + net bytes received)
+// divided by the bandwidth — identical to SinglePortTime of TransferMatrix
+// (asserted by tests) at O(p+q) instead of O(p*q) cost. Schedulers call
+// this in their inner placement loop.
+func (m Model) FastCost(volume float64, src, dst []int) (float64, error) {
+	if volume == 0 || sameLayout(src, dst) {
+		return 0, nil
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if len(src) == 0 || len(dst) == 0 {
+		return 0, fmt.Errorf("redist: empty processor group (|src|=%d, |dst|=%d)", len(src), len(dst))
+	}
+	if volume < 0 || volume != volume || volume/2 == volume {
+		return 0, fmt.Errorf("redist: invalid volume %v", volume)
+	}
+	if err := checkDistinct(src); err != nil {
+		return 0, err
+	}
+	if err := checkDistinct(dst); err != nil {
+		return 0, err
+	}
+
+	p, q := int64(len(src)), int64(len(dst))
+	full, rem := m.blockCount(volume)
+	srcShare := shareByRank(full, rem, p, m.BlockBytes)
+	dstShare := shareByRank(full, rem, q, m.BlockBytes)
+
+	dstRank := make(map[int]int64, q)
+	for c, node := range dst {
+		dstRank[node] = int64(c)
+	}
+	srcSet := make(map[int]struct{}, p)
+	for _, node := range src {
+		srcSet[node] = struct{}{}
+	}
+
+	var worst float64
+	for a, node := range src {
+		load := srcShare[a] // bytes sent
+		if c, shared := dstRank[node]; shared {
+			local := float64(countCongruent(full, int64(a), p, c, q)) * m.BlockBytes
+			if rem > 0 && full%p == int64(a) && full%q == c {
+				local += rem
+			}
+			// Net send plus net receive on the shared node.
+			load = (srcShare[a] - local) + (dstShare[c] - local)
+		}
+		if load > worst {
+			worst = load
+		}
+	}
+	for c, node := range dst {
+		if _, shared := srcSet[node]; shared {
+			continue // accounted above
+		}
+		if dstShare[c] > worst {
+			worst = dstShare[c]
+		}
+	}
+	if worst < 0 {
+		worst = 0
+	}
+	return worst / m.Bandwidth, nil
+}
+
+// shareByRank returns the per-rank resident volume of a block-cyclic layout
+// over g ranks (full blocks round-robin plus the trailing partial block).
+func shareByRank(full int64, rem float64, g int64, blockBytes float64) []float64 {
+	share := make([]float64, g)
+	base, extra := full/g, full%g
+	for r := int64(0); r < g; r++ {
+		n := base
+		if r < extra {
+			n++
+		}
+		share[r] = float64(n) * blockBytes
+	}
+	if rem > 0 {
+		share[full%g] += rem
+	}
+	return share
+}

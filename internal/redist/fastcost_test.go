@@ -1,0 +1,131 @@
+package redist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FastCost must agree exactly with the matrix-based computation.
+func TestFastCostMatchesMatrixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(9)
+		q := 1 + r.Intn(9)
+		perm := r.Perm(14)
+		src := perm[:p]
+		// Overlap src and dst with probability ~1/2 per member.
+		dst := make([]int, 0, q)
+		pool := r.Perm(14)
+		for _, x := range pool {
+			if len(dst) == q {
+				break
+			}
+			dst = append(dst, x)
+		}
+		volume := r.Float64() * 9999
+		mat, err := testModel.TransferMatrix(volume, src, dst)
+		if err != nil {
+			return false
+		}
+		want := testModel.SinglePortTime(mat)
+		got, err := testModel.FastCost(volume, src, dst)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastCostIdenticalLayout(t *testing.T) {
+	procs := []int{4, 9, 2}
+	got, err := testModel.FastCost(1e7, procs, procs)
+	if err != nil || got != 0 {
+		t.Errorf("FastCost(same layout) = (%v, %v)", got, err)
+	}
+}
+
+func TestFastCostErrors(t *testing.T) {
+	if _, err := testModel.FastCost(10, nil, []int{0}); err == nil {
+		t.Error("empty src accepted")
+	}
+	if _, err := testModel.FastCost(-1, []int{0}, []int{1}); err == nil {
+		t.Error("negative volume accepted")
+	}
+	if _, err := testModel.FastCost(math.Inf(1), []int{0}, []int{1}); err == nil {
+		t.Error("infinite volume accepted")
+	}
+	if _, err := testModel.FastCost(10, []int{0, 0}, []int{1}); err == nil {
+		t.Error("duplicate src proc accepted")
+	}
+}
+
+func BenchmarkFastCost64x64(b *testing.B) {
+	src := make([]int, 64)
+	dst := make([]int, 64)
+	for i := range src {
+		src[i] = i
+		dst[i] = 32 + i // half-overlap
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := testModel.FastCost(1e6, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixCost64x64(b *testing.B) {
+	src := make([]int, 64)
+	dst := make([]int, 64)
+	for i := range src {
+		src[i] = i
+		dst[i] = 32 + i
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := testModel.Cost(1e6, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FastCostBuf must agree exactly with FastCost.
+func TestFastCostBufMatchesFastCostProperty(t *testing.T) {
+	buf := NewCostBuffer(20)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(9)
+		q := 1 + r.Intn(9)
+		src := r.Perm(20)[:p]
+		dst := r.Perm(20)[:q]
+		volume := r.Float64() * 9999
+		want, err := testModel.FastCost(volume, src, dst)
+		if err != nil {
+			return false
+		}
+		got := testModel.FastCostBuf(volume, src, dst, buf)
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFastCostBuf64x64(b *testing.B) {
+	src := make([]int, 64)
+	dst := make([]int, 64)
+	for i := range src {
+		src[i] = i
+		dst[i] = 32 + i
+	}
+	buf := NewCostBuffer(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		testModel.FastCostBuf(1e6, src, dst, buf)
+	}
+}

@@ -1,0 +1,324 @@
+package redist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testModel = Model{BlockBytes: 8, Bandwidth: 100}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{BlockBytes: 0, Bandwidth: 1},
+		{BlockBytes: -1, Bandwidth: 1},
+		{BlockBytes: 1, Bandwidth: 0},
+		{BlockBytes: math.NaN(), Bandwidth: 1},
+		{BlockBytes: 1, Bandwidth: math.Inf(1)},
+	}
+	for _, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+	if testModel.Validate() != nil {
+		t.Error("valid model rejected")
+	}
+}
+
+func TestCountCongruentBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		p := int64(1 + r.Intn(12))
+		q := int64(1 + r.Intn(12))
+		n := int64(r.Intn(200))
+		a := int64(r.Intn(int(p)))
+		c := int64(r.Intn(int(q)))
+		var want int64
+		for j := int64(0); j < n; j++ {
+			if j%p == a && j%q == c {
+				want++
+			}
+		}
+		if got := countCongruent(n, a, p, c, q); got != want {
+			t.Fatalf("countCongruent(n=%d,a=%d,p=%d,c=%d,q=%d) = %d, want %d",
+				n, a, p, c, q, got, want)
+		}
+	}
+}
+
+func TestTransferMatrixBruteForce(t *testing.T) {
+	// Compare against an element-wise simulation of the block mapping.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		p := 1 + r.Intn(6)
+		q := 1 + r.Intn(6)
+		src := r.Perm(12)[:p]
+		dst := r.Perm(12)[:q]
+		blocks := 1 + r.Intn(40)
+		volume := float64(blocks) * testModel.BlockBytes
+		mat, err := testModel.TransferMatrix(volume, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNet := make(map[[2]int]float64)
+		wantLocal := 0.0
+		for j := 0; j < blocks; j++ {
+			s, d := src[j%p], dst[j%q]
+			if s == d {
+				wantLocal += testModel.BlockBytes
+			} else {
+				wantNet[[2]int{j % p, j % q}] += testModel.BlockBytes
+			}
+		}
+		if math.Abs(mat.Local-wantLocal) > 1e-9 {
+			t.Fatalf("Local = %v, want %v (src=%v dst=%v blocks=%d)", mat.Local, wantLocal, src, dst, blocks)
+		}
+		for i := 0; i < p; i++ {
+			for jj := 0; jj < q; jj++ {
+				if math.Abs(mat.Vol[i][jj]-wantNet[[2]int{i, jj}]) > 1e-9 {
+					t.Fatalf("Vol[%d][%d] = %v, want %v", i, jj, mat.Vol[i][jj], wantNet[[2]int{i, jj}])
+				}
+			}
+		}
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(8)
+		q := 1 + r.Intn(8)
+		src := r.Perm(20)[:p]
+		dst := r.Perm(20)[:q]
+		volume := r.Float64() * 10000
+		mat, err := testModel.TransferMatrix(volume, src, dst)
+		if err != nil {
+			return false
+		}
+		return math.Abs(mat.NetworkBytes()+mat.Local-volume) < 1e-6*(1+volume)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointGroupsMatchPaperEstimate(t *testing.T) {
+	// For disjoint groups and block counts divisible by lcm(p,q), the
+	// single-port time equals D / (min(p,q) * bandwidth), the paper's
+	// aggregate-bandwidth estimate.
+	cases := []struct{ p, q int }{{1, 1}, {2, 4}, {4, 2}, {3, 5}, {8, 8}}
+	for _, c := range cases {
+		src := make([]int, c.p)
+		dst := make([]int, c.q)
+		for i := range src {
+			src[i] = i
+		}
+		for i := range dst {
+			dst[i] = 100 + i
+		}
+		_, l := gcdLcm(int64(c.p), int64(c.q))
+		volume := float64(l*12) * testModel.BlockBytes
+		mat, err := testModel.TransferMatrix(volume, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := testModel.SinglePortTime(mat)
+		minPQ := c.p
+		if c.q < minPQ {
+			minPQ = c.q
+		}
+		want := volume / (float64(minPQ) * testModel.Bandwidth)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("p=%d q=%d: time %v, want %v", c.p, c.q, got, want)
+		}
+	}
+}
+
+func TestIdenticalLayoutIsFree(t *testing.T) {
+	procs := []int{3, 1, 4}
+	cost, err := testModel.Cost(1e6, procs, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("cost = %v, want 0", cost)
+	}
+	// Same set, same order, but via the matrix: everything is local.
+	mat, err := testModel.TransferMatrix(999, procs, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.NetworkBytes() != 0 || math.Abs(mat.Local-999) > 1e-9 {
+		t.Errorf("network=%v local=%v", mat.NetworkBytes(), mat.Local)
+	}
+}
+
+func TestOverlapReducesCost(t *testing.T) {
+	// Growing a group in place keeps the old members' shares local.
+	src := []int{0, 1}
+	dstOverlap := []int{0, 1, 2, 3}
+	dstDisjoint := []int{10, 11, 12, 13}
+	volume := 64 * testModel.BlockBytes
+	co, err := testModel.Cost(volume, src, dstOverlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := testModel.Cost(volume, src, dstDisjoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co >= cd {
+		t.Errorf("overlapping destination not cheaper: %v vs %v", co, cd)
+	}
+	if co == 0 {
+		t.Error("partial overlap should still cost something")
+	}
+}
+
+func TestPartialBlock(t *testing.T) {
+	// 2.5 blocks from 1 proc to a different proc: all bytes cross.
+	mat, err := testModel.TransferMatrix(2.5*testModel.BlockBytes, []int{0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mat.NetworkBytes()-2.5*testModel.BlockBytes) > 1e-9 {
+		t.Errorf("network bytes = %v", mat.NetworkBytes())
+	}
+	// Sub-block volume.
+	mat, err = testModel.TransferMatrix(3, []int{0, 1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mat.Vol[0][0]-3) > 1e-9 {
+		t.Errorf("sub-block volume landed at %v", mat.Vol)
+	}
+}
+
+func TestTransferMatrixErrors(t *testing.T) {
+	if _, err := testModel.TransferMatrix(10, nil, []int{0}); err == nil {
+		t.Error("empty src accepted")
+	}
+	if _, err := testModel.TransferMatrix(10, []int{0}, nil); err == nil {
+		t.Error("empty dst accepted")
+	}
+	if _, err := testModel.TransferMatrix(-1, []int{0}, []int{1}); err == nil {
+		t.Error("negative volume accepted")
+	}
+	if _, err := testModel.TransferMatrix(math.NaN(), []int{0}, []int{1}); err == nil {
+		t.Error("NaN volume accepted")
+	}
+	if _, err := testModel.TransferMatrix(10, []int{0, 0}, []int{1}); err == nil {
+		t.Error("duplicate processor accepted")
+	}
+}
+
+func TestResidentShare(t *testing.T) {
+	// 10 blocks over 3 procs: ranks get 4,3,3 blocks.
+	vol := 10 * testModel.BlockBytes
+	share, err := testModel.ResidentShare(vol, []int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4 * testModel.BlockBytes, 3 * testModel.BlockBytes, 3 * testModel.BlockBytes}
+	for i := range want {
+		if math.Abs(share[i]-want[i]) > 1e-9 {
+			t.Errorf("share[%d] = %v, want %v", i, share[i], want[i])
+		}
+	}
+	// Partial block goes to the next rank in sequence (rank full%p).
+	share, err = testModel.ResidentShare(vol+2, []int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(share[1]-(3*testModel.BlockBytes+2)) > 1e-9 {
+		t.Errorf("partial block share = %v", share)
+	}
+}
+
+func TestResidentShareSumsToVolumeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(10)
+		procs := r.Perm(16)[:p]
+		vol := r.Float64() * 5000
+		share, err := testModel.ResidentShare(vol, procs)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, s := range share {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-vol) < 1e-6*(1+vol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransfersSortedDescending(t *testing.T) {
+	mat, err := testModel.TransferMatrix(33*testModel.BlockBytes, []int{0, 1, 2}, []int{1, 3}) // proc 1 shared
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := mat.Transfers()
+	if len(ts) == 0 {
+		t.Fatal("no transfers")
+	}
+	var sum float64
+	for i, tr := range ts {
+		if tr.Src == tr.Dst {
+			t.Errorf("local pair leaked into transfers: %+v", tr)
+		}
+		if i > 0 && tr.Bytes > ts[i-1].Bytes {
+			t.Errorf("transfers not sorted: %v after %v", tr.Bytes, ts[i-1].Bytes)
+		}
+		sum += tr.Bytes
+	}
+	if math.Abs(sum-mat.NetworkBytes()) > 1e-9 {
+		t.Errorf("transfer sum %v != network bytes %v", sum, mat.NetworkBytes())
+	}
+}
+
+func TestSinglePortSharedNodeCountsBothDirections(t *testing.T) {
+	// src {0,1}, dst {1,2}: node 1 both sends and receives; its port load
+	// is the sum of both.
+	volume := 4 * testModel.BlockBytes // blocks 0..3
+	mat, err := testModel.TransferMatrix(volume, []int{0, 1}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block j: src rank j%2, dst rank j%2 => src0->dst0 (0->1) blocks 0,2;
+	// src1->dst1 (1->2) blocks 1,3. Node 1 receives 2 blocks and sends 2.
+	got := testModel.SinglePortTime(mat)
+	want := 4 * testModel.BlockBytes / testModel.Bandwidth
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("time = %v, want %v", got, want)
+	}
+}
+
+func TestCostMonotoneInVolumeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(6)
+		q := 1 + r.Intn(6)
+		src := r.Perm(14)[:p]
+		dst := r.Perm(14)[:q]
+		v1 := r.Float64() * 1000
+		v2 := v1 + r.Float64()*1000
+		c1, err1 := testModel.Cost(v1, src, dst)
+		c2, err2 := testModel.Cost(v2, src, dst)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c2 >= c1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package redist
+
+import "sort"
+
+// TransfersBalanced flattens the matrix into point-to-point transfers
+// ordered for single-port execution: transfers are grouped into "shift
+// classes" (destination rank minus source rank, the caterpillar schedule of
+// classic block-cyclic redistribution). Within a class no two transfers
+// share a source, and for equal group sizes none share a destination
+// either, so a greedy port scheduler executing the list in order achieves
+// the per-port load bound instead of the up-to-2x inflation a volume-sorted
+// order can suffer.
+func (mat *Matrix) TransfersBalanced() []Transfer {
+	q := len(mat.Dst)
+	type keyed struct {
+		shift, src int
+		t          Transfer
+	}
+	var ks []keyed
+	for i, row := range mat.Vol {
+		for j, v := range row {
+			if v > 0 {
+				shift := (j - i) % q
+				if shift < 0 {
+					shift += q
+				}
+				ks = append(ks, keyed{shift: shift, src: i,
+					t: Transfer{Src: mat.Src[i], Dst: mat.Dst[j], Bytes: v}})
+			}
+		}
+	}
+	sort.Slice(ks, func(a, b int) bool {
+		if ks[a].shift != ks[b].shift {
+			return ks[a].shift < ks[b].shift
+		}
+		return ks[a].src < ks[b].src
+	})
+	ts := make([]Transfer, len(ks))
+	for i, k := range ks {
+		ts[i] = k.t
+	}
+	return ts
+}

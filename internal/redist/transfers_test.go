@@ -1,0 +1,82 @@
+package redist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// greedyMakespan simulates single-port greedy execution of a transfer list
+// in order, returning the completion time.
+func greedyMakespan(ts []Transfer, bw float64) float64 {
+	port := map[int]float64{}
+	var end float64
+	for _, tr := range ts {
+		start := math.Max(port[tr.Src], port[tr.Dst])
+		fin := start + tr.Bytes/bw
+		port[tr.Src], port[tr.Dst] = fin, fin
+		if fin > end {
+			end = fin
+		}
+	}
+	return end
+}
+
+func TestTransfersBalancedSameVolume(t *testing.T) {
+	mat, err := testModel.TransferMatrix(500*testModel.BlockBytes, []int{0, 1, 2, 3}, []int{2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b float64
+	for _, tr := range mat.Transfers() {
+		a += tr.Bytes
+	}
+	for _, tr := range mat.TransfersBalanced() {
+		b += tr.Bytes
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("volume mismatch: %v vs %v", a, b)
+	}
+}
+
+// For equal disjoint groups the balanced order must achieve the optimal
+// single-port time exactly.
+func TestTransfersBalancedOptimalEqualGroups(t *testing.T) {
+	src := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	dst := []int{10, 11, 12, 13, 14, 15, 16, 17}
+	vol := 64 * 8 * testModel.BlockBytes
+	mat, err := testModel.TransferMatrix(vol, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testModel.SinglePortTime(mat)
+	got := greedyMakespan(mat.TransfersBalanced(), testModel.Bandwidth)
+	if math.Abs(got-opt) > 1e-9*opt {
+		t.Errorf("balanced greedy %v, optimal %v", got, opt)
+	}
+}
+
+// Property: the balanced order is never worse than 2x optimal and never
+// better than optimal; on random group pairs it should usually stay close
+// to optimal.
+func TestTransfersBalancedNearOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(8)
+		q := 1 + r.Intn(8)
+		src := r.Perm(20)[:p]
+		dst := r.Perm(20)[p : p+q] // disjoint
+		vol := (1 + r.Float64()) * 300 * testModel.BlockBytes
+		mat, err := testModel.TransferMatrix(vol, src, dst)
+		if err != nil {
+			return false
+		}
+		opt := testModel.SinglePortTime(mat)
+		got := greedyMakespan(mat.TransfersBalanced(), testModel.Bandwidth)
+		return got >= opt-1e-9 && got <= 2*opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"time"
+
+	"locmps/internal/core"
+	"locmps/internal/graph"
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+// CPR implements Critical Path Reduction (Radulescu, Nicolescu, van Gemund
+// & Jonker, IPDPS 2001), a single-step mixed-parallel scheduler: starting
+// from one processor per task, it repeatedly tries giving one more
+// processor to each critical-path task, re-schedules with its list
+// scheduler, and commits the single change that most reduces the makespan;
+// it stops as soon as no critical-path task improves the makespan.
+//
+// CPR models inter-task communication but is neither locality aware nor
+// backfilling, which is why it falls behind LoC-MPS as CCR grows (Fig 5).
+type CPR struct{}
+
+// Name implements schedule.Scheduler.
+func (CPR) Name() string { return "CPR" }
+
+// Schedule implements schedule.Scheduler.
+func (CPR) Schedule(tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, error) {
+	started := time.Now()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := tg.N()
+	pbest := make([]int, n)
+	for t := 0; t < n; t++ {
+		pbest[t] = speedup.Pbest(tg.Tasks[t].Profile, c.P)
+	}
+	np := make([]int, n)
+	for i := range np {
+		np[i] = 1
+	}
+	cfg := listConfig()
+	best, err := core.LoCBS(tg, c, np, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cp, err := criticalTasks(best, tg, np)
+		if err != nil {
+			return nil, err
+		}
+		bestTask := -1
+		var bestSched *schedule.Schedule
+		for _, t := range cp {
+			limit := pbest[t]
+			if c.P < limit {
+				limit = c.P
+			}
+			if np[t] >= limit {
+				continue
+			}
+			np[t]++
+			cand, err := core.LoCBS(tg, c, np, cfg)
+			np[t]--
+			if err != nil {
+				return nil, err
+			}
+			if cand.Makespan < best.Makespan-schedule.Eps &&
+				(bestSched == nil || cand.Makespan < bestSched.Makespan) {
+				bestTask, bestSched = t, cand
+			}
+		}
+		if bestTask < 0 {
+			break
+		}
+		np[bestTask]++
+		best = bestSched
+	}
+	best.Algorithm = "CPR"
+	best.SchedulingTime = time.Since(started)
+	return best, nil
+}
+
+// criticalTasks returns the tasks on the critical path of the schedule-DAG
+// under the given allocation, with communication-aware edge weights.
+func criticalTasks(s *schedule.Schedule, tg *model.TaskGraph, np []int) ([]int, error) {
+	g := s.ScheduleDAG(tg)
+	vw := func(v int) float64 { return tg.ExecTime(v, np[v]) }
+	ew := func(u, v int) float64 {
+		if tg.DAG().HasEdge(u, v) {
+			return s.CommOn(u, v)
+		}
+		return 0
+	}
+	_, path, err := graph.CriticalPath(g, vw, ew)
+	return path, err
+}

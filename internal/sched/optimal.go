@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"locmps/internal/model"
+	"locmps/internal/redist"
+	"locmps/internal/schedule"
+)
+
+// Optimal is an exhaustive branch-and-bound scheduler for *tiny* instances
+// (≲ 8 tasks, small P). It enumerates task orders, processor counts and
+// contiguous-free processor subsets to find the minimum-makespan schedule
+// under the same cost model the heuristics use, providing ground truth for
+// optimality-gap measurements in tests and benchmarks. It is exponential
+// by nature and returns an error when the instance exceeds MaxTasks.
+type Optimal struct {
+	// MaxTasks guards against accidental exponential blow-up (default 8).
+	MaxTasks int
+	// BlockBytes is the redistribution block size (0 = 64 KiB).
+	BlockBytes float64
+}
+
+// Name implements schedule.Scheduler.
+func (Optimal) Name() string { return "OPT" }
+
+const defaultOptMaxTasks = 8
+
+// Schedule implements schedule.Scheduler.
+func (o Optimal) Schedule(tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, error) {
+	started := time.Now()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	maxTasks := o.MaxTasks
+	if maxTasks == 0 {
+		maxTasks = defaultOptMaxTasks
+	}
+	if tg.N() > maxTasks {
+		return nil, fmt.Errorf("sched: OPT limited to %d tasks, got %d", maxTasks, tg.N())
+	}
+	blockBytes := o.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = 64 * 1024
+	}
+	b := &bnb{
+		tg: tg, c: c,
+		rm:     redist.Model{BlockBytes: blockBytes, Bandwidth: c.Bandwidth},
+		bestMk: math.Inf(1),
+		free:   make([]float64, c.P),
+		place:  make([]schedule.Placement, tg.N()),
+		done:   make([]bool, tg.N()),
+	}
+	// A quick heuristic upper bound tightens pruning dramatically.
+	if h, err := LoCMPS().Schedule(tg, c); err == nil {
+		b.bestMk = h.Makespan + schedule.Eps
+		b.best = append([]schedule.Placement(nil), h.Placements...)
+	}
+	b.search(0, 0)
+	if b.best == nil {
+		return nil, fmt.Errorf("sched: OPT found no schedule")
+	}
+	s := schedule.NewSchedule("OPT", c, tg.N())
+	copy(s.Placements, b.best)
+	s.ComputeMakespan()
+	s.SchedulingTime = time.Since(started)
+	return s, nil
+}
+
+// bnb is the branch-and-bound state. The search assigns tasks one at a
+// time in (any) topological-compatible order; for each ready task it tries
+// every processor count and every "earliest-finish" subset of processors
+// drawn greedily by availability, which preserves optimality for the
+// frontier (non-backfilling) schedule space it explores. Because every
+// heuristic in this module also produces frontier-feasible schedules for
+// these tiny flat instances, the bound is a meaningful ground truth; the
+// returned makespan is additionally upper-bounded by LoC-MPS's result, so
+// OPT is never worse than the heuristic.
+type bnb struct {
+	tg *model.TaskGraph
+	c  model.Cluster
+	rm redist.Model
+
+	free   []float64 // per-processor frontier
+	place  []schedule.Placement
+	done   []bool
+	bestMk float64
+	best   []schedule.Placement
+}
+
+func (b *bnb) search(placed int, lower float64) {
+	if lower >= b.bestMk-schedule.Eps {
+		return // prune
+	}
+	if placed == b.tg.N() {
+		mk := 0.0
+		for _, pl := range b.place {
+			if pl.Finish > mk {
+				mk = pl.Finish
+			}
+		}
+		if mk < b.bestMk-schedule.Eps {
+			b.bestMk = mk
+			b.best = append(b.best[:0], b.place...)
+			for i := range b.best {
+				b.best[i].Procs = append([]int(nil), b.place[i].Procs...)
+			}
+		}
+		return
+	}
+	for t := 0; t < b.tg.N(); t++ {
+		if b.done[t] {
+			continue
+		}
+		ready := true
+		for _, par := range b.tg.DAG().Pred(t) {
+			if !b.done[par] {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		b.tryTask(t, placed)
+	}
+}
+
+// tryTask branches over processor counts and subsets for task t.
+func (b *bnb) tryTask(t, placed int) {
+	parents := b.tg.DAG().Pred(t)
+	maxParentFt := 0.0
+	for _, par := range parents {
+		if ft := b.place[par].Finish; ft > maxParentFt {
+			maxParentFt = ft
+		}
+	}
+	type procAvail struct {
+		id   int
+		from float64
+	}
+	avail := make([]procAvail, b.c.P)
+	for p := 0; p < b.c.P; p++ {
+		avail[p] = procAvail{id: p, from: b.free[p]}
+	}
+
+	for np := 1; np <= b.c.P; np++ {
+		et := b.tg.ExecTime(t, np)
+		// Enumerate subsets of size np. For tractability (P small in OPT
+		// use) enumerate all C(P, np) subsets via lexicographic index
+		// vectors.
+		idx := make([]int, np)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			procs := make([]int, np)
+			start := maxParentFt
+			for i, k := range idx {
+				procs[i] = avail[k].id
+				if avail[k].from > start {
+					start = avail[k].from
+				}
+			}
+			sort.Ints(procs)
+			// Redistribution delay under the overlap model.
+			commStart, commSum, rct := maxParentFt, 0.0, maxParentFt
+			for _, par := range parents {
+				vol := b.tg.Volume(par, t)
+				if vol == 0 {
+					continue
+				}
+				ct, err := b.rm.FastCost(vol, b.place[par].Procs, procs)
+				if err != nil {
+					return
+				}
+				commSum += ct
+				if arr := b.place[par].Finish + ct; arr > rct {
+					rct = arr
+				}
+			}
+			var st float64
+			if b.c.Overlap {
+				st = math.Max(start, rct)
+			} else {
+				st = math.Max(start, commStart) + commSum
+			}
+			ft := st + et
+			if ft < b.bestMk-schedule.Eps {
+				saveFree := make([]float64, len(procs))
+				for i, p := range procs {
+					saveFree[i] = b.free[p]
+					b.free[p] = ft
+				}
+				b.place[t] = schedule.Placement{Procs: procs, Start: st, Finish: ft, DataReady: rct}
+				b.done[t] = true
+				b.search(placed+1, lowerBound(ft))
+				b.done[t] = false
+				for i, p := range procs {
+					b.free[p] = saveFree[i]
+				}
+			}
+			if !nextCombination(idx, b.c.P) {
+				break
+			}
+		}
+	}
+}
+
+// lowerBound: the finish time just committed is a trivial lower bound on
+// the final makespan of this branch.
+func lowerBound(ft float64) float64 { return ft }
+
+// nextCombination advances idx to the next k-combination of [0, n);
+// returns false when exhausted.
+func nextCombination(idx []int, n int) bool {
+	k := len(idx)
+	for i := k - 1; i >= 0; i-- {
+		if idx[i] < n-k+i {
+			idx[i]++
+			for j := i + 1; j < k; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+func TestOptimalRejectsLargeInstances(t *testing.T) {
+	tg := randomTG(rand.New(rand.NewSource(1)), 12)
+	if _, err := (Optimal{}).Schedule(tg, model.Cluster{P: 2, Bandwidth: 1, Overlap: true}); err == nil {
+		t.Error("12-task instance accepted by OPT")
+	}
+}
+
+func TestOptimalKnownInstances(t *testing.T) {
+	c := model.Cluster{P: 4, Bandwidth: 1e6, Overlap: true}
+
+	// Paper Fig 3: two independent linear tasks (40, 80) on P=4; the
+	// optimum is the data-parallel schedule at 30.
+	tg := mustTG(t, []model.Task{
+		{Name: "T1", Profile: speedup.Linear{T1: 40}},
+		{Name: "T2", Profile: speedup.Linear{T1: 80}},
+	}, nil)
+	s, err := (Optimal{}).Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-30) > 1e-6 {
+		t.Errorf("OPT makespan = %v, want 30", s.Makespan)
+	}
+
+	// A chain has no scheduling freedom beyond widths: chain of two
+	// unscalable tasks -> sum of times.
+	ser, err := speedup.NewTable([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := mustTG(t, []model.Task{
+		{Name: "a", Profile: ser}, {Name: "b", Profile: ser},
+	}, []model.Edge{{From: 0, To: 1}})
+	s, err = (Optimal{}).Schedule(chain, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 14 {
+		t.Errorf("chain OPT = %v, want 14", s.Makespan)
+	}
+}
+
+// The heuristics must never beat OPT, and LoC-MPS should stay close to it
+// on tiny random instances.
+func TestHeuristicsVersusOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var gaps []float64
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + r.Intn(3) // 3-5 tasks
+		tasks := make([]model.Task, n)
+		for i := range tasks {
+			tasks[i] = model.Task{
+				Name:    "t",
+				Profile: speedup.Downey{T1: 5 + r.Float64()*20, A: 1 + r.Float64()*6, Sigma: r.Float64()},
+			}
+		}
+		var edges []model.Edge
+		for v := 1; v < n; v++ {
+			if r.Intn(2) == 0 {
+				edges = append(edges, model.Edge{From: r.Intn(v), To: v, Volume: r.Float64() * 1e5})
+			}
+		}
+		tg, err := model.NewTaskGraph(tasks, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := model.Cluster{P: 3, Bandwidth: 1e6, Overlap: true}
+		opt, err := (Optimal{}).Schedule(tg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Validate(tg); err != nil {
+			t.Fatalf("OPT schedule invalid: %v", err)
+		}
+		for _, alg := range All() {
+			s, err := alg.Schedule(tg, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Makespan < opt.Makespan-1e-6 {
+				t.Errorf("trial %d: %s (%v) beat OPT (%v)", trial, alg.Name(), s.Makespan, opt.Makespan)
+			}
+		}
+		loc, err := LoCMPS().Schedule(tg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps = append(gaps, loc.Makespan/opt.Makespan)
+	}
+	var worst float64
+	for _, g := range gaps {
+		if g > worst {
+			worst = g
+		}
+	}
+	t.Logf("LoC-MPS optimality gaps: worst %.3f over %d instances", worst, len(gaps))
+	if worst > 1.5 {
+		t.Errorf("LoC-MPS worst optimality gap %.3f exceeds 1.5", worst)
+	}
+}
+
+func TestNextCombination(t *testing.T) {
+	idx := []int{0, 1}
+	var combos [][2]int
+	for {
+		combos = append(combos, [2]int{idx[0], idx[1]})
+		if !nextCombination(idx, 4) {
+			break
+		}
+	}
+	want := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(combos) != len(want) {
+		t.Fatalf("combos = %v", combos)
+	}
+	for i := range want {
+		if combos[i] != want[i] {
+			t.Fatalf("combos = %v, want %v", combos, want)
+		}
+	}
+}
+
+var _ schedule.Scheduler = Optimal{}

@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"fmt"
+
+	"locmps/internal/schedule"
+)
+
+// All returns fresh instances of the six algorithms evaluated in the paper,
+// in the order they appear in its figures: LoC-MPS, iCASLB, CPR, CPA, TASK,
+// DATA.
+func All() []schedule.Scheduler {
+	return []schedule.Scheduler{
+		LoCMPS(), ICASLB(), CPR{}, CPA{}, Task{}, Data{},
+	}
+}
+
+// Baselines returns every algorithm except LoC-MPS itself.
+func Baselines() []schedule.Scheduler {
+	return []schedule.Scheduler{ICASLB(), CPR{}, CPA{}, Task{}, Data{}}
+}
+
+// ByName looks an algorithm up by its display name (case sensitive).
+// Recognized names: LoC-MPS, LoC-MPS-NoBF, iCASLB, CPR, CPA, TASK, DATA,
+// plus the extensions M-HEFT and OPT.
+func ByName(name string) (schedule.Scheduler, error) {
+	switch name {
+	case "M-HEFT":
+		return MHEFT{}, nil
+	case "OPT":
+		return Optimal{}, nil
+	case "LoC-MPS":
+		return LoCMPS(), nil
+	case "LoC-MPS-NoBF":
+		return LoCMPSNoBackfill(), nil
+	case "iCASLB":
+		return ICASLB(), nil
+	case "CPR":
+		return CPR{}, nil
+	case "CPA":
+		return CPA{}, nil
+	case "TASK":
+		return Task{}, nil
+	case "DATA":
+		return Data{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,97 @@
+// Package sched provides the baseline scheduling algorithms the paper
+// evaluates LoC-MPS against: CPR [5], CPA [6], pure task-parallel (TASK)
+// and pure data-parallel (DATA), plus constructors re-exporting the
+// LoC-MPS variants from internal/core (iCASLB, no-backfill).
+//
+// All types implement schedule.Scheduler.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"locmps/internal/core"
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+)
+
+// LoCMPS returns the paper's full algorithm.
+func LoCMPS() schedule.Scheduler { return core.New() }
+
+// LoCMPSNoBackfill returns the Figure 6 frontier-only variant.
+func LoCMPSNoBackfill() schedule.Scheduler { return core.NewNoBackfill() }
+
+// ICASLB returns the authors' earlier communication-blind algorithm.
+func ICASLB() schedule.Scheduler { return core.NewICASLB() }
+
+// listConfig is the placement engine CPR and CPA use: priority list
+// scheduling, communication-aware timing, but neither locality nor
+// backfilling (paper §IV: "they do not use a locality aware scheduling
+// algorithm").
+func listConfig() core.Config {
+	return core.Config{Backfill: false, Locality: false, CommAware: true}
+}
+
+// Task is the pure task-parallel baseline: one processor per task, placed
+// with the locality conscious backfill scheduler (paper §IV).
+type Task struct{}
+
+// Name implements schedule.Scheduler.
+func (Task) Name() string { return "TASK" }
+
+// Schedule implements schedule.Scheduler.
+func (Task) Schedule(tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, error) {
+	started := time.Now()
+	np := make([]int, tg.N())
+	for i := range np {
+		np[i] = 1
+	}
+	s, err := core.LoCBS(tg, c, np, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.Algorithm = "TASK"
+	s.SchedulingTime = time.Since(started)
+	return s, nil
+}
+
+// Data is the pure data-parallel baseline: every task runs on all P
+// processors, one task at a time, in topological order. With a block-cyclic
+// layout over the full machine no redistribution is ever needed (paper
+// §IV: "In DATA, as all tasks are executed on all processors, no
+// redistribution cost is incurred").
+type Data struct{}
+
+// Name implements schedule.Scheduler.
+func (Data) Name() string { return "DATA" }
+
+// Schedule implements schedule.Scheduler.
+func (Data) Schedule(tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, error) {
+	started := time.Now()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := tg.DAG().TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	all := make([]int, c.P)
+	for i := range all {
+		all[i] = i
+	}
+	s := schedule.NewSchedule("DATA", c, tg.N())
+	now := 0.0
+	for _, t := range order {
+		et := tg.ExecTime(t, c.P)
+		s.Placements[t] = schedule.Placement{
+			Procs:     all,
+			Start:     now,
+			Finish:    now + et,
+			DataReady: now,
+		}
+		now += et
+	}
+	s.Makespan = now
+	s.SchedulingTime = time.Since(started)
+	return s, nil
+}

@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+func mustTG(t *testing.T, tasks []model.Task, edges []model.Edge) *model.TaskGraph {
+	t.Helper()
+	tg, err := model.NewTaskGraph(tasks, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func downey(t *testing.T, t1, a, sigma float64) speedup.Profile {
+	t.Helper()
+	p, err := speedup.NewDowney(t1, a, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// forkJoin builds src -> {k mid tasks} -> sink with the given volumes.
+func forkJoin(t *testing.T, k int, vol float64) *model.TaskGraph {
+	t.Helper()
+	tasks := []model.Task{{Name: "src", Profile: downey(t, 10, 4, 1)}}
+	var edges []model.Edge
+	for i := 0; i < k; i++ {
+		tasks = append(tasks, model.Task{Name: "mid", Profile: downey(t, 30, 8, 1)})
+		edges = append(edges, model.Edge{From: 0, To: i + 1, Volume: vol})
+	}
+	sink := len(tasks)
+	tasks = append(tasks, model.Task{Name: "sink", Profile: downey(t, 10, 4, 1)})
+	for i := 0; i < k; i++ {
+		edges = append(edges, model.Edge{From: i + 1, To: sink, Volume: vol})
+	}
+	return mustTG(t, tasks, edges)
+}
+
+var cl = model.Cluster{P: 8, Bandwidth: 1e6, Overlap: true}
+
+func TestAllSchedulersValidOnForkJoin(t *testing.T) {
+	tg := forkJoin(t, 4, 1e5)
+	for _, alg := range All() {
+		s, err := alg.Schedule(tg, cl)
+		if err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+			continue
+		}
+		if err := s.Validate(tg); err != nil {
+			t.Errorf("%s: invalid schedule: %v", alg.Name(), err)
+		}
+		if s.Makespan <= 0 {
+			t.Errorf("%s: makespan %v", alg.Name(), s.Makespan)
+		}
+		if s.Algorithm != alg.Name() {
+			t.Errorf("schedule labeled %q from %q", s.Algorithm, alg.Name())
+		}
+	}
+}
+
+func TestDataSchedule(t *testing.T) {
+	tg := forkJoin(t, 3, 1e6)
+	s, err := Data{}.Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	// Makespan is the sum of all-P execution times, no comm.
+	var want float64
+	for i := 0; i < tg.N(); i++ {
+		want += tg.ExecTime(i, cl.P)
+	}
+	if math.Abs(s.Makespan-want) > 1e-9 {
+		t.Errorf("DATA makespan = %v, want %v", s.Makespan, want)
+	}
+	for i, pl := range s.Placements {
+		if pl.NP() != cl.P {
+			t.Errorf("task %d on %d procs, want %d", i, pl.NP(), cl.P)
+		}
+		if pl.CommTime != 0 {
+			t.Errorf("task %d charged comm %v", i, pl.CommTime)
+		}
+	}
+}
+
+func TestTaskScheduleUsesOneProcEach(t *testing.T) {
+	tg := forkJoin(t, 5, 0)
+	s, err := Task{}.Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pl := range s.Placements {
+		if pl.NP() != 1 {
+			t.Errorf("task %d on %d procs", i, pl.NP())
+		}
+	}
+	// With 5 independent mids on 8 procs they all run concurrently.
+	var maxMid float64
+	for i := 1; i <= 5; i++ {
+		if ft := s.Placements[i].Finish; ft > maxMid {
+			maxMid = ft
+		}
+	}
+	src := s.Placements[0]
+	for i := 1; i <= 5; i++ {
+		if s.Placements[i].Start < src.Finish-schedule.Eps {
+			t.Errorf("mid %d started before src finished", i)
+		}
+	}
+}
+
+func TestCPRReducesMakespanOverTask(t *testing.T) {
+	// A single scalable task: TASK leaves it on one processor; CPR must
+	// widen it.
+	tg := mustTG(t, []model.Task{{Name: "big", Profile: downey(t, 100, 8, 0)}}, nil)
+	taskS, err := Task{}.Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cprS, err := CPR{}.Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cprS.Makespan >= taskS.Makespan {
+		t.Errorf("CPR %v not better than TASK %v", cprS.Makespan, taskS.Makespan)
+	}
+	if math.Abs(cprS.Makespan-100.0/8) > 1e-9 {
+		t.Errorf("CPR makespan = %v, want 12.5 (saturated width)", cprS.Makespan)
+	}
+}
+
+func TestCPAAllocationBalancesAreaAndCP(t *testing.T) {
+	// Two independent perfectly-scalable tasks on P=4: CPA phase 1 should
+	// stop growing near the area balance, and phase 2 run them in
+	// parallel.
+	tg := mustTG(t, []model.Task{
+		{Name: "a", Profile: speedup.Linear{T1: 40}},
+		{Name: "b", Profile: speedup.Linear{T1: 40}},
+	}, nil)
+	c := model.Cluster{P: 4, Bandwidth: 1e6, Overlap: true}
+	s, err := CPA{}.Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	// Perfect answer: both on 2 procs, parallel, makespan 20.
+	if s.Makespan > 20+schedule.Eps {
+		t.Errorf("CPA makespan = %v, want <= 20", s.Makespan)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"LoC-MPS", "LoC-MPS-NoBF", "iCASLB", "CPR", "CPA", "TASK", "DATA"} {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if alg.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, alg.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func randomTG(r *rand.Rand, n int) *model.TaskGraph {
+	tasks := make([]model.Task, n)
+	for i := range tasks {
+		tasks[i] = model.Task{
+			Name:    "t",
+			Profile: speedup.Downey{T1: 1 + r.Float64()*59, A: 1 + r.Float64()*40, Sigma: r.Float64() * 2},
+		}
+	}
+	var edges []model.Edge
+	for v := 1; v < n; v++ {
+		seen := map[int]bool{}
+		for k := 0; k < r.Intn(3); k++ {
+			u := r.Intn(v)
+			if !seen[u] {
+				seen[u] = true
+				edges = append(edges, model.Edge{From: u, To: v, Volume: r.Float64() * 1e6})
+			}
+		}
+	}
+	tg, err := model.NewTaskGraph(tasks, edges)
+	if err != nil {
+		panic(err)
+	}
+	return tg
+}
+
+// Property: all baselines produce valid schedules on random graphs under
+// both system models.
+func TestBaselinesValidOnRandomGraphsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tg := randomTG(r, 3+r.Intn(8))
+		c := model.Cluster{P: 2 + r.Intn(7), Bandwidth: 1e6, Overlap: seed%2 == 0}
+		for _, alg := range All() {
+			s, err := alg.Schedule(tg, c)
+			if err != nil {
+				t.Logf("%s: %v", alg.Name(), err)
+				return false
+			}
+			if err := s.Validate(tg); err != nil {
+				t.Logf("%s: %v", alg.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMHEFTWidensScalableTask(t *testing.T) {
+	// One perfectly scalable task: M-HEFT should give it the machine.
+	tg := mustTG(t, []model.Task{{Name: "big", Profile: speedup.Linear{T1: 100}}}, nil)
+	s, err := MHEFT{}.Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Placements[0].NP() != cl.P {
+		t.Errorf("M-HEFT width = %d, want %d", s.Placements[0].NP(), cl.P)
+	}
+}
+
+func TestMHEFTValidAndBetweenExtremes(t *testing.T) {
+	tg := forkJoin(t, 4, 1e5)
+	mh, err := MHEFT{}.Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mh.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	task, err := Task{}.Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Makespan > task.Makespan+schedule.Eps {
+		t.Errorf("M-HEFT %v worse than TASK %v", mh.Makespan, task.Makespan)
+	}
+}
+
+func TestMHEFTNeverBeatsOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		tg := randomTG(r, 4)
+		c := model.Cluster{P: 3, Bandwidth: 1e6, Overlap: true}
+		opt, err := (Optimal{}).Schedule(tg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mh, err := MHEFT{}.Schedule(tg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mh.Makespan < opt.Makespan-1e-6 {
+			t.Errorf("M-HEFT %v beat OPT %v", mh.Makespan, opt.Makespan)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"locmps/internal/model"
+)
+
+// exported JSON forms.
+type placementJSON struct {
+	Task      int     `json:"task"`
+	Name      string  `json:"name"`
+	Procs     []int   `json:"procs"`
+	Start     float64 `json:"start"`
+	Finish    float64 `json:"finish"`
+	DataReady float64 `json:"dataReady"`
+	CommTime  float64 `json:"commTime"`
+}
+
+type scheduleJSON struct {
+	Algorithm      string          `json:"algorithm"`
+	Procs          int             `json:"procs"`
+	Bandwidth      float64         `json:"bandwidth"`
+	Overlap        bool            `json:"overlap"`
+	Makespan       float64         `json:"makespan"`
+	Utilization    float64         `json:"utilization"`
+	SchedulingSecs float64         `json:"schedulingSeconds"`
+	Placements     []placementJSON `json:"placements"`
+}
+
+// WriteJSON serializes the schedule (with task names resolved from the
+// graph) for external tooling.
+func (s *Schedule) WriteJSON(w io.Writer, tg *model.TaskGraph) error {
+	if len(s.Placements) != tg.N() {
+		return fmt.Errorf("schedule: %d placements for %d tasks", len(s.Placements), tg.N())
+	}
+	sj := scheduleJSON{
+		Algorithm:      s.Algorithm,
+		Procs:          s.Cluster.P,
+		Bandwidth:      s.Cluster.Bandwidth,
+		Overlap:        s.Cluster.Overlap,
+		Makespan:       s.Makespan,
+		Utilization:    s.Utilization(tg),
+		SchedulingSecs: s.SchedulingTime.Seconds(),
+	}
+	for t, pl := range s.Placements {
+		sj.Placements = append(sj.Placements, placementJSON{
+			Task:      t,
+			Name:      tg.Tasks[t].Name,
+			Procs:     pl.Procs,
+			Start:     pl.Start,
+			Finish:    pl.Finish,
+			DataReady: pl.DataReady,
+			CommTime:  pl.CommTime,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}
+
+// WriteCSV emits one row per task: id, name, np, procs (space separated),
+// start, finish, commTime.
+func (s *Schedule) WriteCSV(w io.Writer, tg *model.TaskGraph) error {
+	if len(s.Placements) != tg.N() {
+		return fmt.Errorf("schedule: %d placements for %d tasks", len(s.Placements), tg.N())
+	}
+	var b strings.Builder
+	b.WriteString("task,name,np,procs,start,finish,commTime\n")
+	for t, pl := range s.Placements {
+		procs := make([]string, len(pl.Procs))
+		for i, p := range pl.Procs {
+			procs[i] = fmt.Sprint(p)
+		}
+		fmt.Fprintf(&b, "%d,%s,%d,%s,%g,%g,%g\n",
+			t, tg.Tasks[t].Name, pl.NP(), strings.Join(procs, " "),
+			pl.Start, pl.Finish, pl.CommTime)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary returns a one-paragraph human-readable description: makespan,
+// utilization, allocation histogram.
+func (s *Schedule) Summary(tg *model.TaskGraph) string {
+	hist := map[int]int{}
+	for _, pl := range s.Placements {
+		hist[pl.NP()]++
+	}
+	widths := make([]int, 0, len(hist))
+	for w := range hist {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+	var parts []string
+	for _, w := range widths {
+		parts = append(parts, fmt.Sprintf("%dx np=%d", hist[w], w))
+	}
+	return fmt.Sprintf("%s: makespan %.6g on P=%d, utilization %.1f%%, allocations [%s], scheduling %v",
+		s.Algorithm, s.Makespan, s.Cluster.P, 100*s.Utilization(tg),
+		strings.Join(parts, ", "), s.SchedulingTime)
+}

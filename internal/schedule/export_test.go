@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONSchedule(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 12, Finish: 17, DataReady: 12, CommTime: 2}
+	s.ComputeMakespan()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["algorithm"] != "LoC-MPS" {
+		t.Errorf("algorithm = %v", decoded["algorithm"])
+	}
+	if decoded["makespan"].(float64) != 17 {
+		t.Errorf("makespan = %v", decoded["makespan"])
+	}
+	pls := decoded["placements"].([]any)
+	if len(pls) != 2 {
+		t.Fatalf("placements = %d", len(pls))
+	}
+	if pls[1].(map[string]any)["name"] != "b" {
+		t.Errorf("task name lost: %v", pls[1])
+	}
+
+	// Mismatched graph rejected.
+	bad := NewSchedule("x", cluster2, 1)
+	if err := bad.WriteJSON(&buf, tg); err == nil {
+		t.Error("placement/task count mismatch accepted")
+	}
+}
+
+func TestWriteCSVSchedule(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 12, Finish: 17, CommTime: 2}
+	s.ComputeMakespan()
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "task,name,np,procs") {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.Contains(lines[2], "0 1") {
+		t.Errorf("proc list missing: %s", lines[2])
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("CPR", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15}
+	s.ComputeMakespan()
+	out := s.Summary(tg)
+	for _, want := range []string{"CPR", "makespan 15", "np=1", "np=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+}

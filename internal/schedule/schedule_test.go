@@ -1,0 +1,202 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+func lin(name string, t1 float64) model.Task {
+	return model.Task{Name: name, Profile: speedup.Linear{T1: t1}}
+}
+
+func tbl(t *testing.T, name string, times ...float64) model.Task {
+	t.Helper()
+	p, err := speedup.NewTable(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.Task{Name: name, Profile: p}
+}
+
+var cluster2 = model.Cluster{P: 2, Bandwidth: 100, Overlap: true}
+
+// chain builds a -> b with the given volumes.
+func chainGraph(t *testing.T) *model.TaskGraph {
+	t.Helper()
+	tg, err := model.NewTaskGraph(
+		[]model.Task{lin("a", 10), lin("b", 10)},
+		[]model.Edge{{From: 0, To: 1, Volume: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestValidateAcceptsGoodSchedule(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("test", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10, DataReady: 0}
+	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15, DataReady: 10}
+	s.ComputeMakespan()
+	if err := s.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 15 {
+		t.Errorf("makespan = %v", s.Makespan)
+	}
+	if u := s.Utilization(tg); u != (10+10)/(2*15.0) {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tg := chainGraph(t)
+	mk := func(mutate func(*Schedule)) error {
+		s := NewSchedule("test", cluster2, 2)
+		s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+		s.Placements[1] = Placement{Procs: []int{1}, Start: 10, Finish: 20}
+		mutate(s)
+		return s.Validate(tg)
+	}
+	if err := mk(func(s *Schedule) { s.Placements[1].Procs = nil }); err == nil {
+		t.Error("unplaced task accepted")
+	}
+	if err := mk(func(s *Schedule) { s.Placements[1].Procs = []int{5} }); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	if err := mk(func(s *Schedule) { s.Placements[1].Procs = []int{1, 1} }); err == nil {
+		t.Error("duplicate processor accepted")
+	}
+	if err := mk(func(s *Schedule) { s.Placements[0].Start = -5; s.Placements[0].Finish = 5 }); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := mk(func(s *Schedule) { s.Placements[1].Finish = 25 }); err == nil {
+		t.Error("wrong duration accepted")
+	}
+	if err := mk(func(s *Schedule) { s.Placements[1].Start = 5; s.Placements[1].Finish = 15 }); err == nil {
+		t.Error("precedence violation accepted")
+	}
+	if err := mk(func(s *Schedule) {
+		s.Placements[1].Procs = []int{0}
+		s.Placements[1].Start = 5
+		s.Placements[1].Finish = 15
+	}); err == nil {
+		t.Error("double booking accepted")
+	}
+}
+
+// TestPaperFigure1 reproduces the paper's Fig 1 worked example: four tasks
+// on P=4 with zero communication; T2 and T3 are serialized by resource
+// limits, inducing a pseudo-edge T2 -> T3 and a schedule-DAG critical path
+// of length 30.
+func TestPaperFigure1(t *testing.T) {
+	// Fig 1: T1 -> T2, T1 -> T3, T2 -> T4, T3 -> T4 (diamond), np/et from
+	// the table: T1:4/10, T2:3/7, T3:2/5, T4:4/8.
+	tg, err := model.NewTaskGraph(
+		[]model.Task{
+			tbl(t, "T1", 10, 10, 10, 10),
+			tbl(t, "T2", 7, 7, 7),
+			tbl(t, "T3", 5, 5),
+			tbl(t, "T4", 8, 8, 8, 8),
+		},
+		[]model.Edge{
+			{From: 0, To: 1}, {From: 0, To: 2},
+			{From: 1, To: 3}, {From: 2, To: 3},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := model.Cluster{P: 4, Bandwidth: 1, Overlap: true}
+	s := NewSchedule("manual", c, 4)
+	// T2 on 3 procs and T3 on 2 procs cannot coexist on P=4: serialize.
+	s.Placements[0] = Placement{Procs: []int{0, 1, 2, 3}, Start: 0, Finish: 10, DataReady: 0}
+	s.Placements[1] = Placement{Procs: []int{0, 1, 2}, Start: 10, Finish: 17, DataReady: 10}
+	s.Placements[2] = Placement{Procs: []int{0, 1}, Start: 17, Finish: 22, DataReady: 10}
+	s.Placements[3] = Placement{Procs: []int{0, 1, 2, 3}, Start: 22, Finish: 30, DataReady: 22}
+	s.ComputeMakespan()
+	if err := s.Validate(tg); err != nil {
+		t.Fatal(err)
+	}
+	g := s.ScheduleDAG(tg)
+	if !g.HasEdge(1, 2) {
+		t.Error("missing pseudo-edge T2 -> T3")
+	}
+	if g.M() != tg.DAG().M()+1 {
+		t.Errorf("expected exactly one pseudo-edge, got %d extra", g.M()-tg.DAG().M())
+	}
+	length, path, err := s.CriticalPath(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 30 {
+		t.Errorf("CP(G') = %v, want 30", length)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(path) != 4 || path[0] != want[0] || path[3] != want[3] {
+		t.Errorf("CP path = %v, want %v", path, want)
+	}
+}
+
+func TestScheduleDAGNoPseudoEdgeWhenOnTime(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("test", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10, DataReady: 0}
+	s.Placements[1] = Placement{Procs: []int{0}, Start: 10, Finish: 20, DataReady: 10}
+	g := s.ScheduleDAG(tg)
+	if g.M() != 1 {
+		t.Errorf("pseudo-edges added to an on-time schedule: M=%d", g.M())
+	}
+}
+
+func TestCriticalPathUsesEdgeComm(t *testing.T) {
+	tg, err := model.NewTaskGraph(
+		[]model.Task{lin("a", 10), lin("b", 10)},
+		[]model.Edge{{From: 0, To: 1, Volume: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule("test", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10, DataReady: 0}
+	s.Placements[1] = Placement{Procs: []int{1}, Start: 15, Finish: 25, DataReady: 15, CommTime: 5}
+	s.EdgeComm[[2]int{0, 1}] = 5
+	length, _, err := s.CriticalPath(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 25 {
+		t.Errorf("CP = %v, want 25 (10 + 5 comm + 10)", length)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("test", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15}
+	s.ComputeMakespan()
+	out := s.Gantt(tg, 60)
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "p1") {
+		t.Errorf("missing processor rows:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("missing task labels:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan 15") {
+		t.Errorf("missing makespan header:\n%s", out)
+	}
+	// Empty schedule renders a placeholder, not a panic.
+	empty := NewSchedule("e", cluster2, 0)
+	if got := empty.Gantt(tg, 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty schedule rendering: %q", got)
+	}
+}
+
+func TestCommOnDefaultsZero(t *testing.T) {
+	s := NewSchedule("test", cluster2, 1)
+	if s.CommOn(0, 1) != 0 {
+		t.Error("CommOn on absent edge should be 0")
+	}
+}

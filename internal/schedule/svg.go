@@ -1,0 +1,137 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"locmps/internal/model"
+)
+
+// svg layout constants (pixels).
+const (
+	svgRowH    = 22
+	svgLeftPad = 56
+	svgTopPad  = 30
+	svgWidth   = 1000
+	svgFont    = 11
+)
+
+// palette cycles through visually distinct fills for task bars.
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// WriteSVG renders the schedule as a standalone SVG Gantt chart: one row
+// per processor, one rectangle per (task, processor) span, labeled with the
+// task name where it fits. The output is deterministic.
+func (s *Schedule) WriteSVG(w io.Writer, tg *model.TaskGraph) error {
+	if len(s.Placements) != tg.N() {
+		return fmt.Errorf("schedule: %d placements for %d tasks", len(s.Placements), tg.N())
+	}
+	if s.Makespan <= 0 {
+		s.ComputeMakespan()
+	}
+	mk := s.Makespan
+	if mk <= 0 {
+		mk = 1
+	}
+	scale := float64(svgWidth-svgLeftPad-10) / mk
+	height := svgTopPad + s.Cluster.P*svgRowH + 30
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="%d">`+"\n",
+		svgWidth, height, svgFont)
+	fmt.Fprintf(&b, `<text x="%d" y="18">%s — makespan %.6g on P=%d</text>`+"\n",
+		svgLeftPad, escape(s.Algorithm), s.Makespan, s.Cluster.P)
+
+	// Processor rows and separators.
+	for p := 0; p < s.Cluster.P; p++ {
+		y := svgTopPad + p*svgRowH
+		fmt.Fprintf(&b, `<text x="4" y="%d">p%d</text>`+"\n", y+svgRowH-7, p)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			svgLeftPad, y, svgWidth-10, y)
+	}
+
+	// Task bars.
+	for t, pl := range s.Placements {
+		if pl.NP() == 0 {
+			continue
+		}
+		x := svgLeftPad + pl.Start*scale
+		wpx := (pl.Finish - pl.Start) * scale
+		if wpx < 1 {
+			wpx = 1
+		}
+		fill := svgPalette[t%len(svgPalette)]
+		name := tg.Tasks[t].Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", t)
+		}
+		for _, proc := range pl.Procs {
+			y := svgTopPad + proc*svgRowH + 2
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#333" stroke-width="0.5">`+
+				`<title>%s [%.6g, %.6g) np=%d</title></rect>`+"\n",
+				x, y, wpx, svgRowH-4, fill, escape(name), pl.Start, pl.Finish, pl.NP())
+		}
+		// One label on the first processor's bar if it fits.
+		if wpx > float64(len(name))*6.5 {
+			y := svgTopPad + pl.Procs[0]*svgRowH + svgRowH - 7
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#fff">%s</text>`+"\n", x+3, y, escape(name))
+		}
+	}
+
+	// Time axis.
+	axisY := svgTopPad + s.Cluster.P*svgRowH + 14
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		svgLeftPad, axisY-10, svgWidth-10, axisY-10)
+	for i := 0; i <= 4; i++ {
+		tick := mk * float64(i) / 4
+		x := svgLeftPad + tick*scale
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d">%.4g</text>`+"\n", x, axisY, tick)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteChromeTrace emits the schedule in the Chrome trace-event JSON array
+// format (load via chrome://tracing or https://ui.perfetto.dev): each
+// (task, processor) span becomes a complete event with the processor as
+// the thread id. Times are scaled to microseconds by the given factor
+// (pass 1e6 if schedule time units are seconds).
+func (s *Schedule) WriteChromeTrace(w io.Writer, tg *model.TaskGraph, microsPerUnit float64) error {
+	if len(s.Placements) != tg.N() {
+		return fmt.Errorf("schedule: %d placements for %d tasks", len(s.Placements), tg.N())
+	}
+	if microsPerUnit <= 0 {
+		return fmt.Errorf("schedule: non-positive time scale %v", microsPerUnit)
+	}
+	var b strings.Builder
+	b.WriteString("[\n")
+	first := true
+	for t, pl := range s.Placements {
+		name := tg.Tasks[t].Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", t)
+		}
+		for _, proc := range pl.Procs {
+			if !first {
+				b.WriteString(",\n")
+			}
+			first = false
+			fmt.Fprintf(&b,
+				`{"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"task":%d,"np":%d,"commTime":%g}}`,
+				name, pl.Start*microsPerUnit, (pl.Finish-pl.Start)*microsPerUnit, proc, t, pl.NP(), pl.CommTime)
+		}
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,103 @@
+package schedule
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"locmps/internal/model"
+)
+
+func chainGraphNamed(t *testing.T, nameA, nameB string) *model.TaskGraph {
+	t.Helper()
+	tg, err := model.NewTaskGraph(
+		[]model.Task{lin(nameA, 10), lin(nameB, 10)},
+		[]model.Edge{{From: 0, To: 1, Volume: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestWriteSVG(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15, CommTime: 1}
+	s.ComputeMakespan()
+
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "p0", "p1", "rect", "makespan 15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Three bars: task a on one proc, task b on two.
+	if got := strings.Count(out, "<rect"); got != 3 {
+		t.Errorf("rect count = %d, want 3", got)
+	}
+	// Determinism.
+	var buf2 bytes.Buffer
+	if err := s.WriteSVG(&buf2, tg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("SVG output not deterministic")
+	}
+	// Mismatched graph rejected.
+	bad := NewSchedule("x", cluster2, 1)
+	if err := bad.WriteSVG(&buf, tg); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestWriteSVGEscapesNames(t *testing.T) {
+	tg := chainGraphNamed(t, `<evil&"task">`, "b")
+	s := NewSchedule("a<b", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = Placement{Procs: []int{1}, Start: 10, Finish: 20}
+	s.ComputeMakespan()
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `<evil`) {
+		t.Error("unescaped task name in SVG")
+	}
+	if !strings.Contains(out, "&lt;evil&amp;") {
+		t.Error("escaped name missing")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tg := chainGraph(t)
+	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15, CommTime: 1}
+	s.ComputeMakespan()
+
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf, tg, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	ev := events[2]
+	if ev["ph"] != "X" || ev["dur"].(float64) != 5e6 {
+		t.Errorf("event malformed: %v", ev)
+	}
+	if err := s.WriteChromeTrace(&buf, tg, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}

@@ -1,0 +1,215 @@
+// Package sim executes a computed schedule on a simulated homogeneous
+// cluster, the substitute for the paper's Itanium-2/Myrinet testbed
+// (Fig 11's "actual execution"). The simulator honours the schedule's
+// processor assignments and per-processor task order but recomputes all
+// times with exact single-port transfer accounting:
+//
+//   - every inter-task redistribution is expanded into its point-to-point
+//     block-cyclic transfers (internal/redist),
+//   - each node's network port serves one transfer at a time,
+//   - with Overlap=false the port and the CPU are one resource, so
+//     communication delays computation on both endpoints,
+//   - optional multiplicative runtime noise models real-machine variance.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"locmps/internal/model"
+	"locmps/internal/redist"
+	"locmps/internal/schedule"
+)
+
+// Options configure an execution run.
+type Options struct {
+	// Noise is the amplitude of multiplicative runtime noise: each task's
+	// execution time is scaled by 1 + U(-Noise, +Noise). Zero gives a
+	// deterministic run.
+	Noise float64
+	// Seed drives the noise generator.
+	Seed int64
+	// BlockBytes is the block-cyclic block size (0 selects 64 KiB, the
+	// schedulers' default).
+	BlockBytes float64
+	// PerMessage switches each redistribution from the default
+	// synchronized-collective model (all participating ports busy for the
+	// optimal single-port schedule length, the way Prylli-style runtime
+	// redistribution executes) to independent point-to-point messages
+	// greedily packed onto ports. Per-message is more permissive about
+	// partial progress but its greedy packing can lose up to 2x on
+	// irregular group pairs.
+	PerMessage bool
+}
+
+// Result reports what happened during the simulated execution.
+type Result struct {
+	// Makespan is the finish time of the last task.
+	Makespan float64
+	// Start and Finish are per-task actual times.
+	Start, Finish []float64
+	// NetworkBytes is the total volume that crossed the network.
+	NetworkBytes float64
+	// LocalBytes is the volume satisfied from node-local data (the
+	// locality the schedule managed to exploit).
+	LocalBytes float64
+	// Transfers counts point-to-point messages.
+	Transfers int
+	// Utilization is busy processor-time over P * makespan.
+	Utilization float64
+}
+
+// Execute runs the schedule. It validates the schedule against the graph
+// first, so a malformed schedule is an error, not a bogus result.
+func Execute(tg *model.TaskGraph, s *schedule.Schedule, opt Options) (Result, error) {
+	if err := s.Validate(tg); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	c := s.Cluster
+	if opt.Noise < 0 || opt.Noise >= 1 {
+		if opt.Noise != 0 {
+			return Result{}, fmt.Errorf("sim: noise %v outside [0,1)", opt.Noise)
+		}
+	}
+	blockBytes := opt.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = 64 * 1024
+	}
+	rm := redist.Model{BlockBytes: blockBytes, Bandwidth: c.Bandwidth}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Noise factors are drawn per task in task-id order for determinism.
+	factor := make([]float64, tg.N())
+	for t := range factor {
+		f := 1.0
+		if opt.Noise > 0 {
+			f = 1 + opt.Noise*(2*rng.Float64()-1)
+		}
+		factor[t] = f
+	}
+
+	// Replay order: scheduled start, then id. This preserves each
+	// processor's task order.
+	order := make([]int, tg.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := s.Placements[order[a]].Start, s.Placements[order[b]].Start
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+
+	// cpu[p] is when node p's processor is next free; port[p] its NIC.
+	// Without overlap the two alias the same timeline.
+	cpu := make([]float64, c.P)
+	port := cpu
+	if c.Overlap {
+		port = make([]float64, c.P)
+	}
+
+	res := Result{
+		Start:  make([]float64, tg.N()),
+		Finish: make([]float64, tg.N()),
+	}
+	for _, t := range order {
+		pl := s.Placements[t]
+		ready := 0.0
+		for _, p := range pl.Procs {
+			if cpu[p] > ready {
+				ready = cpu[p]
+			}
+		}
+		arrival := 0.0
+		for _, par := range tg.DAG().Pred(t) {
+			vol := tg.Volume(par, t)
+			if vol == 0 {
+				if f := res.Finish[par]; f > arrival {
+					arrival = f
+				}
+				continue
+			}
+			mat, err := rm.TransferMatrix(vol, s.Placements[par].Procs, pl.Procs)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: edge %d->%d: %w", par, t, err)
+			}
+			res.LocalBytes += mat.Local
+			if f := res.Finish[par]; f > arrival {
+				arrival = f // even fully local data needs the parent done
+			}
+			if opt.PerMessage {
+				for _, tr := range mat.TransfersBalanced() {
+					start := math.Max(res.Finish[par], math.Max(port[tr.Src], port[tr.Dst]))
+					end := start + tr.Bytes/c.Bandwidth
+					port[tr.Src], port[tr.Dst] = end, end
+					if end > arrival {
+						arrival = end
+					}
+					res.NetworkBytes += tr.Bytes
+					res.Transfers++
+				}
+			} else if dur := rm.SinglePortTime(mat); dur > 0 {
+				// Synchronized collective: it begins once the producer is
+				// done and every participating port is free, and runs the
+				// optimal single-port schedule.
+				involved := map[int]struct{}{}
+				for _, tr := range mat.Transfers() {
+					involved[tr.Src] = struct{}{}
+					involved[tr.Dst] = struct{}{}
+					res.NetworkBytes += tr.Bytes
+					res.Transfers++
+				}
+				start := res.Finish[par]
+				for n := range involved {
+					if port[n] > start {
+						start = port[n]
+					}
+				}
+				end := start + dur
+				for n := range involved {
+					port[n] = end
+				}
+				if end > arrival {
+					arrival = end
+				}
+			}
+		}
+		start := math.Max(ready, arrival)
+		et := tg.ExecTime(t, pl.NP()) * factor[t]
+		finish := start + et
+		for _, p := range pl.Procs {
+			cpu[p] = finish
+		}
+		res.Start[t], res.Finish[t] = start, finish
+		if finish > res.Makespan {
+			res.Makespan = finish
+		}
+	}
+	if res.Makespan > 0 {
+		var busy float64
+		for t := range res.Start {
+			busy += float64(s.Placements[t].NP()) * (res.Finish[t] - res.Start[t])
+		}
+		res.Utilization = busy / (float64(c.P) * res.Makespan)
+	}
+	return res, nil
+}
+
+// Run schedules the graph with the given algorithm and immediately executes
+// the result, returning both the planned schedule and the simulated
+// outcome. This is the paper's Figure 11 pipeline.
+func Run(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster, opt Options) (*schedule.Schedule, Result, error) {
+	s, err := alg.Schedule(tg, c)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	r, err := Execute(tg, s, opt)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return s, r, nil
+}

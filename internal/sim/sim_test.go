@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locmps/internal/model"
+	"locmps/internal/sched"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+func mustTG(t *testing.T, tasks []model.Task, edges []model.Edge) *model.TaskGraph {
+	t.Helper()
+	tg, err := model.NewTaskGraph(tasks, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func chain(t *testing.T, vol float64) *model.TaskGraph {
+	return mustTG(t,
+		[]model.Task{
+			{Name: "a", Profile: speedup.Linear{T1: 10}},
+			{Name: "b", Profile: speedup.Linear{T1: 10}},
+		},
+		[]model.Edge{{From: 0, To: 1, Volume: vol}})
+}
+
+func TestExecuteMatchesScheduleWithoutComm(t *testing.T) {
+	tg := chain(t, 0)
+	c := model.Cluster{P: 4, Bandwidth: 1e6, Overlap: true}
+	s, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Execute(tg, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-s.Makespan) > 1e-9 {
+		t.Errorf("sim %v != schedule %v on comm-free graph", r.Makespan, s.Makespan)
+	}
+	if r.NetworkBytes != 0 || r.Transfers != 0 {
+		t.Errorf("phantom traffic: %v bytes, %d transfers", r.NetworkBytes, r.Transfers)
+	}
+}
+
+func TestExecuteRejectsBadInput(t *testing.T) {
+	tg := chain(t, 0)
+	c := model.Cluster{P: 2, Bandwidth: 1e6, Overlap: true}
+	bad := schedule.NewSchedule("x", c, 2) // unplaced tasks
+	if _, err := Execute(tg, bad, Options{}); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+	s, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(tg, s, Options{Noise: 1.5}); err == nil {
+		t.Error("noise >= 1 accepted")
+	}
+	if _, err := Execute(tg, s, Options{Noise: -0.1}); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestExecuteChargesCommOnDisjointGroups(t *testing.T) {
+	tg := chain(t, 1000)
+	c := model.Cluster{P: 2, Bandwidth: 100, Overlap: true}
+	s := schedule.NewSchedule("manual", c, 2)
+	s.Placements[0] = schedule.Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = schedule.Placement{Procs: []int{1}, Start: 20, Finish: 30, DataReady: 20}
+	s.ComputeMakespan()
+	r, err := Execute(tg, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer: 1000 bytes at bw 100 = 10s after a finishes at 10; b runs
+	// [20,30).
+	if math.Abs(r.Start[1]-20) > 1e-9 || math.Abs(r.Makespan-30) > 1e-9 {
+		t.Errorf("start[1]=%v makespan=%v, want 20/30", r.Start[1], r.Makespan)
+	}
+	if r.NetworkBytes != 1000 {
+		t.Errorf("network bytes = %v", r.NetworkBytes)
+	}
+}
+
+func TestExecuteLocalDataIsFree(t *testing.T) {
+	tg := chain(t, 1000)
+	c := model.Cluster{P: 2, Bandwidth: 100, Overlap: true}
+	s := schedule.NewSchedule("manual", c, 2)
+	s.Placements[0] = schedule.Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.Placements[1] = schedule.Placement{Procs: []int{0}, Start: 10, Finish: 20, DataReady: 10}
+	s.ComputeMakespan()
+	r, err := Execute(tg, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NetworkBytes != 0 || r.LocalBytes != 1000 {
+		t.Errorf("network=%v local=%v", r.NetworkBytes, r.LocalBytes)
+	}
+	if math.Abs(r.Makespan-20) > 1e-9 {
+		t.Errorf("makespan = %v, want 20 (no comm delay)", r.Makespan)
+	}
+}
+
+func TestNoOverlapDelaysCompute(t *testing.T) {
+	// Parent on node 0, child on node 1, and an unrelated task queued on
+	// node 1: without overlap the transfer occupies node 1 and pushes the
+	// unrelated task back.
+	tg := mustTG(t,
+		[]model.Task{
+			{Name: "a", Profile: speedup.Linear{T1: 10}},
+			{Name: "b", Profile: speedup.Linear{T1: 10}},
+			{Name: "x", Profile: speedup.Linear{T1: 15}},
+		},
+		[]model.Edge{{From: 0, To: 1, Volume: 1000}})
+	mk := func(overlap bool) Result {
+		c := model.Cluster{P: 2, Bandwidth: 100, Overlap: overlap}
+		s := schedule.NewSchedule("manual", c, 3)
+		s.Placements[0] = schedule.Placement{Procs: []int{0}, Start: 0, Finish: 10}
+		s.Placements[2] = schedule.Placement{Procs: []int{1}, Start: 0, Finish: 15}
+		s.Placements[1] = schedule.Placement{Procs: []int{1}, Start: 25, Finish: 35, DataReady: 25}
+		s.ComputeMakespan()
+		r, err := Execute(tg, s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ov := mk(true)
+	nov := mk(false)
+	if nov.Makespan <= ov.Makespan {
+		t.Errorf("no-overlap (%v) should be slower than overlap (%v)", nov.Makespan, ov.Makespan)
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	tg := chain(t, 0)
+	c := model.Cluster{P: 2, Bandwidth: 1e6, Overlap: true}
+	s, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Execute(tg, s, Options{Noise: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(tg, s, Options{Noise: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Error("same seed produced different noisy runs")
+	}
+	r3, err := Execute(tg, s, Options{Noise: 0.2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan == r3.Makespan {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func randomTG(r *rand.Rand, n int) *model.TaskGraph {
+	tasks := make([]model.Task, n)
+	for i := range tasks {
+		tasks[i] = model.Task{Name: "t", Profile: speedup.Downey{T1: 1 + r.Float64()*30, A: 1 + r.Float64()*16, Sigma: 1}}
+	}
+	var edges []model.Edge
+	for v := 1; v < n; v++ {
+		seen := map[int]bool{}
+		for k := 0; k < r.Intn(3); k++ {
+			u := r.Intn(v)
+			if !seen[u] {
+				seen[u] = true
+				edges = append(edges, model.Edge{From: u, To: v, Volume: r.Float64() * 1e5})
+			}
+		}
+	}
+	tg, err := model.NewTaskGraph(tasks, edges)
+	if err != nil {
+		panic(err)
+	}
+	return tg
+}
+
+// Properties of simulated execution on random schedules:
+//  1. precedence holds in the simulated times,
+//  2. the simulated makespan is never below the schedule's compute-only
+//     critical path under its allocation,
+//  3. no task starts before time zero.
+func TestExecutePropertiesOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tg := randomTG(r, 3+r.Intn(10))
+		c := model.Cluster{P: 2 + r.Intn(7), Bandwidth: 1e5, Overlap: seed%2 == 0}
+		s, err := sched.LoCMPS().Schedule(tg, c)
+		if err != nil {
+			return false
+		}
+		res, err := Execute(tg, s, Options{Noise: 0.1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, e := range tg.Edges() {
+			if res.Start[e.To] < res.Finish[e.From]-schedule.Eps {
+				return false
+			}
+		}
+		for i := range res.Start {
+			if res.Start[i] < 0 {
+				return false
+			}
+			if res.Finish[i] < res.Start[i] {
+				return false
+			}
+		}
+		return res.Makespan > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunPipeline(t *testing.T) {
+	tg := chain(t, 100)
+	c := model.Cluster{P: 4, Bandwidth: 1e6, Overlap: true}
+	s, r, err := Run(sched.LoCMPS(), tg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || r.Makespan <= 0 {
+		t.Errorf("Run returned s=%v makespan=%v", s, r.Makespan)
+	}
+}
+
+func TestPerMessageVsCollective(t *testing.T) {
+	// A fan-in with real volumes: both transfer models must respect
+	// precedence and land within 2x of each other (greedy per-message can
+	// lose up to 2x; the collective adds a start barrier).
+	tg := mustTG(t,
+		[]model.Task{
+			{Name: "p1", Profile: speedup.Linear{T1: 10}},
+			{Name: "p2", Profile: speedup.Linear{T1: 10}},
+			{Name: "child", Profile: speedup.Linear{T1: 10}},
+		},
+		[]model.Edge{
+			{From: 0, To: 2, Volume: 5e5},
+			{From: 1, To: 2, Volume: 5e5},
+		})
+	c := model.Cluster{P: 6, Bandwidth: 1e5, Overlap: true}
+	s, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := Execute(tg, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perMsg, err := Execute(tg, s, Options{PerMessage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.NetworkBytes != perMsg.NetworkBytes {
+		t.Errorf("network bytes differ: %v vs %v", coll.NetworkBytes, perMsg.NetworkBytes)
+	}
+	lo, hi := coll.Makespan, perMsg.Makespan
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 2*lo+schedule.Eps {
+		t.Errorf("transfer models diverge: collective %v vs per-message %v", coll.Makespan, perMsg.Makespan)
+	}
+	for _, r := range []Result{coll, perMsg} {
+		for _, e := range tg.Edges() {
+			if r.Start[e.To] < r.Finish[e.From]-schedule.Eps {
+				t.Error("precedence violated")
+			}
+		}
+	}
+}
+
+func TestUtilizationComputed(t *testing.T) {
+	tg := chain(t, 0)
+	c := model.Cluster{P: 2, Bandwidth: 1e6, Overlap: true}
+	s, err := sched.LoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Execute(tg, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1+1e-9 {
+		t.Errorf("utilization = %v", r.Utilization)
+	}
+}

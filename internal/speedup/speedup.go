@@ -1,0 +1,214 @@
+// Package speedup models the execution time of malleable (data-parallel)
+// tasks as a function of processor count.
+//
+// The paper's synthetic workloads use Downey's parallel-speedup model
+// (A. B. Downey, "A model for speedup of parallel programs", 1997),
+// parameterized by the average parallelism A and the variance-of-parallelism
+// sigma. Application task graphs use profiled execution times, represented
+// here by Table profiles or Amdahl fits.
+package speedup
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile describes a task's execution time as a function of the number of
+// processors allocated to it. Implementations must satisfy, for p >= 1:
+//
+//   - Time(p) > 0 for tasks with work > 0,
+//   - Time is non-increasing in p (more processors never slow the task;
+//     profiles measured with slowdowns should be monotonized first),
+//
+// which every implementation in this package guarantees.
+type Profile interface {
+	// Time returns the execution time on p processors. p < 1 is treated
+	// as 1.
+	Time(p int) float64
+}
+
+// Pbest returns the smallest processor count in [1, maxP] achieving the
+// minimum execution time of prof within that range (paper §III: "the least
+// number of processors on which the execution time of t is minimum"). For
+// monotone profiles this is the saturation point of the speedup curve.
+func Pbest(prof Profile, maxP int) int {
+	if maxP < 1 {
+		return 1
+	}
+	best, bestT := 1, prof.Time(1)
+	for p := 2; p <= maxP; p++ {
+		if t := prof.Time(p); t < bestT-1e-12 {
+			best, bestT = p, t
+		}
+	}
+	return best
+}
+
+// Speedup reports prof.Time(1) / prof.Time(p), the conventional speedup.
+func Speedup(prof Profile, p int) float64 {
+	t1 := prof.Time(1)
+	tp := prof.Time(p)
+	if tp <= 0 {
+		return math.Inf(1)
+	}
+	return t1 / tp
+}
+
+// Efficiency reports Speedup(p)/p.
+func Efficiency(prof Profile, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return Speedup(prof, p) / float64(p)
+}
+
+// Downey is Downey's non-linear speedup model. T1 is the uniprocessor
+// execution time, A the average parallelism (A >= 1), and Sigma the
+// variation of parallelism (Sigma >= 0; 0 means perfectly scalable up to A).
+type Downey struct {
+	T1    float64
+	A     float64
+	Sigma float64
+}
+
+// NewDowney validates the parameters and returns the profile.
+func NewDowney(t1, a, sigma float64) (Downey, error) {
+	switch {
+	case t1 <= 0 || math.IsNaN(t1) || math.IsInf(t1, 0):
+		return Downey{}, fmt.Errorf("speedup: invalid T1 %v", t1)
+	case a < 1 || math.IsNaN(a) || math.IsInf(a, 0):
+		return Downey{}, fmt.Errorf("speedup: invalid average parallelism A=%v (need A >= 1)", a)
+	case sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0):
+		return Downey{}, fmt.Errorf("speedup: invalid sigma %v (need sigma >= 0)", sigma)
+	}
+	return Downey{T1: t1, A: a, Sigma: sigma}, nil
+}
+
+// SpeedupAt evaluates Downey's S(n) exactly as given in the paper:
+//
+//	sigma <= 1:
+//	  1 <= n <= A:      S = A*n / (A + sigma*(n-1)/2)
+//	  A <= n <= 2A-1:   S = A*n / (sigma*(A - 1/2) + n*(1 - sigma/2))
+//	  n >= 2A-1:        S = A
+//	sigma >= 1:
+//	  1 <= n <= A+A*sigma-sigma: S = n*A*(sigma+1) / (sigma*(n+A-1) + A)
+//	  otherwise:                 S = A
+//
+// At sigma == 1 both branches coincide. The result is clamped to [1, A] so
+// floating error at region boundaries can never produce a slowdown.
+func (d Downey) SpeedupAt(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	nf := float64(n)
+	a, s := d.A, d.Sigma
+	var sp float64
+	if s <= 1 {
+		switch {
+		case nf <= a:
+			sp = a * nf / (a + s*(nf-1)/2)
+		case nf <= 2*a-1:
+			sp = a * nf / (s*(a-0.5) + nf*(1-s/2))
+		default:
+			sp = a
+		}
+	} else {
+		if nf <= a+a*s-s {
+			sp = nf * a * (s + 1) / (s*(nf+a-1) + a)
+		} else {
+			sp = a
+		}
+	}
+	if sp < 1 {
+		sp = 1
+	}
+	if sp > a {
+		sp = a
+	}
+	return sp
+}
+
+// Time implements Profile.
+func (d Downey) Time(p int) float64 { return d.T1 / d.SpeedupAt(p) }
+
+// Amdahl models a task with serial fraction F: Time(p) = T1*(F + (1-F)/p).
+type Amdahl struct {
+	T1 float64
+	F  float64 // serial fraction in [0, 1]
+}
+
+// NewAmdahl validates parameters and returns the profile.
+func NewAmdahl(t1, f float64) (Amdahl, error) {
+	if t1 <= 0 || math.IsNaN(t1) || math.IsInf(t1, 0) {
+		return Amdahl{}, fmt.Errorf("speedup: invalid T1 %v", t1)
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return Amdahl{}, fmt.Errorf("speedup: serial fraction %v outside [0,1]", f)
+	}
+	return Amdahl{T1: t1, F: f}, nil
+}
+
+// Time implements Profile.
+func (a Amdahl) Time(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return a.T1 * (a.F + (1-a.F)/float64(p))
+}
+
+// Linear is the perfectly scalable profile Time(p) = T1/p, used by the
+// paper's Figure 3 look-ahead example.
+type Linear struct {
+	T1 float64
+}
+
+// Time implements Profile.
+func (l Linear) Time(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return l.T1 / float64(p)
+}
+
+// Table is a measured execution-time profile: Times[i] is the execution
+// time on i+1 processors. Queries beyond the table return the last entry
+// (the profile saturates). NewTable monotonizes the input with a running
+// minimum so that Time never increases with p, matching how profiled curves
+// are used by allocation heuristics.
+type Table struct {
+	times []float64
+}
+
+// NewTable builds a table profile from per-processor times (times[0] is the
+// uniprocessor time).
+func NewTable(times []float64) (Table, error) {
+	if len(times) == 0 {
+		return Table{}, fmt.Errorf("speedup: empty profile table")
+	}
+	out := make([]float64, len(times))
+	runMin := math.Inf(1)
+	for i, t := range times {
+		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return Table{}, fmt.Errorf("speedup: invalid time %v at %d processors", t, i+1)
+		}
+		if t < runMin {
+			runMin = t
+		}
+		out[i] = runMin
+	}
+	return Table{times: out}, nil
+}
+
+// Time implements Profile.
+func (t Table) Time(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if p > len(t.times) {
+		p = len(t.times)
+	}
+	return t.times[p-1]
+}
+
+// Len reports how many processor counts the table covers.
+func (t Table) Len() int { return len(t.times) }

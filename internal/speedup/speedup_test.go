@@ -1,0 +1,210 @@
+package speedup
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDowneyValidation(t *testing.T) {
+	cases := []struct{ t1, a, sigma float64 }{
+		{0, 4, 1}, {-1, 4, 1}, {10, 0.5, 1}, {10, 4, -0.1},
+		{math.NaN(), 4, 1}, {10, math.Inf(1), 1}, {10, 4, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := NewDowney(c.t1, c.a, c.sigma); err == nil {
+			t.Errorf("NewDowney(%v,%v,%v) accepted", c.t1, c.a, c.sigma)
+		}
+	}
+	if _, err := NewDowney(10, 1, 0); err != nil {
+		t.Errorf("NewDowney(10,1,0): %v", err)
+	}
+}
+
+func TestDowneyPerfectScalability(t *testing.T) {
+	// sigma = 0: S(n) = n up to A, then flat at A.
+	d, err := NewDowney(100, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 8; n++ {
+		if s := d.SpeedupAt(n); math.Abs(s-float64(n)) > 1e-12 {
+			t.Errorf("S(%d) = %v, want %d", n, s, n)
+		}
+	}
+	for _, n := range []int{15, 16, 64} {
+		if s := d.SpeedupAt(n); s != 8 {
+			t.Errorf("S(%d) = %v, want 8 (saturated)", n, s)
+		}
+	}
+}
+
+func TestDowneyRegionBoundariesContinuous(t *testing.T) {
+	// At n = A and n = 2A-1 (sigma <= 1) the two formulas must agree.
+	d := Downey{T1: 1, A: 16, Sigma: 0.5}
+	nf := d.A
+	region1 := d.A * nf / (d.A + d.Sigma*(nf-1)/2)
+	region2 := d.A * nf / (d.Sigma*(d.A-0.5) + nf*(1-d.Sigma/2))
+	if math.Abs(region1-region2) > 1e-9 {
+		t.Errorf("discontinuity at n=A: %v vs %v", region1, region2)
+	}
+	nf = 2*d.A - 1
+	region2 = d.A * nf / (d.Sigma*(d.A-0.5) + nf*(1-d.Sigma/2))
+	if math.Abs(region2-d.A) > 1e-9 {
+		t.Errorf("discontinuity at n=2A-1: %v vs %v", region2, d.A)
+	}
+}
+
+func TestDowneySigmaOneBranchesAgree(t *testing.T) {
+	lo := Downey{T1: 1, A: 12, Sigma: 1}
+	for n := 1; n <= 40; n++ {
+		nf := float64(n)
+		var want float64
+		if nf <= lo.A+lo.A*1-1 {
+			want = nf * lo.A * 2 / (1*(nf+lo.A-1) + lo.A)
+		} else {
+			want = lo.A
+		}
+		if want > lo.A {
+			want = lo.A
+		}
+		got := lo.SpeedupAt(n)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("sigma=1, S(%d): got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestDowneyMonotoneBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := 1 + r.Float64()*63
+		sigma := r.Float64() * 3
+		d := Downey{T1: 30, A: a, Sigma: sigma}
+		prev := d.SpeedupAt(1)
+		if prev < 1-1e-12 {
+			return false
+		}
+		for n := 2; n <= 160; n++ {
+			s := d.SpeedupAt(n)
+			if s < prev-1e-9 { // monotone non-decreasing speedup
+				return false
+			}
+			if s > a+1e-9 || s > float64(n)+1e-9 { // S <= min(n, A)
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPbest(t *testing.T) {
+	d := Downey{T1: 100, A: 8, Sigma: 0}
+	if got := Pbest(d, 128); got != 8 {
+		t.Errorf("Pbest(Downey A=8) = %d, want 8", got)
+	}
+	if got := Pbest(d, 4); got != 4 {
+		t.Errorf("Pbest with maxP=4 = %d, want 4", got)
+	}
+	if got := Pbest(d, 0); got != 1 {
+		t.Errorf("Pbest with maxP=0 = %d, want 1", got)
+	}
+	tbl, err := NewTable([]float64{10, 7, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Pbest(tbl, 5); got != 3 {
+		t.Errorf("Pbest(table) = %d, want 3 (first index achieving min)", got)
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	if _, err := NewAmdahl(10, 1.5); err == nil {
+		t.Error("serial fraction > 1 accepted")
+	}
+	if _, err := NewAmdahl(-1, 0.5); err == nil {
+		t.Error("negative T1 accepted")
+	}
+	a, err := NewAmdahl(100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Time(1); got != 100 {
+		t.Errorf("Time(1) = %v", got)
+	}
+	// Infinite processors approach T1*F.
+	if got := a.Time(1 << 20); math.Abs(got-10) > 0.01 {
+		t.Errorf("Time(inf) = %v, want ~10", got)
+	}
+	if s := Speedup(a, 1<<20); s > 10 {
+		t.Errorf("Amdahl speedup %v exceeds 1/F", s)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	l := Linear{T1: 40}
+	for _, tc := range []struct {
+		p    int
+		want float64
+	}{{1, 40}, {2, 20}, {3, 40.0 / 3}, {4, 10}, {0, 40}} {
+		if got := l.Time(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Linear.Time(%d) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestTableMonotonizedAndClamped(t *testing.T) {
+	// A profiled curve with a slowdown at p=3 is monotonized.
+	tbl, err := NewTable([]float64{10, 6, 8, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{10, 6, 6, 5, 5, 5}
+	for p := 1; p <= 6; p++ {
+		if got := tbl.Time(p); got != wants[p-1] {
+			t.Errorf("Time(%d) = %v, want %v", p, got, wants[p-1])
+		}
+	}
+	if tbl.Time(0) != 10 {
+		t.Error("Time(0) should clamp to Time(1)")
+	}
+	if tbl.Len() != 4 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewTable([]float64{10, -1}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := NewTable([]float64{10, math.NaN()}); err == nil {
+		t.Error("NaN time accepted")
+	}
+}
+
+func TestEfficiencyDecreasesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := Downey{T1: 30, A: 1 + r.Float64()*40, Sigma: r.Float64() * 2}
+		prev := Efficiency(d, 1)
+		for p := 2; p <= 64; p++ {
+			e := Efficiency(d, p)
+			if e > prev+1e-9 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero accepted")
+	}
+	if _, err := GeoMean([]float64{-1}); err == nil {
+		t.Error("negative accepted")
+	}
+	got, err := GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+}
+
+func TestStdDevAndCI(t *testing.T) {
+	if StdDev([]float64{5}) != 0 || CI95([]float64{5}) != 0 {
+		t.Error("single value should have zero spread")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if CI95([]float64{1, 1, 1, 1}) != 0 {
+		t.Error("constant sample should have zero CI")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("even-length median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max sentinels wrong")
+	}
+	// Median must not reorder its input.
+	if xs[0] != 3 || xs[4] != 5 {
+		t.Error("Median mutated input")
+	}
+}
+
+// Properties: geometric mean lies between min and max; mean likewise.
+func TestAggregateBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.01 + r.Float64()*100
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi := Min(xs), Max(xs)
+		eps := 1e-9
+		return g >= lo-eps && g <= hi+eps &&
+			Mean(xs) >= lo-eps && Mean(xs) <= hi+eps &&
+			Median(xs) >= lo-eps && Median(xs) <= hi+eps &&
+			g <= Mean(xs)+eps // AM-GM
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

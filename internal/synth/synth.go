@@ -1,0 +1,170 @@
+// Package synth generates random mixed-parallel task graphs with the
+// controls used in the paper's §IV.A (produced there with the TGFF tool):
+// task count, average degree, uniformly distributed uniprocessor work with a
+// given mean, communication-to-computation ratio (CCR), and Downey speedup
+// parameters (Amax, sigma). Generation is fully deterministic given a seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// Params control graph generation. The zero value is not valid; start from
+// DefaultParams.
+type Params struct {
+	// Tasks is the number of vertices.
+	Tasks int
+	// AvgDegree is the target average in-degree (= average out-degree).
+	// The paper uses 4.
+	AvgDegree float64
+	// MeanWork is the mean uniprocessor execution time of a task; work is
+	// drawn uniformly from (0, 2*MeanWork). The paper uses 30.
+	MeanWork float64
+	// CCR is the communication-to-computation ratio at the one-processor
+	// allocation: edge communication costs are drawn uniformly with mean
+	// MeanWork*CCR (§IV.A).
+	CCR float64
+	// AMax bounds the Downey average parallelism: A ~ U[1, AMax].
+	AMax float64
+	// Sigma is the Downey variation-of-parallelism parameter, fixed per
+	// workload ((64,1) and (48,2) in the paper).
+	Sigma float64
+	// Bandwidth converts an edge's communication cost into a data volume
+	// (volume = cost * Bandwidth); the paper assumes a 100 Mbps Fast
+	// Ethernet, i.e. 12.5e6 bytes/s.
+	Bandwidth float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// DefaultParams mirrors the paper's synthetic workload: 30 tasks (the
+// middle of its 10-50 range), degree 4, mean work 30, Fast Ethernet.
+func DefaultParams() Params {
+	return Params{
+		Tasks:     30,
+		AvgDegree: 4,
+		MeanWork:  30,
+		CCR:       0,
+		AMax:      64,
+		Sigma:     1,
+		Bandwidth: 12.5e6,
+		Seed:      1,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Tasks < 1:
+		return fmt.Errorf("synth: need at least 1 task, got %d", p.Tasks)
+	case p.AvgDegree < 0:
+		return fmt.Errorf("synth: negative degree %v", p.AvgDegree)
+	case p.MeanWork <= 0:
+		return fmt.Errorf("synth: mean work must be positive, got %v", p.MeanWork)
+	case p.CCR < 0:
+		return fmt.Errorf("synth: negative CCR %v", p.CCR)
+	case p.AMax < 1:
+		return fmt.Errorf("synth: AMax must be >= 1, got %v", p.AMax)
+	case p.Sigma < 0:
+		return fmt.Errorf("synth: negative sigma %v", p.Sigma)
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("synth: bandwidth must be positive, got %v", p.Bandwidth)
+	}
+	return nil
+}
+
+// Generate builds one random task graph. Vertices are ranked and edges
+// always point from lower to higher rank, so the result is acyclic by
+// construction; every non-root vertex receives at least one predecessor,
+// keeping the graph connected the way TGFF's series-chains are.
+func Generate(p Params) (*model.TaskGraph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+
+	tasks := make([]model.Task, p.Tasks)
+	for i := range tasks {
+		work := uniformWithMean(r, p.MeanWork)
+		a := 1 + r.Float64()*(p.AMax-1)
+		prof, err := speedup.NewDowney(work, a, p.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = model.Task{Name: fmt.Sprintf("T%d", i), Profile: prof}
+	}
+
+	var edges []model.Edge
+	for v := 1; v < p.Tasks; v++ {
+		deg := degreeSample(r, p.AvgDegree, v)
+		if deg < 1 {
+			deg = 1 // keep the graph connected
+		}
+		for _, u := range pickDistinct(r, v, deg) {
+			cost := uniformWithMean(r, p.MeanWork*p.CCR)
+			edges = append(edges, model.Edge{From: u, To: v, Volume: cost * p.Bandwidth})
+		}
+	}
+	return model.NewTaskGraph(tasks, edges)
+}
+
+// uniformWithMean draws from U(0, 2*mean); a zero mean yields zero.
+func uniformWithMean(r *rand.Rand, mean float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return r.Float64() * 2 * mean
+}
+
+// degreeSample draws an in-degree with the given mean, capped by the
+// number of available predecessors.
+func degreeSample(r *rand.Rand, mean float64, avail int) int {
+	// Uniform on [0, 2*mean] keeps the average at the target without
+	// heavy tails.
+	d := int(r.Float64()*2*mean + 0.5)
+	if d > avail {
+		d = avail
+	}
+	return d
+}
+
+// pickDistinct selects k distinct values in [0, n).
+func pickDistinct(r *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	return r.Perm(n)[:k]
+}
+
+// Suite generates the paper's evaluation suite: count graphs with task
+// counts spread uniformly across [minTasks, maxTasks] (30 graphs from 10 to
+// 50 tasks in §IV.A), all sharing the remaining parameters. Seeds derive
+// deterministically from p.Seed.
+func Suite(p Params, count, minTasks, maxTasks int) ([]*model.TaskGraph, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("synth: need at least 1 graph, got %d", count)
+	}
+	if minTasks < 1 || maxTasks < minTasks {
+		return nil, fmt.Errorf("synth: invalid task range [%d,%d]", minTasks, maxTasks)
+	}
+	graphs := make([]*model.TaskGraph, count)
+	for i := 0; i < count; i++ {
+		gp := p
+		if count == 1 {
+			gp.Tasks = minTasks
+		} else {
+			gp.Tasks = minTasks + i*(maxTasks-minTasks)/(count-1)
+		}
+		gp.Seed = p.Seed*1_000_003 + int64(i)
+		g, err := Generate(gp)
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+	}
+	return graphs, nil
+}

@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"locmps/internal/model"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Tasks = 0 },
+		func(p *Params) { p.AvgDegree = -1 },
+		func(p *Params) { p.MeanWork = 0 },
+		func(p *Params) { p.CCR = -0.1 },
+		func(p *Params) { p.AMax = 0.5 },
+		func(p *Params) { p.Sigma = -1 },
+		func(p *Params) { p.Bandwidth = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	if DefaultParams().Validate() != nil {
+		t.Error("default params rejected")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.CCR = 0.5
+	g1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.N() != g2.N() {
+		t.Fatalf("task counts differ: %d vs %d", g1.N(), g2.N())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	for i := 0; i < g1.N(); i++ {
+		if g1.ExecTime(i, 3) != g2.ExecTime(i, 3) {
+			t.Fatalf("profiles differ at task %d", i)
+		}
+	}
+	p.Seed++
+	g3, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g3.N() == g1.N() && len(g3.Edges()) == len(e1)
+	if same {
+		for i := 0; i < g1.N(); i++ {
+			if g1.ExecTime(i, 1) != g3.ExecTime(i, 1) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	p := DefaultParams()
+	p.Tasks = 400 // large sample for stable statistics
+	p.CCR = 1
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 400 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if err := g.DAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every non-root vertex is connected.
+	for v := 1; v < g.N(); v++ {
+		if len(g.DAG().Pred(v)) == 0 {
+			t.Errorf("vertex %d has no predecessor", v)
+		}
+	}
+	// Mean work close to MeanWork.
+	var work float64
+	for i := 0; i < g.N(); i++ {
+		work += g.ExecTime(i, 1)
+	}
+	meanWork := work / float64(g.N())
+	if math.Abs(meanWork-p.MeanWork) > 0.2*p.MeanWork {
+		t.Errorf("mean work = %v, want ~%v", meanWork, p.MeanWork)
+	}
+	// Mean in-degree close to AvgDegree (boundary vertices drag it down a
+	// little).
+	if deg := float64(g.DAG().M()) / float64(g.N()); math.Abs(deg-p.AvgDegree) > 1 {
+		t.Errorf("mean degree = %v, want ~%v", deg, p.AvgDegree)
+	}
+	// Mean edge communication cost close to MeanWork * CCR at np=1.
+	var comm float64
+	for _, e := range g.Edges() {
+		comm += e.Volume / p.Bandwidth
+	}
+	meanComm := comm / float64(g.DAG().M())
+	if math.Abs(meanComm-p.MeanWork*p.CCR) > 0.2*p.MeanWork*p.CCR {
+		t.Errorf("mean edge cost = %v, want ~%v", meanComm, p.MeanWork*p.CCR)
+	}
+}
+
+func TestGenerateZeroCCR(t *testing.T) {
+	p := DefaultParams()
+	p.CCR = 0
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.Volume != 0 {
+			t.Fatalf("edge %d->%d has volume %v with CCR=0", e.From, e.To, e.Volume)
+		}
+	}
+	c := model.Cluster{P: 8, Bandwidth: p.Bandwidth, Overlap: true}
+	if ccr := model.CCR(g, c); ccr != 0 {
+		t.Errorf("graph CCR = %v", ccr)
+	}
+}
+
+func TestSuite(t *testing.T) {
+	p := DefaultParams()
+	graphs, err := Suite(p, 30, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 30 {
+		t.Fatalf("got %d graphs", len(graphs))
+	}
+	if graphs[0].N() != 10 || graphs[29].N() != 50 {
+		t.Errorf("task range [%d,%d], want [10,50]", graphs[0].N(), graphs[29].N())
+	}
+	seenSizes := map[int]bool{}
+	for _, g := range graphs {
+		seenSizes[g.N()] = true
+	}
+	if len(seenSizes) < 10 {
+		t.Errorf("only %d distinct sizes across suite", len(seenSizes))
+	}
+	if _, err := Suite(p, 0, 10, 50); err == nil {
+		t.Error("count=0 accepted")
+	}
+	if _, err := Suite(p, 5, 50, 10); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSingleTaskGraph(t *testing.T) {
+	p := DefaultParams()
+	p.Tasks = 1
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1 || g.DAG().M() != 0 {
+		t.Errorf("single-task graph malformed: N=%d M=%d", g.N(), g.DAG().M())
+	}
+}

@@ -1,0 +1,228 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// Named generators for the standard benchmark topologies used throughout
+// the mixed-parallel scheduling literature. All of them draw task work and
+// Downey parameters from the same distributions as Generate, so results
+// are comparable across shapes; only the structure differs.
+
+// taskMaker draws tasks and converts communication costs to volumes.
+type taskMaker struct {
+	p Params
+	r *rand.Rand
+}
+
+func newTaskMaker(p Params) (*taskMaker, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &taskMaker{p: p, r: rand.New(rand.NewSource(p.Seed))}, nil
+}
+
+func (m *taskMaker) task(name string) (model.Task, error) {
+	work := uniformWithMean(m.r, m.p.MeanWork)
+	a := 1 + m.r.Float64()*(m.p.AMax-1)
+	prof, err := speedup.NewDowney(work, a, m.p.Sigma)
+	if err != nil {
+		return model.Task{}, err
+	}
+	return model.Task{Name: name, Profile: prof}, nil
+}
+
+func (m *taskMaker) volume() float64 {
+	return uniformWithMean(m.r, m.p.MeanWork*m.p.CCR) * m.p.Bandwidth
+}
+
+// Chain generates a linear pipeline of Tasks stages — zero task
+// parallelism, the best case for pure data-parallel execution.
+func Chain(p Params) (*model.TaskGraph, error) {
+	m, err := newTaskMaker(p)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]model.Task, p.Tasks)
+	var edges []model.Edge
+	for i := range tasks {
+		if tasks[i], err = m.task(fmt.Sprintf("S%d", i)); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			edges = append(edges, model.Edge{From: i - 1, To: i, Volume: m.volume()})
+		}
+	}
+	return model.NewTaskGraph(tasks, edges)
+}
+
+// ForkJoin generates source -> (Tasks-2 parallel branches) -> sink — the
+// maximum-task-parallelism counterpart of Chain.
+func ForkJoin(p Params) (*model.TaskGraph, error) {
+	if p.Tasks < 3 {
+		return nil, fmt.Errorf("synth: fork-join needs >= 3 tasks, got %d", p.Tasks)
+	}
+	m, err := newTaskMaker(p)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]model.Task, p.Tasks)
+	var edges []model.Edge
+	if tasks[0], err = m.task("fork"); err != nil {
+		return nil, err
+	}
+	sink := p.Tasks - 1
+	for i := 1; i < sink; i++ {
+		if tasks[i], err = m.task(fmt.Sprintf("B%d", i)); err != nil {
+			return nil, err
+		}
+		edges = append(edges,
+			model.Edge{From: 0, To: i, Volume: m.volume()},
+			model.Edge{From: i, To: sink, Volume: m.volume()})
+	}
+	if tasks[sink], err = m.task("join"); err != nil {
+		return nil, err
+	}
+	return model.NewTaskGraph(tasks, edges)
+}
+
+// OutTree generates a complete out-branching (each task spawns Branch
+// children until Tasks vertices exist) — the divide phase of
+// divide-and-conquer applications. Branch must be >= 2.
+func OutTree(p Params, branch int) (*model.TaskGraph, error) {
+	if branch < 2 {
+		return nil, fmt.Errorf("synth: tree branching factor %d < 2", branch)
+	}
+	m, err := newTaskMaker(p)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]model.Task, p.Tasks)
+	var edges []model.Edge
+	for i := range tasks {
+		if tasks[i], err = m.task(fmt.Sprintf("N%d", i)); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			parent := (i - 1) / branch
+			edges = append(edges, model.Edge{From: parent, To: i, Volume: m.volume()})
+		}
+	}
+	return model.NewTaskGraph(tasks, edges)
+}
+
+// InTree generates the mirror image of OutTree (reduction trees).
+func InTree(p Params, branch int) (*model.TaskGraph, error) {
+	out, err := OutTree(p, branch)
+	if err != nil {
+		return nil, err
+	}
+	n := out.N()
+	tasks := make([]model.Task, n)
+	var edges []model.Edge
+	for i := 0; i < n; i++ {
+		tasks[i] = out.Tasks[n-1-i]
+	}
+	for _, e := range out.Edges() {
+		edges = append(edges, model.Edge{From: n - 1 - e.To, To: n - 1 - e.From, Volume: e.Volume})
+	}
+	return model.NewTaskGraph(tasks, edges)
+}
+
+// SeriesParallel generates a random series-parallel DAG by recursive
+// composition: a budget of Tasks vertices is split into serial or parallel
+// compositions of sub-graphs, bottoming out at single tasks. Prasanna's
+// optimal-scheduling results (paper §V) apply to exactly this class.
+func SeriesParallel(p Params) (*model.TaskGraph, error) {
+	m, err := newTaskMaker(p)
+	if err != nil {
+		return nil, err
+	}
+	b := &spBuilder{m: m}
+	first, last, err := b.build(p.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	_ = first
+	_ = last
+	return model.NewTaskGraph(b.tasks, b.edges)
+}
+
+type spBuilder struct {
+	m     *taskMaker
+	tasks []model.Task
+	edges []model.Edge
+}
+
+func (b *spBuilder) leaf() (int, error) {
+	t, err := b.m.task(fmt.Sprintf("v%d", len(b.tasks)))
+	if err != nil {
+		return 0, err
+	}
+	b.tasks = append(b.tasks, t)
+	return len(b.tasks) - 1, nil
+}
+
+// build creates a sub-DAG with the given vertex budget and returns its
+// entry and exit vertices.
+func (b *spBuilder) build(budget int) (first, last int, err error) {
+	if budget <= 1 {
+		v, err := b.leaf()
+		return v, v, err
+	}
+	if b.m.r.Intn(2) == 0 {
+		// Serial composition: A then B.
+		cut := 1 + b.m.r.Intn(budget-1)
+		f1, l1, err := b.build(cut)
+		if err != nil {
+			return 0, 0, err
+		}
+		f2, l2, err := b.build(budget - cut)
+		if err != nil {
+			return 0, 0, err
+		}
+		b.edges = append(b.edges, model.Edge{From: l1, To: f2, Volume: b.m.volume()})
+		return f1, l2, nil
+	}
+	// Parallel composition: entry -> {A, B} -> exit. Reserve two vertices.
+	if budget < 4 {
+		v, err := b.leaf()
+		if err != nil {
+			return 0, 0, err
+		}
+		w, err := b.leaf()
+		if err != nil {
+			return 0, 0, err
+		}
+		b.edges = append(b.edges, model.Edge{From: v, To: w, Volume: b.m.volume()})
+		return v, w, nil
+	}
+	entry, err := b.leaf()
+	if err != nil {
+		return 0, 0, err
+	}
+	inner := budget - 2
+	cut := 1 + b.m.r.Intn(inner-1)
+	f1, l1, err := b.build(cut)
+	if err != nil {
+		return 0, 0, err
+	}
+	f2, l2, err := b.build(inner - cut)
+	if err != nil {
+		return 0, 0, err
+	}
+	exit, err := b.leaf()
+	if err != nil {
+		return 0, 0, err
+	}
+	b.edges = append(b.edges,
+		model.Edge{From: entry, To: f1, Volume: b.m.volume()},
+		model.Edge{From: entry, To: f2, Volume: b.m.volume()},
+		model.Edge{From: l1, To: exit, Volume: b.m.volume()},
+		model.Edge{From: l2, To: exit, Volume: b.m.volume()})
+	return entry, exit, nil
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"testing"
+
+	"locmps/internal/model"
+	"locmps/internal/sched"
+)
+
+func topoParams(tasks int) Params {
+	p := DefaultParams()
+	p.Tasks = tasks
+	p.CCR = 0.1
+	return p
+}
+
+func TestChainTopology(t *testing.T) {
+	g, err := Chain(topoParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 || g.DAG().M() != 7 {
+		t.Fatalf("N=%d M=%d", g.N(), g.DAG().M())
+	}
+	w, err := g.DAG().Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Errorf("chain width = %d", w)
+	}
+}
+
+func TestForkJoinTopology(t *testing.T) {
+	g, err := ForkJoin(topoParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if len(g.DAG().Succ(0)) != 8 {
+		t.Errorf("fork out-degree = %d, want 8", len(g.DAG().Succ(0)))
+	}
+	if len(g.DAG().Pred(9)) != 8 {
+		t.Errorf("join in-degree = %d, want 8", len(g.DAG().Pred(9)))
+	}
+	w, err := g.DAG().Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 8 {
+		t.Errorf("fork-join width = %d, want 8", w)
+	}
+	if _, err := ForkJoin(topoParams(2)); err == nil {
+		t.Error("2-task fork-join accepted")
+	}
+}
+
+func TestTreeTopologies(t *testing.T) {
+	out, err := OutTree(topoParams(7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.DAG().Sources(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("out-tree sources = %v", got)
+	}
+	if got := len(out.DAG().Sinks()); got != 4 {
+		t.Errorf("out-tree leaves = %d, want 4", got)
+	}
+	in, err := InTree(topoParams(7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(in.DAG().Sources()); got != 4 {
+		t.Errorf("in-tree sources = %d, want 4", got)
+	}
+	if got := in.DAG().Sinks(); len(got) != 1 {
+		t.Errorf("in-tree sinks = %v", got)
+	}
+	if _, err := OutTree(topoParams(5), 1); err == nil {
+		t.Error("branching factor 1 accepted")
+	}
+	// In-tree mirrors out-tree edge count and work (work compared with a
+	// tolerance: the mirrored summation order differs).
+	if in.DAG().M() != out.DAG().M() {
+		t.Error("in-tree edge count differs from out-tree")
+	}
+	if d := in.SerialWork() - out.SerialWork(); d > 1e-9 || d < -1e-9 {
+		t.Errorf("in-tree work differs: %v", d)
+	}
+}
+
+func TestSeriesParallelTopology(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		g, err := SeriesParallel(topoParams(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := g.DAG().Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.N() > n {
+			t.Errorf("n=%d: generated %d tasks over budget", n, g.N())
+		}
+		if g.N() < 1 {
+			t.Errorf("n=%d: empty graph", n)
+		}
+	}
+}
+
+func TestTopologiesSchedulable(t *testing.T) {
+	c := model.Cluster{P: 8, Bandwidth: 12.5e6, Overlap: true}
+	graphs := map[string]*model.TaskGraph{}
+	var err error
+	if graphs["chain"], err = Chain(topoParams(6)); err != nil {
+		t.Fatal(err)
+	}
+	if graphs["forkjoin"], err = ForkJoin(topoParams(8)); err != nil {
+		t.Fatal(err)
+	}
+	if graphs["outtree"], err = OutTree(topoParams(7), 2); err != nil {
+		t.Fatal(err)
+	}
+	if graphs["intree"], err = InTree(topoParams(7), 2); err != nil {
+		t.Fatal(err)
+	}
+	if graphs["sp"], err = SeriesParallel(topoParams(10)); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range graphs {
+		s, err := sched.LoCMPS().Schedule(g, c)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := s.Validate(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

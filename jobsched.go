@@ -1,0 +1,39 @@
+package locmps
+
+import (
+	"io"
+
+	"locmps/internal/jobsched"
+)
+
+// Rigid parallel-job scheduling with backfilling — the substrate (the
+// paper's reference [12]) whose hole-filling idea LoCBS adapts to
+// malleable tasks. Exposed for standalone use and strategy
+// characterization studies.
+type (
+	// RigidJob is one rigid parallel job (arrival, width, estimate,
+	// runtime).
+	RigidJob = jobsched.Job
+	// BackfillStrategy selects FCFS, EASY or conservative backfilling.
+	BackfillStrategy = jobsched.Strategy
+	// BackfillResult reports a job-scheduling simulation.
+	BackfillResult = jobsched.Result
+)
+
+// Backfill strategies.
+const (
+	StrategyFCFS         = jobsched.FCFS
+	StrategyEASY         = jobsched.EASY
+	StrategyConservative = jobsched.Conservative
+)
+
+// SimulateJobs runs a rigid-job stream on p processors under the strategy.
+func SimulateJobs(jobs []RigidJob, p int, strat BackfillStrategy) (BackfillResult, error) {
+	return jobsched.Simulate(jobs, p, strat)
+}
+
+// ReadSWF parses a Standard Workload Format trace (Parallel Workloads
+// Archive) into rigid jobs; maxProcs caps job widths (0 keeps all).
+func ReadSWF(r io.Reader, maxProcs int) ([]RigidJob, error) {
+	return jobsched.ReadSWF(r, maxProcs)
+}

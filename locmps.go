@@ -1,0 +1,159 @@
+// Package locmps is the public API of this module: a reproduction of
+// "Locality Conscious Processor Allocation and Scheduling for Mixed
+// Parallel Applications" (Vydyanathan et al., IEEE Cluster 2006).
+//
+// It schedules mixed-parallel applications — directed acyclic graphs of
+// malleable data-parallel tasks with inter-task data volumes — onto
+// homogeneous clusters, choosing for every task a processor count, a
+// processor set and a start time so that the makespan is minimized.
+//
+// The package re-exports the building blocks from internal packages:
+//
+//   - task graphs and cluster models (NewTaskGraph, Cluster),
+//   - speedup profiles (Downey, Amdahl, Linear, NewTable),
+//   - the LoC-MPS scheduler and every baseline from the paper's
+//     evaluation (NewLoCMPS, NewICASLB, NewCPR, ... or ByName),
+//   - the discrete-event cluster simulator (Execute, Run),
+//   - workload generators (Synthetic, Strassen, CCSDT1),
+//   - experiment drivers regenerating each figure of the paper
+//     (Fig4 ... Fig11).
+//
+// See examples/quickstart for a complete end-to-end program.
+package locmps
+
+import (
+	"io"
+
+	"locmps/internal/core"
+	"locmps/internal/model"
+	"locmps/internal/sched"
+	"locmps/internal/schedule"
+	"locmps/internal/sim"
+	"locmps/internal/speedup"
+)
+
+// Core model types.
+type (
+	// Task is one malleable vertex of the application DAG.
+	Task = model.Task
+	// Edge is a precedence constraint carrying a data volume in bytes.
+	Edge = model.Edge
+	// TaskGraph is the weighted application DAG.
+	TaskGraph = model.TaskGraph
+	// Cluster is the homogeneous machine model: P nodes, single-port NICs
+	// with a given bandwidth, with or without computation/communication
+	// overlap.
+	Cluster = model.Cluster
+	// ProfileSpec is the serializable description of a speedup profile.
+	ProfileSpec = model.ProfileSpec
+)
+
+// Speedup profiles.
+type (
+	// Profile maps processor count to execution time.
+	Profile = speedup.Profile
+	// Downey is Downey's speedup model (parameters A, sigma).
+	Downey = speedup.Downey
+	// Amdahl is the fixed-serial-fraction model.
+	Amdahl = speedup.Amdahl
+	// Linear is the perfectly scalable profile.
+	Linear = speedup.Linear
+	// Table is a measured (profiled) execution-time table.
+	Table = speedup.Table
+)
+
+// Schedules.
+type (
+	// Schedule is the output of a scheduler: placements, makespan,
+	// charged communication and scheduling wall-clock time.
+	Schedule = schedule.Schedule
+	// Placement is one task's processor set and time window.
+	Placement = schedule.Placement
+	// Scheduler is implemented by every algorithm in this module.
+	Scheduler = schedule.Scheduler
+)
+
+// Simulator types.
+type (
+	// SimOptions configure the discrete-event execution (noise, seed).
+	SimOptions = sim.Options
+	// SimResult reports a simulated execution.
+	SimResult = sim.Result
+)
+
+// NewTaskGraph builds and validates a task graph.
+func NewTaskGraph(tasks []Task, edges []Edge) (*TaskGraph, error) {
+	return model.NewTaskGraph(tasks, edges)
+}
+
+// ReadTaskGraph parses the JSON task-graph format (see WriteJSON on
+// TaskGraph for the schema).
+func ReadTaskGraph(r io.Reader) (*TaskGraph, error) { return model.ReadJSON(r) }
+
+// NewDowney validates and returns a Downey profile.
+func NewDowney(t1, a, sigma float64) (Downey, error) { return speedup.NewDowney(t1, a, sigma) }
+
+// NewAmdahl validates and returns an Amdahl profile.
+func NewAmdahl(t1, f float64) (Amdahl, error) { return speedup.NewAmdahl(t1, f) }
+
+// NewTable validates and returns a table profile (times[0] is the
+// uniprocessor time).
+func NewTable(times []float64) (Table, error) { return speedup.NewTable(times) }
+
+// NewLoCMPS returns the paper's algorithm: locality conscious mixed
+// parallel allocation and scheduling with backfilling and bounded
+// look-ahead.
+func NewLoCMPS() Scheduler { return core.New() }
+
+// NewLoCMPSNoBackfill returns the cheaper frontier-only variant of Fig 6.
+func NewLoCMPSNoBackfill() Scheduler { return core.NewNoBackfill() }
+
+// NewICASLB returns the authors' earlier communication-blind algorithm.
+func NewICASLB() Scheduler { return core.NewICASLB() }
+
+// NewCPR returns the Critical Path Reduction baseline.
+func NewCPR() Scheduler { return sched.CPR{} }
+
+// NewCPA returns the Critical Path and Allocation baseline.
+func NewCPA() Scheduler { return sched.CPA{} }
+
+// NewTaskParallel returns the pure task-parallel baseline (one processor
+// per task).
+func NewTaskParallel() Scheduler { return sched.Task{} }
+
+// NewDataParallel returns the pure data-parallel baseline (every task on
+// all processors, sequentially).
+func NewDataParallel() Scheduler { return sched.Data{} }
+
+// NewOptimal returns the exhaustive branch-and-bound scheduler for tiny
+// instances (up to ~8 tasks) — ground truth for optimality-gap studies.
+func NewOptimal() Scheduler { return sched.Optimal{} }
+
+// NewMHEFT returns the M-HEFT-style extra baseline: one-shot list
+// scheduling with per-task greedy width selection.
+func NewMHEFT() Scheduler { return sched.MHEFT{} }
+
+// ScheduleDual runs LoC-MPS twice — from the pure task-parallel start and
+// from the saturated data-parallel allocation — and returns the better
+// schedule (never worse than NewLoCMPS, at about twice the cost).
+func ScheduleDual(tg *TaskGraph, c Cluster) (*Schedule, error) {
+	return core.New().ScheduleDual(tg, c)
+}
+
+// AllSchedulers returns the six algorithms of the paper's evaluation.
+func AllSchedulers() []Scheduler { return sched.All() }
+
+// SchedulerByName resolves "LoC-MPS", "LoC-MPS-NoBF", "iCASLB", "CPR",
+// "CPA", "TASK" or "DATA".
+func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// Execute runs a computed schedule through the discrete-event cluster
+// simulator with exact single-port transfer accounting.
+func Execute(tg *TaskGraph, s *Schedule, opt SimOptions) (SimResult, error) {
+	return sim.Execute(tg, s, opt)
+}
+
+// Run schedules and immediately simulates, returning both artifacts.
+func Run(alg Scheduler, tg *TaskGraph, c Cluster, opt SimOptions) (*Schedule, SimResult, error) {
+	return sim.Run(alg, tg, c, opt)
+}

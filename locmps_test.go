@@ -1,0 +1,138 @@
+package locmps_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"locmps"
+)
+
+// buildPipeline constructs a small mixed-parallel pipeline through the
+// public API only.
+func buildPipeline(t *testing.T) *locmps.TaskGraph {
+	t.Helper()
+	stage, err := locmps.NewDowney(30, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := locmps.NewDowney(12, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := locmps.NewTaskGraph(
+		[]locmps.Task{
+			{Name: "decode", Profile: filter},
+			{Name: "fft", Profile: stage},
+			{Name: "conv", Profile: stage},
+			{Name: "merge", Profile: filter},
+		},
+		[]locmps.Edge{
+			{From: 0, To: 1, Volume: 4e6},
+			{From: 0, To: 2, Volume: 4e6},
+			{From: 1, To: 3, Volume: 4e6},
+			{From: 2, To: 3, Volume: 4e6},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tg := buildPipeline(t)
+	c := locmps.Cluster{P: 8, Bandwidth: 250e6, Overlap: true}
+
+	var best, worst float64
+	for _, alg := range locmps.AllSchedulers() {
+		s, err := alg.Schedule(tg, c)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := s.Validate(tg); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if best == 0 || s.Makespan < best {
+			best = s.Makespan
+		}
+		if s.Makespan > worst {
+			worst = s.Makespan
+		}
+	}
+	// LoC-MPS must achieve the best makespan among the six on this graph.
+	loc, err := locmps.NewLoCMPS().Schedule(tg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Makespan > best+1e-9 {
+		t.Errorf("LoC-MPS %v, best across schedulers %v", loc.Makespan, best)
+	}
+	if worst <= best {
+		t.Log("all schedulers tied; graph too easy for a spread check")
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	tg := buildPipeline(t)
+	c := locmps.Cluster{P: 4, Bandwidth: 250e6, Overlap: true}
+	s, res, err := locmps.Run(locmps.NewLoCMPS(), tg, c, locmps.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("simulated makespan %v", res.Makespan)
+	}
+	// The simulator replays the same placements; without noise it stays
+	// within a small factor of the plan (port contention can add delay).
+	if res.Makespan < s.Makespan/2 || res.Makespan > s.Makespan*2 {
+		t.Errorf("simulated %v vs planned %v diverge wildly", res.Makespan, s.Makespan)
+	}
+}
+
+func TestPublicAPIJSONRoundTrip(t *testing.T) {
+	tg := buildPipeline(t)
+	var buf bytes.Buffer
+	if err := tg.WriteJSON(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	back, err := locmps.ReadTaskGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != tg.N() {
+		t.Errorf("N = %d, want %d", back.N(), tg.N())
+	}
+	for p := 1; p <= 8; p++ {
+		if math.Abs(back.ExecTime(1, p)-tg.ExecTime(1, p)) > 1e-12 {
+			t.Errorf("profile diverged at p=%d", p)
+		}
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if _, err := locmps.Strassen(1024); err != nil {
+		t.Error(err)
+	}
+	if _, err := locmps.CCSDT1(locmps.DefaultCCSDParams()); err != nil {
+		t.Error(err)
+	}
+	p := locmps.DefaultSynthParams()
+	p.Tasks = 12
+	g, err := locmps.Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Errorf("N = %d", g.N())
+	}
+	suite, err := locmps.SyntheticSuite(p, 4, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 4 {
+		t.Errorf("suite len = %d", len(suite))
+	}
+	if _, err := locmps.SchedulerByName("CPR"); err != nil {
+		t.Error(err)
+	}
+}
