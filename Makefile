@@ -1,0 +1,36 @@
+# Tier-1+ verification for the locmps module. `make check` is the gate every
+# change must pass: build, vet, the full test suite under the race detector
+# (this exercises ScheduleDual and the experiment worker pool concurrently),
+# and a short benchmark smoke of the scheduler hot path.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench-json golden
+
+check: build vet race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A single iteration of each mid-scale scheduler benchmark: catches gross
+# regressions and asserts the hot path still runs end to end.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLoCMPS(30Tasks16Procs|50Tasks64Procs)' -benchtime 1x -benchmem .
+
+# Refresh the "current" snapshot in BENCH_locmps.json (the baseline inside
+# is preserved).
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+# Re-check the golden determinism fixture on its own.
+golden:
+	$(GO) test -run TestGoldenDeterminism .

@@ -8,6 +8,7 @@ package locmps_test
 //	go test -bench=. -benchmem
 
 import (
+	"strconv"
 	"testing"
 
 	"locmps"
@@ -34,140 +35,72 @@ func reportRatios(b *testing.B, f locmps.Figure) {
 			b.Fatalf("series %s empty", s.Name)
 		}
 		last := s.Points[len(s.Points)-1]
-		b.ReportMetric(last.Y, s.Name+"@P"+itoa(int(last.X)))
+		b.ReportMetric(last.Y, s.Name+"@P"+strconv.Itoa(int(last.X)))
 	}
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
+// benchFigure regenerates one figure per iteration and reports its final-P
+// ratios once; every figure benchmark below shares this body.
+func benchFigure(b *testing.B, gen func() (locmps.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRatios(b, f)
+		}
 	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }
 
 // BenchmarkFig4a: synthetic graphs, CCR=0, Amax=64 sigma=1.
 func BenchmarkFig4a(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig4('a', benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig4('a', benchSuite()) })
 }
 
 // BenchmarkFig4b: synthetic graphs, CCR=0, Amax=48 sigma=2.
 func BenchmarkFig4b(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig4('b', benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig4('b', benchSuite()) })
 }
 
 // BenchmarkFig5a: synthetic graphs, CCR=0.1.
 func BenchmarkFig5a(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig5('a', benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig5('a', benchSuite()) })
 }
 
 // BenchmarkFig5b: synthetic graphs, CCR=1.
 func BenchmarkFig5b(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig5('b', benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig5('b', benchSuite()) })
 }
 
 // BenchmarkFig6 compares backfill to no-backfill (schedule quality and
 // scheduling time).
 func BenchmarkFig6(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchFigure(b, func() (locmps.Figure, error) {
 		perf, _, err := locmps.Fig6(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, perf)
-		}
-	}
+		return perf, err
+	})
 }
 
 // BenchmarkFig8Overlap: CCSD-T1 with computation/communication overlap.
 func BenchmarkFig8Overlap(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig8(true, benchApps())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig8(true, benchApps()) })
 }
 
 // BenchmarkFig8NoOverlap: CCSD-T1 without overlap.
 func BenchmarkFig8NoOverlap(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig8(false, benchApps())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig8(false, benchApps()) })
 }
 
 // BenchmarkFig9Strassen1024: Strassen 1024x1024.
 func BenchmarkFig9Strassen1024(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig9(1024, benchApps())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig9(1024, benchApps()) })
 }
 
 // BenchmarkFig9Strassen4096: Strassen 4096x4096.
 func BenchmarkFig9Strassen4096(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig9(4096, benchApps())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig9(4096, benchApps()) })
 }
 
 // BenchmarkFig10SchedulingTimes measures the schedulers themselves (CCSD).
@@ -182,15 +115,7 @@ func BenchmarkFig10SchedulingTimes(b *testing.B) {
 // BenchmarkFig11ActualExecution: simulated execution of CCSD-T1 with
 // runtime noise.
 func BenchmarkFig11ActualExecution(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := locmps.Fig11(benchApps())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			reportRatios(b, f)
-		}
-	}
+	benchFigure(b, func() (locmps.Figure, error) { return locmps.Fig11(benchApps()) })
 }
 
 // --- Micro-benchmarks of the core algorithm -------------------------------

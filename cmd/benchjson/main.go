@@ -1,0 +1,175 @@
+// Command benchjson runs the mid-scale scheduler benchmarks and records
+// them in BENCH_locmps.json so the performance trajectory is tracked across
+// PRs. Each entry holds ns/op, B/op, allocs/op, the scheduled makespan and
+// the makespan ratio against the CPR baseline (a quality check: speedups
+// must not change what is scheduled).
+//
+// The file keeps two snapshots: "baseline" (written once, preserved on
+// every rerun) and "current" (refreshed each run), plus the derived
+// speedups. Delete the file to re-baseline.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson            # update BENCH_locmps.json in place
+//	go run ./cmd/benchjson -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"locmps"
+)
+
+// Result is one benchmark snapshot.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Makespan is the scheduled makespan of the benchmark instance and
+	// RatioVsCPR its ratio to CPR's makespan — both pure functions of the
+	// input, so a change here means the optimization changed the schedule.
+	Makespan   float64 `json:"makespan"`
+	RatioVsCPR float64 `json:"makespan_ratio_vs_cpr"`
+}
+
+// File is the on-disk layout of BENCH_locmps.json.
+type File struct {
+	Note     string             `json:"note,omitempty"`
+	Baseline map[string]Result  `json:"baseline"`
+	Current  map[string]Result  `json:"current"`
+	SpeedupX map[string]Speedup `json:"speedup_vs_baseline"`
+}
+
+// Speedup is baseline/current for the two tracked dimensions.
+type Speedup struct {
+	Ns     float64 `json:"ns"`
+	Allocs float64 `json:"allocs"`
+}
+
+type benchCase struct {
+	name         string
+	tasks, procs int
+}
+
+var cases = []benchCase{
+	{"BenchmarkLoCMPS30Tasks16Procs", 30, 16},
+	{"BenchmarkLoCMPS50Tasks64Procs", 50, 64},
+}
+
+func main() {
+	path := flag.String("o", "BENCH_locmps.json", "output file (baseline inside is preserved)")
+	flag.Parse()
+	if err := run(*path); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	out := File{
+		Note:     "Mid-scale LoC-MPS scheduler benchmarks (synthetic graphs, CCR=0.1, seed 7). Baseline is preserved across runs; delete this file to re-baseline.",
+		Current:  map[string]Result{},
+		SpeedupX: map[string]Speedup{},
+	}
+	if prev, err := load(path); err != nil {
+		return err
+	} else if prev != nil && len(prev.Baseline) > 0 {
+		out.Baseline = prev.Baseline
+		if prev.Note != "" {
+			out.Note = prev.Note
+		}
+	}
+
+	for _, cs := range cases {
+		r, err := measure(cs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cs.name, err)
+		}
+		out.Current[cs.name] = r
+		fmt.Printf("%-34s %14.0f ns/op %12.0f B/op %10.0f allocs/op  makespan %.6g (%.3fx CPR)\n",
+			cs.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Makespan, r.RatioVsCPR)
+	}
+	if out.Baseline == nil {
+		out.Baseline = out.Current
+		fmt.Println("no existing baseline: current run recorded as baseline")
+	}
+	for name, cur := range out.Current {
+		if base, ok := out.Baseline[name]; ok && cur.NsPerOp > 0 && cur.AllocsPerOp > 0 {
+			out.SpeedupX[name] = Speedup{
+				Ns:     base.NsPerOp / cur.NsPerOp,
+				Allocs: base.AllocsPerOp / cur.AllocsPerOp,
+			}
+			fmt.Printf("%-34s %6.2fx ns/op %6.2fx allocs/op vs baseline\n",
+				name, out.SpeedupX[name].Ns, out.SpeedupX[name].Allocs)
+		}
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("existing %s is not valid: %w", path, err)
+	}
+	return &f, nil
+}
+
+// measure builds the same instance as the bench_test.go benchmark of the
+// same name and times LoC-MPS on it.
+func measure(cs benchCase) (Result, error) {
+	p := locmps.DefaultSynthParams()
+	p.Tasks = cs.tasks
+	p.CCR = 0.1
+	p.Seed = 7
+	tg, err := locmps.Synthetic(p)
+	if err != nil {
+		return Result{}, err
+	}
+	c := locmps.Cluster{P: cs.procs, Bandwidth: 12.5e6, Overlap: true}
+
+	s, err := locmps.NewLoCMPS().Schedule(tg, c)
+	if err != nil {
+		return Result{}, err
+	}
+	cpr, err := locmps.NewCPR().Schedule(tg, c)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := locmps.NewLoCMPS().Schedule(tg, c); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return Result{}, benchErr
+	}
+	return Result{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		Makespan:    s.Makespan,
+		RatioVsCPR:  s.Makespan / cpr.Makespan,
+	}, nil
+}

@@ -24,19 +24,20 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate (4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 or all)")
-		full = flag.Bool("full", false, "paper-scale parameters (slow) instead of quick ones")
-		csv  = flag.Bool("csv", false, "emit CSV instead of text tables")
-		out  = flag.String("out", "", "also write each figure as <id>.csv into this directory")
+		fig     = flag.String("fig", "all", "figure to regenerate (4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 or all)")
+		full    = flag.Bool("full", false, "paper-scale parameters (slow) instead of quick ones")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
+		out     = flag.String("out", "", "also write each figure as <id>.csv into this directory")
+		workers = flag.Int("workers", 0, "scheduler cells run concurrently (0 = one per CPU, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
-	if err := run(*fig, *full, *csv, *out); err != nil {
+	if err := run(*fig, *full, *csv, *out, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full, csv bool, outDir string) error {
+func run(fig string, full, csv bool, outDir string, workers int) error {
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -48,6 +49,8 @@ func run(fig string, full, csv bool, outDir string) error {
 		suite = locmps.PaperSuiteOptions()
 		app = locmps.PaperAppOptions()
 	}
+	suite.Workers = workers
+	app.Workers = workers
 
 	ids := []string{fig}
 	if fig == "all" {

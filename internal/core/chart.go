@@ -26,10 +26,39 @@ type chart struct {
 	p        int
 	backfill bool
 	busy     [][]interval
+	// ends is the sorted multiset of candidate slot boundaries, maintained
+	// incrementally by reserve: every busy-interval end in backfill mode,
+	// or one entry per processor (its frontier) in no-backfill mode. It
+	// lets candidateTimes answer with a binary search instead of sorting
+	// all boundaries on every query.
+	ends []float64
 }
 
 func newChart(p int, backfill bool) *chart {
-	return &chart{p: p, backfill: backfill, busy: make([][]interval, p)}
+	c := &chart{}
+	c.reset(p, backfill)
+	return c
+}
+
+// reset re-targets the chart at p empty processors, reusing the per-
+// processor interval slices so pooled LoCBS runs allocate nothing here.
+func (c *chart) reset(p int, backfill bool) {
+	c.p, c.backfill = p, backfill
+	if cap(c.busy) < p {
+		c.busy = make([][]interval, p)
+	} else {
+		c.busy = c.busy[:p]
+	}
+	for i := range c.busy {
+		c.busy[i] = c.busy[i][:0]
+	}
+	c.ends = c.ends[:0]
+	if !backfill {
+		// Every processor starts with frontier 0.
+		for i := 0; i < p; i++ {
+			c.ends = append(c.ends, 0)
+		}
+	}
 }
 
 // reserve books [start, end) on processor proc. Caller guarantees the span
@@ -40,11 +69,42 @@ func (c *chart) reserve(proc int, start, end float64) {
 	}
 	iv := interval{start, end}
 	list := c.busy[proc]
-	pos := sort.Search(len(list), func(i int) bool { return list[i].start >= iv.start })
+	oldF := 0.0
+	if len(list) > 0 {
+		oldF = list[len(list)-1].end
+	}
+	// Most reservations extend the frontier, so scan from the tail.
+	pos := len(list)
+	for pos > 0 && list[pos-1].start >= iv.start {
+		pos--
+	}
 	list = append(list, interval{})
 	copy(list[pos+1:], list[pos:])
 	list[pos] = iv
 	c.busy[proc] = list
+	if c.backfill {
+		c.insertEnd(end)
+	} else if newF := list[len(list)-1].end; newF != oldF {
+		c.removeEnd(oldF)
+		c.insertEnd(newF)
+	}
+}
+
+func (c *chart) insertEnd(v float64) {
+	// Boundaries mostly arrive in increasing order (the frontier grows),
+	// so scan from the tail; any insertion point keeps the multiset sorted.
+	pos := len(c.ends)
+	for pos > 0 && c.ends[pos-1] > v {
+		pos--
+	}
+	c.ends = append(c.ends, 0)
+	copy(c.ends[pos+1:], c.ends[pos:])
+	c.ends[pos] = v
+}
+
+func (c *chart) removeEnd(v float64) {
+	pos := sort.SearchFloat64s(c.ends, v)
+	c.ends = append(c.ends[:pos], c.ends[pos+1:]...)
 }
 
 // frontier returns the end of the last busy interval on proc (0 if idle).
@@ -81,24 +141,13 @@ func (c *chart) freeAt(proc int, t float64) (until float64, free bool) {
 // candidateTimes returns the sorted distinct times >= est at which the set
 // of free processors can change: est itself plus every busy-interval end
 // (backfill) or every frontier (no-backfill). These are the only start
-// times a minimum-finish-time search needs to probe.
-func (c *chart) candidateTimes(est float64) []float64 {
-	times := []float64{est}
-	for proc := 0; proc < c.p; proc++ {
-		if c.backfill {
-			for _, iv := range c.busy[proc] {
-				if iv.end >= est {
-					times = append(times, iv.end)
-				}
-			}
-		} else if f := c.frontier(proc); f >= est {
-			times = append(times, f)
-		}
-	}
-	sort.Float64s(times)
-	// Dedup in place.
-	out := times[:1]
-	for _, t := range times[1:] {
+// times a minimum-finish-time search needs to probe. The result is appended
+// into buf, which may be nil. The boundaries are kept sorted by reserve, so
+// a query is one binary search plus a deduplicating copy.
+func (c *chart) candidateTimes(est float64, buf []float64) []float64 {
+	out := append(buf[:0], est)
+	pos := sort.SearchFloat64s(c.ends, est)
+	for _, t := range c.ends[pos:] {
 		if t != out[len(out)-1] {
 			out = append(out, t)
 		}

@@ -424,7 +424,7 @@ func TestCandidateTimes(t *testing.T) {
 	ch := newChart(2, true)
 	ch.reserve(0, 0, 10)
 	ch.reserve(1, 5, 8)
-	times := ch.candidateTimes(3)
+	times := ch.candidateTimes(3, nil)
 	want := []float64{3, 8, 10}
 	if len(times) != len(want) {
 		t.Fatalf("times = %v, want %v", times, want)

@@ -3,13 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
-	"locmps/internal/graph"
 	"locmps/internal/model"
 	"locmps/internal/redist"
 	"locmps/internal/schedule"
-	"locmps/internal/speedup"
 )
 
 // DefaultBlockBytes is the block-cyclic block size assumed when a Config
@@ -70,16 +69,57 @@ func LoCBS(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config) (*s
 			return nil, fmt.Errorf("core: task %d allocated %d processors outside [1,%d]", t, n, cluster.P)
 		}
 	}
-	cfg = cfg.withDefaults()
+	sc := getScratch()
+	defer putScratch(sc)
+	return runPlacer(tg, cluster, np, cfg.withDefaults(), Preset{}, sc)
+}
+
+// runPlacer executes one pre-validated LoCBS run against pooled scratch:
+// cluster, np and preset have been checked by the caller and cfg carries
+// its defaults. This is the entry point the LoC-MPS search loop hits
+// thousands of times per Schedule call.
+func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, sc *placerScratch) (*schedule.Schedule, error) {
+	sc.preparePlacer(tg.N(), cluster.P, cfg.Backfill)
 	e := &placer{
 		tg:      tg,
+		tb:      tg.Tables(cluster.P),
 		cluster: cluster,
 		np:      np,
 		cfg:     cfg,
 		rm:      redistModel(cfg, cluster),
-		chart:   newChart(cluster.P, cfg.Backfill),
-		sched:   schedule.NewSchedule(engineName(cfg), cluster, tg.N()),
+		sc:      sc,
+		sched:   schedule.NewSchedule(engineName(cfg), cluster, tg),
+		factor:  preset.NodeFactor,
 	}
+	for t, pl := range preset.Fixed {
+		e.sched.Placements[t] = pl
+		sc.preset[t] = true
+		// Fixed tasks that are still running block their processors.
+		for _, proc := range pl.Procs {
+			sc.chart.reserve(proc, pl.Start, pl.Finish)
+		}
+	}
+	if preset.BusyUntil != nil {
+		for proc, until := range preset.BusyUntil {
+			if until > 0 {
+				sc.chart.reserve(proc, 0, until)
+			}
+		}
+	}
+	// One backing array serves every placement's processor set; with
+	// adaptive width the saturation points bound the chosen widths.
+	total := 0
+	for t := range np {
+		if sc.preset[t] {
+			continue
+		}
+		if cfg.AdaptiveWidth {
+			total += e.tb.Pbest(t, cluster.P)
+		} else {
+			total += np[t]
+		}
+	}
+	e.procStore = make([]int, 0, total)
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -103,34 +143,38 @@ func engineName(cfg Config) string {
 	}
 }
 
-// placer holds the state of one LoCBS run.
+// placer holds the state of one LoCBS run. All slices except procStore and
+// the output schedule alias the pooled scratch.
 type placer struct {
 	tg      *model.TaskGraph
+	tb      *model.Tables
 	cluster model.Cluster
 	np      []int
 	cfg     Config
 	rm      redist.Model
-	chart   *chart
+	sc      *placerScratch
 	sched   *schedule.Schedule
 
-	// preset marks tasks whose placements were fixed by a Preset (they
-	// are never re-placed); factor holds per-node speed multipliers
-	// (nil = homogeneous).
-	preset []bool
+	// factor holds per-node speed multipliers (nil = homogeneous).
 	factor []float64
+	// procStore is the single backing array the committed processor sets
+	// are carved from; it outlives the run inside the returned schedule.
+	procStore []int
+	// pref is the preference-ordered processor list of the task currently
+	// being placed (set by buildPreference; may alias the scratch cache).
+	pref []int32
+}
 
-	priority []float64
-	placed   []bool
-	// costBuf and score are reusable hot-path scratch: per-call
-	// redistribution lookups and the per-processor locality scores of the
-	// task currently being placed. freeBuf/procBuf/untilBuf are slot-search
-	// scratch slices.
-	costBuf  *redist.CostBuffer
-	score    []float64
-	freeBuf  []freeProc
-	procBuf  []int
-	untilBuf []float64
-	commBuf  []float64
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // attempt is one candidate placement under evaluation.
@@ -147,130 +191,184 @@ type attempt struct {
 }
 
 func (e *placer) run() error {
-	if err := e.computePriorities(); err != nil {
-		return err
-	}
-	e.placed = make([]bool, e.tg.N())
-	e.costBuf = redist.NewCostBuffer(e.cluster.P)
-	e.score = make([]float64, e.cluster.P)
-	remaining := e.tg.N()
-	for t, fixed := range e.preset {
+	e.computePriorities()
+	n := e.tg.N()
+	remaining := n
+	for t, fixed := range e.sc.preset {
 		if fixed {
-			e.placed[t] = true
+			e.sc.placed[t] = true
 			remaining--
 		}
 	}
 
+	// The ready set is maintained incrementally: pend[t] counts unplaced
+	// predecessors and a task joins ready when its count reaches zero, so
+	// each selection scans the frontier instead of the whole graph.
+	pend := resetInts(e.sc.pendBuf, n)
+	ready := e.sc.readyBuf[:0]
+	for t := 0; t < n; t++ {
+		if e.sc.placed[t] {
+			continue
+		}
+		cnt := 0
+		for _, pe := range e.tg.PredEdges(t) {
+			if !e.sc.placed[pe.Other] {
+				cnt++
+			}
+		}
+		pend[t] = cnt
+		if cnt == 0 {
+			ready = append(ready, t)
+		}
+	}
+	e.sc.pendBuf = pend
+
 	for done := 0; done < remaining; done++ {
-		tp := e.pickReady()
-		if tp < 0 {
+		// Highest priority wins, ties broken by lower task id; the scan
+		// order over ready is irrelevant under this strict total order.
+		bi := -1
+		for i, t := range ready {
+			if bi < 0 || e.sc.priority[t] > e.sc.priority[ready[bi]] ||
+				(e.sc.priority[t] == e.sc.priority[ready[bi]] && t < ready[bi]) {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			e.sc.readyBuf = ready[:0]
 			return fmt.Errorf("core: no ready task with %d of %d placed (cycle?)", done, e.tg.N())
 		}
+		tp := ready[bi]
+		ready[bi] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+
 		best, err := e.place(tp)
 		if err != nil {
+			e.sc.readyBuf = ready[:0]
 			return err
 		}
-		pl := schedule.Placement{
-			Procs:     best.procs,
+		e.sched.Placements[tp] = schedule.Placement{
+			Procs:     e.claim(best.procs),
 			Start:     best.start,
 			Finish:    best.finish,
 			DataReady: best.dataReady,
 			CommTime:  best.commTime,
 		}
-		e.sched.Placements[tp] = pl
-		for i, par := range e.tg.DAG().Pred(tp) {
-			e.sched.EdgeComm[[2]int{par, tp}] = best.comm[i]
+		for i, pe := range e.tg.PredEdges(tp) {
+			e.sched.SetCommID(pe.ID, best.comm[i])
 		}
 		for _, proc := range best.procs {
-			e.chart.reserve(proc, best.occupy, best.finish)
+			e.sc.chart.reserve(proc, best.occupy, best.finish)
 		}
-		e.placed[tp] = true
+		e.sc.placed[tp] = true
+		for _, se := range e.tg.SuccEdges(tp) {
+			if !e.sc.placed[se.Other] {
+				if pend[se.Other]--; pend[se.Other] == 0 {
+					ready = append(ready, se.Other)
+				}
+			}
+		}
 	}
+	e.sc.readyBuf = ready[:0]
 	e.sched.ComputeMakespan()
 	return nil
 }
 
-// computePriorities sets priority(t) = bottomL(t) + max parent edge weight
-// (Algorithm 2 step 4), with bottom levels over the current allocation and,
-// when CommAware, the paper's aggregate-bandwidth edge estimates.
-func (e *placer) computePriorities() error {
-	vw := func(v int) float64 { return e.tg.ExecTime(v, e.np[v]) }
-	ew := func(u, v int) float64 {
-		if !e.cfg.CommAware {
-			return 0
-		}
-		return e.cluster.EdgeCost(e.tg.Volume(u, v), e.np[u], e.np[v])
-	}
-	lv, err := graph.ComputeLevels(e.tg.DAG(), vw, ew)
-	if err != nil {
-		return err
-	}
-	e.priority = make([]float64, e.tg.N())
-	for t := range e.priority {
-		maxIn := 0.0
-		for _, par := range e.tg.DAG().Pred(t) {
-			if w := ew(par, t); w > maxIn {
-				maxIn = w
-			}
-		}
-		e.priority[t] = lv.Bottom[t] + maxIn
-	}
-	return nil
+// claim copies a processor set into the run's backing array. The full slice
+// expression caps the result so later claims can never overwrite it even if
+// the array has to grow.
+func (e *placer) claim(procs []int) []int {
+	start := len(e.procStore)
+	e.procStore = append(e.procStore, procs...)
+	return e.procStore[start:len(e.procStore):len(e.procStore)]
 }
 
-// pickReady returns the unplaced task with all predecessors placed and the
-// highest priority (ties broken by lower id), or -1.
-func (e *placer) pickReady() int {
-	best, bestP := -1, math.Inf(-1)
-	for t := 0; t < e.tg.N(); t++ {
-		if e.placed[t] {
-			continue
-		}
-		ready := true
-		for _, par := range e.tg.DAG().Pred(t) {
-			if !e.placed[par] {
-				ready = false
-				break
+// computePriorities sets priority(t) = bottomL(t) + max parent edge weight
+// (Algorithm 2 step 4), with bottom levels over the current allocation and,
+// when CommAware, the paper's aggregate-bandwidth edge estimates. The sweep
+// runs directly over the graph's cached topological order and indexed
+// adjacency — same traversal order as graph.ComputeLevels, no closures.
+func (e *placer) computePriorities() {
+	order := e.tg.TopoOrder()
+	bottom := e.sc.bottom
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := 0.0
+		for _, se := range e.tg.SuccEdges(v) {
+			cand := bottom[se.Other]
+			if e.cfg.CommAware {
+				cand += e.cluster.EdgeCost(se.Volume, e.np[v], e.np[se.Other])
+			}
+			if cand > best {
+				best = cand
 			}
 		}
-		if ready && e.priority[t] > bestP {
-			best, bestP = t, e.priority[t]
-		}
+		bottom[v] = e.tb.ExecTime(v, e.np[v]) + best
 	}
-	return best
+	for t := range e.sc.priority {
+		maxIn := 0.0
+		if e.cfg.CommAware {
+			for _, pe := range e.tg.PredEdges(t) {
+				if w := e.cluster.EdgeCost(pe.Volume, e.np[pe.Other], e.np[t]); w > maxIn {
+					maxIn = w
+				}
+			}
+		}
+		e.sc.priority[t] = bottom[t] + maxIn
+	}
 }
 
 // place finds the processor set and start time minimizing tp's finish time
 // across the chart's idle slots (Algorithm 2 steps 5-16). With
-// AdaptiveWidth it additionally searches over processor counts.
+// AdaptiveWidth it additionally searches over processor counts. The
+// returned attempt's procs/comm alias the scratch best-buffers and stay
+// valid until the next place call.
 func (e *placer) place(tp int) (attempt, error) {
-	parents := e.tg.DAG().Pred(tp)
+	parents := e.tg.PredEdges(tp)
 	maxParentFt := 0.0
-	for _, par := range parents {
-		if ft := e.sched.Placements[par].Finish; ft > maxParentFt {
+	for _, pe := range parents {
+		if ft := e.sched.Placements[pe.Other].Finish; ft > maxParentFt {
 			maxParentFt = ft
 		}
 	}
 	if e.cfg.Locality {
-		if err := e.fillLocalityScores(tp, parents); err != nil {
-			return attempt{}, err
-		}
+		e.fillLocalityScores(tp, parents)
 	}
 
-	widths := []int{e.np[tp]}
+	// The processor preference order (fastest node, then locality score,
+	// then id) does not depend on the candidate slot, so it is established
+	// once per task; tryAt filters it by idleness at each probed time.
+	e.buildPreference(tp)
+	e.sc.ctCount, e.sc.ctNext = 0, 0
+
+	widths := e.sc.widthBuf[:0]
 	if e.cfg.AdaptiveWidth {
-		limit := speedup.Pbest(e.tg.Tasks[tp].Profile, e.cluster.P)
-		widths = widths[:0]
+		limit := e.tb.Pbest(tp, e.cluster.P)
 		for n := 1; n <= limit; n++ {
 			widths = append(widths, n)
 		}
+	} else {
+		widths = append(widths, e.np[tp])
 	}
+	e.sc.widthBuf = widths
+
+	// The chart does not change while tp is being probed, so the candidate
+	// slot times — maxParentFt plus every distinct later boundary — are
+	// walked directly off the chart's sorted boundary multiset: no copy,
+	// and the walk stops as soon as the finish-time bound prunes.
+	ends := e.sc.chart.ends
+	endsFrom := sort.SearchFloat64s(ends, maxParentFt)
+	minF := e.minFactor()
+
 	var best attempt
 	bestOK := false
 	for _, n := range widths {
-		et := e.tg.ExecTime(tp, n)
-		etFastest := et * e.minFactor()
-		for _, tau := range e.chart.candidateTimes(maxParentFt) {
+		et := e.tb.ExecTime(tp, n)
+		etFastest := et * minF
+		// Candidate times ascend within a width, so each processor's busy
+		// list is walked with a resumable cursor instead of binary search.
+		e.sc.posBuf = resetInts(e.sc.posBuf, e.cluster.P)
+		tau, idx := maxParentFt, endsFrom
+		for {
 			if bestOK && tau+etFastest >= best.finish {
 				break // later slots can only finish later
 			}
@@ -279,8 +377,22 @@ func (e *placer) place(tp int) (attempt, error) {
 				return attempt{}, err
 			}
 			if ok && (!bestOK || att.finish < best.finish-schedule.Eps) {
+				// Keep the improvement in the dedicated best-buffers; att's
+				// slices alias per-round scratch that the next probe reuses.
+				e.sc.bestProcs = append(e.sc.bestProcs[:0], att.procs...)
+				e.sc.bestComm = append(e.sc.bestComm[:0], att.comm...)
+				att.procs, att.comm = e.sc.bestProcs, e.sc.bestComm
 				best, bestOK = att, true
 			}
+			// Advance to the next distinct boundary after tau.
+			for idx < len(ends) && ends[idx] <= tau {
+				idx++
+			}
+			if idx == len(ends) {
+				break
+			}
+			tau = ends[idx]
+			idx++
 		}
 	}
 	if !bestOK {
@@ -297,80 +409,171 @@ func (e *placer) place(tp int) (attempt, error) {
 type freeProc struct {
 	id    int
 	until float64
-	score float64
+}
+
+// buildPreference sets e.pref to every processor ordered by preference:
+// fastest node first, then locality score, then id. The comparator is a
+// strict total order (ids are unique), so the result is independent of the
+// sort algorithm. On homogeneous clusters (no node factors) every
+// positive-score processor precedes every zero-score one and the zero-score
+// tail is already in comparator order (ascending id), so only the
+// processors holding input data need sorting — and because the order is a
+// pure function of the score vector, the per-task cache in the scratch
+// short-circuits the whole computation when the vector is unchanged since
+// the previous LoCBS run.
+func (e *placer) buildPreference(tp int) {
+	score := e.sc.score
+	pref := e.sc.prefIDs[:0]
+	if e.factor == nil {
+		if e.cfg.Locality {
+			p := e.cluster.P
+			row := e.sc.prefScores[tp*p : (tp+1)*p]
+			ids := e.sc.prefOrder[tp*p : (tp+1)*p]
+			if e.sc.prefValid[tp] && floatsEqual(row, score[:p]) {
+				e.pref = ids
+				return
+			}
+			for proc := 0; proc < p; proc++ {
+				if score[proc] != 0 {
+					pref = append(pref, int32(proc))
+				}
+			}
+			slices.SortFunc(pref, func(a, b int32) int {
+				if sa, sb := score[a], score[b]; sa != sb {
+					if sa > sb {
+						return -1
+					}
+					return 1
+				}
+				return int(a - b)
+			})
+			for proc := 0; proc < p; proc++ {
+				if score[proc] == 0 {
+					pref = append(pref, int32(proc))
+				}
+			}
+			e.sc.prefIDs = pref
+			e.pref = pref
+			copy(row, score[:p])
+			copy(ids, pref)
+			e.sc.prefValid[tp] = true
+			return
+		}
+		for proc := 0; proc < e.cluster.P; proc++ {
+			pref = append(pref, int32(proc))
+		}
+		e.sc.prefIDs = pref
+		e.pref = pref
+		return
+	}
+	for proc := 0; proc < e.cluster.P; proc++ {
+		pref = append(pref, int32(proc))
+	}
+	e.sc.prefIDs = pref
+	e.pref = pref
+	factor := e.factor
+	loc := e.cfg.Locality
+	slices.SortFunc(pref, func(a, b int32) int {
+		if fa, fb := factor[a], factor[b]; fa != fb {
+			if fa < fb {
+				return -1
+			}
+			return 1
+		}
+		if loc {
+			if sa, sb := score[a], score[b]; sa != sb {
+				if sa > sb {
+					return -1
+				}
+				return 1
+			}
+		}
+		return int(a - b)
+	})
 }
 
 // tryAt evaluates placing tp in the idle slot beginning at tau. Because the
 // redistribution time depends on the chosen subset and the subset must stay
 // idle until the (redistribution-delayed) finish time, the search iterates
 // to a fixed point, tightening the required idle window each round.
-func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []int, maxParentFt float64) (attempt, bool, error) {
-	free := e.freeBuf[:0]
-	for proc := 0; proc < e.cluster.P; proc++ {
-		if until, ok := e.chart.freeAt(proc, tau); ok {
-			score := 0.0
-			if e.cfg.Locality {
-				score = e.score[proc]
-			}
-			free = append(free, freeProc{id: proc, until: until, score: score})
-		}
-	}
-	e.freeBuf = free
-	if len(free) < n {
-		return attempt{}, false, nil
-	}
-	// Sort once by preference; each fixed-point round then takes the first
-	// n sufficiently-idle processors in this order. A slow node in the
-	// subset stretches the whole task (it runs at the slowest member's
-	// pace), which almost always costs more than re-fetching input data:
-	// node speed dominates locality, locality breaks ties among equally
-	// fast nodes.
-	sort.Slice(free, func(i, j int) bool {
-		if e.factor != nil && e.factor[free[i].id] != e.factor[free[j].id] {
-			return e.factor[free[i].id] < e.factor[free[j].id]
-		}
-		if free[i].score != free[j].score {
-			return free[i].score > free[j].score
-		}
-		return free[i].id < free[j].id
-	})
+func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []model.AdjEdge, maxParentFt float64) (attempt, bool, error) {
+	// Each fixed-point round takes the first n sufficiently-idle processors
+	// in preference order. A slow node in the subset stretches the whole
+	// task (it runs at the slowest member's pace), which almost always
+	// costs more than re-fetching input data: node speed dominates
+	// locality, locality breaks ties among equally fast nodes.
+	// The free list is materialized lazily: processors are probed in
+	// preference order only until the subset is filled, so a task needing
+	// n processors rarely touches more than the first ~n chart columns.
+	// Skipped processors keep valid cursors because probe times never
+	// decrease within a width. The probe itself is freeAt with the binary
+	// search replaced by the resumable per-processor cursor in posBuf.
+	pref := e.pref
+	ch := &e.sc.chart
+	cur := e.sc.posBuf
+	backfill := ch.backfill
+	free := e.sc.freeBuf[:0]
+	next := 0 // next preference-order processor not yet probed
 
 	need := tau + et // minimal idle window; grows as comm delays surface
 	for round := 0; round < 4; round++ {
-		procs := e.procBuf[:0]
-		until := e.untilBuf[:0]
-		for _, fp := range free {
-			if fp.until >= need-schedule.Eps {
+		procs := e.sc.procBuf[:0]
+		// The subset is feasible iff its least idle-until covers the
+		// finish time, so only the minimum needs tracking.
+		minUntil := infinity
+		for i := 0; len(procs) < n; i++ {
+			for i >= len(free) && next < len(pref) {
+				id := int(pref[next])
+				next++
+				list := ch.busy[id]
+				if !backfill {
+					f := 0.0
+					if len(list) > 0 {
+						f = list[len(list)-1].end
+					}
+					if tau >= f-1e-12 {
+						free = append(free, freeProc{id: id, until: infinity})
+					}
+					continue
+				}
+				// First interval with start > tau, resumed from the
+				// previous probe's position.
+				k := cur[id]
+				for k < len(list) && list[k].start <= tau {
+					k++
+				}
+				cur[id] = k
+				if k > 0 && list[k-1].end > tau+1e-12 {
+					continue // inside the previous interval
+				}
+				until := infinity
+				if k < len(list) {
+					until = list[k].start
+				}
+				free = append(free, freeProc{id: id, until: until})
+			}
+			if i >= len(free) {
+				break // every idle processor considered
+			}
+			if fp := free[i]; fp.until >= need-schedule.Eps {
 				procs = append(procs, fp.id)
-				until = append(until, fp.until)
-				if len(procs) == n {
-					break
+				if fp.until < minUntil {
+					minUntil = fp.until
 				}
 			}
 		}
-		e.procBuf, e.untilBuf = procs, until
+		e.sc.freeBuf, e.sc.procBuf = free, procs
 		if len(procs) < n {
 			return attempt{}, false, nil
 		}
-		// Canonical block-cyclic layout order; until follows procs.
-		sort.Sort(&procsByID{procs: procs, until: until})
+		// Canonical block-cyclic layout order.
+		slices.Sort(procs)
 
 		att, err := e.timeOn(tp, tau, et, parents, maxParentFt, procs)
 		if err != nil {
 			return attempt{}, false, err
 		}
-		ok := true
-		for i := range procs {
-			if until[i] < att.finish-schedule.Eps {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			// Detach from the shared scratch buffers: the caller keeps the
-			// best attempt across further probes.
-			att.procs = append([]int(nil), procs...)
-			att.comm = append([]float64(nil), att.comm...)
+		if minUntil >= att.finish-schedule.Eps {
 			return att, true, nil
 		}
 		if att.finish <= need+schedule.Eps {
@@ -381,40 +584,46 @@ func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []int, ma
 	return attempt{}, false, nil
 }
 
-// procsByID co-sorts a processor set and its idle-until times by id.
-type procsByID struct {
-	procs []int
-	until []float64
-}
-
-func (s *procsByID) Len() int           { return len(s.procs) }
-func (s *procsByID) Less(i, j int) bool { return s.procs[i] < s.procs[j] }
-func (s *procsByID) Swap(i, j int) {
-	s.procs[i], s.procs[j] = s.procs[j], s.procs[i]
-	s.until[i], s.until[j] = s.until[j], s.until[i]
-}
-
 // timeOn computes start/finish and communication charges for running tp on
-// the given processor set with the slot opening at tau.
-func (e *placer) timeOn(tp int, tau, et float64, parents []int, maxParentFt float64, procs []int) (attempt, error) {
-	att := attempt{procs: procs, comm: e.commBuf[:0]}
-	var maxCt, sumCt, rct float64
-	for _, par := range parents {
-		vol := e.tg.Volume(par, tp)
-		ct, err := e.edgeCost(par, vol, procs)
-		if err != nil {
-			return attempt{}, err
-		}
-		att.comm = append(att.comm, ct)
-		if ct > maxCt {
-			maxCt = ct
-		}
-		sumCt += ct
-		if arr := e.sched.Placements[par].Finish + ct; arr > rct {
-			rct = arr
+// the given processor set with the slot opening at tau. The charges depend
+// only on the processor set (not on tau), so they are memoized across the
+// candidate-time probes of the task being placed.
+func (e *placer) timeOn(tp int, tau, et float64, parents []model.AdjEdge, maxParentFt float64, procs []int) (attempt, error) {
+	sc := e.sc
+	slot := -1
+	for i := 0; i < sc.ctCount; i++ {
+		if intsEqual(sc.ctProcs[i], procs) {
+			slot = i
+			break
 		}
 	}
-	e.commBuf = att.comm // keep any growth for reuse
+	if slot < 0 {
+		if sc.ctCount < len(sc.ctProcs) {
+			slot = sc.ctCount
+			sc.ctCount++
+		} else {
+			slot = sc.ctNext
+			sc.ctNext = (sc.ctNext + 1) % len(sc.ctProcs)
+		}
+		sc.ctProcs[slot] = append(sc.ctProcs[slot][:0], procs...)
+		comm := sc.ctComm[slot][:0]
+		maxCt, sumCt, rct := 0.0, 0.0, 0.0
+		for _, pe := range parents {
+			ct := e.edgeCost(pe.Other, pe.Volume, procs)
+			comm = append(comm, ct)
+			if ct > maxCt {
+				maxCt = ct
+			}
+			sumCt += ct
+			if arr := e.sched.Placements[pe.Other].Finish + ct; arr > rct {
+				rct = arr
+			}
+		}
+		sc.ctComm[slot] = comm
+		sc.ctMax[slot], sc.ctSum[slot], sc.ctRct[slot] = maxCt, sumCt, rct
+	}
+	att := attempt{procs: procs, comm: sc.ctComm[slot]}
+	maxCt, sumCt, rct := sc.ctMax[slot], sc.ctSum[slot], sc.ctRct[slot]
 	if e.cluster.Overlap {
 		// Asynchronous transfers: data redistribution proceeds while the
 		// target processors may still be busy with other work.
@@ -470,33 +679,30 @@ func (e *placer) minFactor() float64 {
 
 // edgeCost is the locality-aware redistribution time from parent's group to
 // the candidate subset.
-func (e *placer) edgeCost(par int, vol float64, procs []int) (float64, error) {
+func (e *placer) edgeCost(par int, vol float64, procs []int) float64 {
 	if vol == 0 {
-		return 0, nil
+		return 0
 	}
-	return e.rm.FastCostBuf(vol, e.sched.Placements[par].Procs, procs, e.costBuf), nil
+	return e.rm.FastCostBuf(vol, e.sched.Placements[par].Procs, procs, e.sc.costBuf)
 }
 
 // fillLocalityScores computes, for every processor, the number of bytes of
 // tp's input data already resident there across all parents. Scores do not
 // depend on the candidate start time, so they are computed once per task.
-func (e *placer) fillLocalityScores(tp int, parents []int) error {
-	for i := range e.score {
-		e.score[i] = 0
+func (e *placer) fillLocalityScores(tp int, parents []model.AdjEdge) {
+	score := e.sc.score
+	for i := range score {
+		score[i] = 0
 	}
-	for _, par := range parents {
-		vol := e.tg.Volume(par, tp)
-		if vol == 0 {
+	for _, pe := range parents {
+		if pe.Volume == 0 {
 			continue
 		}
-		pp := e.sched.Placements[par].Procs
-		share, err := e.rm.ResidentShare(vol, pp)
-		if err != nil {
-			return err
-		}
+		pp := e.sched.Placements[pe.Other].Procs
+		share := e.rm.ResidentShareInto(e.sc.shareBuf[:0], pe.Volume, pp)
+		e.sc.shareBuf = share
 		for rank, proc := range pp {
-			e.score[proc] += share[rank]
+			score[proc] += share[rank]
 		}
 	}
-	return nil
 }

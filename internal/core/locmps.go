@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"locmps/internal/graph"
 	"locmps/internal/model"
 	"locmps/internal/schedule"
-	"locmps/internal/speedup"
 )
 
 // DefaultLookAheadDepth is the bounded look-ahead of §III.E ("a bound of 20
@@ -24,6 +24,10 @@ const DefaultTopFraction = 0.10
 // LoCMPS is the paper's locality conscious mixed-parallel allocation and
 // scheduling algorithm (Algorithm 1). The zero value is not usable; create
 // instances with New, NewNoBackfill or NewICASLB, or fill every field.
+//
+// Schedule, ScheduleWithPreset and ScheduleDual are safe for concurrent use:
+// all per-run state lives in an internal search struct, and the shared
+// statistics are mutex-guarded.
 type LoCMPS struct {
 	// AlgorithmName labels produced schedules.
 	AlgorithmName string
@@ -38,11 +42,10 @@ type LoCMPS struct {
 	// 0 selects 4*|V|*P.
 	MaxOuterIters int
 
-	// stats records the most recent Schedule invocation (see LastStats).
+	// mu guards stats, the only mutable state on the instance.
+	mu sync.Mutex
+	// stats records the most recently completed Schedule invocation.
 	stats SearchStats
-	// initAlloc optionally overrides the pure task-parallel starting
-	// allocation (used by ScheduleDual).
-	initAlloc []int
 }
 
 // SearchStats describes the work done by one Schedule invocation — useful
@@ -60,9 +63,19 @@ type SearchStats struct {
 	Marks int
 }
 
-// LastStats returns the statistics of the most recent Schedule call on
-// this instance. Not safe for concurrent Schedule calls.
-func (s *LoCMPS) LastStats() SearchStats { return s.stats }
+// LastStats returns the statistics of the most recently completed Schedule
+// call on this instance (for ScheduleDual, the winning run's).
+func (s *LoCMPS) LastStats() SearchStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *LoCMPS) setStats(st SearchStats) {
+	s.mu.Lock()
+	s.stats = st
+	s.mu.Unlock()
+}
 
 // New returns the full LoC-MPS configuration of the paper.
 func New() *LoCMPS {
@@ -123,66 +136,94 @@ func (s *LoCMPS) Schedule(tg *model.TaskGraph, cluster model.Cluster) (*schedule
 // on the partially busy, possibly heterogeneous-speed machine. This is the
 // re-planning entry point of the on-line runtime (internal/online).
 func (s *LoCMPS) ScheduleWithPreset(tg *model.TaskGraph, cluster model.Cluster, preset Preset) (*schedule.Schedule, error) {
+	sched, stats, err := s.runSearch(tg, cluster, preset, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.setStats(stats)
+	return sched, nil
+}
+
+// search is the per-run state of one Algorithm 1 invocation. Separating it
+// from LoCMPS makes concurrent Schedule calls on one instance safe and lets
+// all scratch come from the shared pool.
+type search struct {
+	alg     *LoCMPS
+	tg      *model.TaskGraph
+	cluster model.Cluster
+	cfg     Config
+	preset  Preset
+	tb      *model.Tables
+	sc      *placerScratch
+	stats   SearchStats
+	// pbest/caps are the §III widening bounds; fixed tasks are frozen at
+	// their historical width.
+	pbest, caps []int
+}
+
+// runSearch executes Algorithm 1, optionally from a non-default starting
+// allocation (ScheduleDual's saturated start).
+func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Preset, initAlloc []int) (*schedule.Schedule, SearchStats, error) {
 	started := time.Now()
 	if err := cluster.Validate(); err != nil {
-		return nil, err
+		return nil, SearchStats{}, err
 	}
 	n := tg.N()
 	if n == 0 {
-		return nil, fmt.Errorf("core: empty task graph")
+		return nil, SearchStats{}, fmt.Errorf("core: empty task graph")
 	}
 	if err := preset.validate(tg, cluster); err != nil {
-		return nil, err
+		return nil, SearchStats{}, err
 	}
-	cfg := s.Engine.withDefaults()
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.prepareSearch(n, tg.M())
+	r := &search{
+		alg:     s,
+		tg:      tg,
+		cluster: cluster,
+		cfg:     s.Engine.withDefaults(),
+		preset:  preset,
+		tb:      tg.Tables(cluster.P),
+		sc:      sc,
+		pbest:   make([]int, n),
+		caps:    make([]int, n),
+	}
 	fixed := func(t int) bool { _, ok := preset.Fixed[t]; return ok }
-
-	pbest := make([]int, n)
-	caps := make([]int, n)
-	cr := make([]float64, n)
 	for t := 0; t < n; t++ {
-		pbest[t] = speedup.Pbest(tg.Tasks[t].Profile, cluster.P)
-		caps[t] = cluster.P
-		cr[t] = tg.ConcurrencyRatio(t)
+		r.pbest[t] = r.tb.Pbest(t, cluster.P)
+		r.caps[t] = cluster.P
 		if fixed(t) {
 			// Frozen width: never a widening candidate.
-			pbest[t] = preset.Fixed[t].NP()
-			caps[t] = preset.Fixed[t].NP()
+			r.pbest[t] = preset.Fixed[t].NP()
+			r.caps[t] = preset.Fixed[t].NP()
 		}
 	}
 
 	// Steps 1-4: pure task-parallel start (preset tasks keep their
 	// committed widths). ScheduleDual may inject a different start.
-	bestAlloc := make([]int, n)
+	bestAlloc := sc.bestAlloc
 	for t := range bestAlloc {
 		switch {
 		case fixed(t):
 			bestAlloc[t] = preset.Fixed[t].NP()
-		case s.initAlloc != nil:
-			bestAlloc[t] = s.initAlloc[t]
+		case initAlloc != nil:
+			bestAlloc[t] = initAlloc[t]
 			if bestAlloc[t] < 1 {
 				bestAlloc[t] = 1
 			}
-			if bestAlloc[t] > caps[t] {
-				bestAlloc[t] = caps[t]
+			if bestAlloc[t] > r.caps[t] {
+				bestAlloc[t] = r.caps[t]
 			}
 		default:
 			bestAlloc[t] = 1
 		}
 	}
-	s.stats = SearchStats{}
-	runLoCBS := func(np []int) (*schedule.Schedule, error) {
-		s.stats.LoCBSRuns++
-		return LoCBSWithPreset(tg, cluster, np, cfg, preset)
-	}
-	bestSched, err := runLoCBS(bestAlloc)
+	bestSched, err := r.runLoCBS(bestAlloc)
 	if err != nil {
-		return nil, err
+		return nil, r.stats, err
 	}
 	bestSL := objective(bestSched)
-
-	markedTask := make(map[int]bool)
-	markedEdge := make(map[[2]int]bool)
 
 	maxOuter := s.MaxOuterIters
 	if maxOuter == 0 {
@@ -190,42 +231,43 @@ func (s *LoCMPS) ScheduleWithPreset(tg *model.TaskGraph, cluster model.Cluster, 
 	}
 
 	for outer := 0; outer < maxOuter; outer++ {
-		s.stats.OuterIterations++
+		r.stats.OuterIterations++
 		// Steps 6-7: restart the look-ahead from the committed best.
-		np := append([]int(nil), bestAlloc...)
+		np := sc.np
+		copy(np, bestAlloc)
 		cur := bestSched
 		oldSL := bestSL
 
-		var entryTask = -1
-		var entryEdge = [2]int{-1, -1}
+		entryTask := -1
+		entryEdgeID := -1
 
 		for iter := 0; iter < s.depth(); iter++ {
-			s.stats.LookAheadSteps++
-			cp, err := s.criticalPath(cur, tg, cfg.CommAware, np)
+			r.stats.LookAheadSteps++
+			cp, err := r.criticalPath(cur, np)
 			if err != nil {
-				return nil, err
+				return nil, r.stats, err
 			}
-			tcomp, tcomm := s.pathCosts(cur, tg, cfg.CommAware, np, cp)
+			tcomp, tcomm := r.pathCosts(cur, np, cp)
 
 			kindTask := tcomp > tcomm
 			applied := false
 			for attempt := 0; attempt < 2 && !applied; attempt++ {
 				if kindTask {
-					t := s.bestCandidateTask(tg, np, pbest, cr, cp, cluster.P, iter == 0, markedTask)
+					t := r.bestCandidateTask(np, cp, iter == 0)
 					if t >= 0 {
 						if iter == 0 {
-							entryTask, entryEdge = t, [2]int{-1, -1}
+							entryTask, entryEdgeID = t, -1
 						}
 						np[t]++
 						applied = true
 					}
-				} else if cfg.CommAware {
-					eg := s.heaviestEdge(tg, cur, np, caps, cp, iter == 0, markedEdge)
-					if eg[0] >= 0 {
+				} else if r.cfg.CommAware {
+					eg, id := r.heaviestEdge(cur, np, cp, iter == 0)
+					if id >= 0 {
 						if iter == 0 {
-							entryEdge, entryTask = eg, -1
+							entryEdgeID, entryTask = id, -1
 						}
-						widenEdge(np, eg, caps)
+						widenEdge(np, eg, r.caps)
 						applied = true
 					}
 				}
@@ -235,13 +277,13 @@ func (s *LoCMPS) ScheduleWithPreset(tg *model.TaskGraph, cluster model.Cluster, 
 				break // nothing on the critical path can be refined
 			}
 
-			cur, err = runLoCBS(np)
+			cur, err = r.runLoCBS(np)
 			if err != nil {
-				return nil, err
+				return nil, r.stats, err
 			}
 			if curSL := objective(cur); curSL.better(bestSL) {
 				bestSL = curSL
-				bestAlloc = append([]int(nil), np...)
+				copy(bestAlloc, np)
 				bestSched = cur
 			}
 		}
@@ -250,53 +292,69 @@ func (s *LoCMPS) ScheduleWithPreset(tg *model.TaskGraph, cluster model.Cluster, 
 		switch {
 		case improved:
 			// Step 39: commit and clear all marks.
-			s.stats.Commits++
-			markedTask = make(map[int]bool)
-			markedEdge = make(map[[2]int]bool)
+			r.stats.Commits++
+			clearBools(sc.markedTask, n)
+			clearBools(sc.markedEdge, tg.M())
 		case entryTask >= 0:
-			s.stats.Marks++
-			markedTask[entryTask] = true
-		case entryEdge[0] >= 0:
-			s.stats.Marks++
-			markedEdge[entryEdge] = true
+			r.stats.Marks++
+			sc.markedTask[entryTask] = true
+		case entryEdgeID >= 0:
+			r.stats.Marks++
+			sc.markedEdge[entryEdgeID] = true
 		default:
 			// The look-ahead could not even choose an entry point: the
 			// critical path is saturated.
 			outer = maxOuter
 		}
 
-		if s.terminated(tg, bestSched, bestAlloc, pbest, cluster.P, markedTask, markedEdge, cfg.CommAware) {
+		if r.terminated(bestSched, bestAlloc) {
 			break
 		}
 	}
 
 	bestSched.Algorithm = s.Name()
 	bestSched.SchedulingTime = time.Since(started)
-	return bestSched, nil
+	return bestSched, r.stats, nil
 }
 
-// criticalPath returns CP(G') for the current schedule. When commAware is
-// false the edge weights are treated as zero (iCASLB's view of the world).
-func (s *LoCMPS) criticalPath(cur *schedule.Schedule, tg *model.TaskGraph, commAware bool, np []int) ([]int, error) {
-	g := cur.ScheduleDAG(tg)
-	vw := func(v int) float64 { return tg.ExecTime(v, np[v]) }
-	ew := func(u, v int) float64 {
-		if commAware && tg.DAG().HasEdge(u, v) {
-			return cur.CommOn(u, v)
+// runLoCBS invokes the placement engine against the shared scratch. Inputs
+// were validated once up front, so the hot loop skips re-validation.
+func (r *search) runLoCBS(np []int) (*schedule.Schedule, error) {
+	r.stats.LoCBSRuns++
+	return runPlacer(r.tg, r.cluster, np, r.cfg, r.preset, r.sc)
+}
+
+// criticalPath returns CP(G') for the current schedule, deriving G' into
+// the pooled overlay (no DAG clone) and reusing the path scratch. When the
+// engine is not CommAware the edge weights are treated as zero (iCASLB's
+// view of the world).
+func (r *search) criticalPath(cur *schedule.Schedule, np []int) ([]int, error) {
+	g := r.sc.gp.Build(cur, r.tg)
+	vw := func(v int) float64 { return r.tb.ExecTime(v, np[v]) }
+	var ew graph.EdgeWeightFunc
+	if r.cfg.CommAware {
+		ew = func(u, v int) float64 {
+			if id, ok := r.tg.EdgeID(u, v); ok {
+				return cur.CommID(id)
+			}
+			return 0 // pseudo-edge
 		}
-		return 0
+	} else {
+		ew = func(u, v int) float64 { return 0 }
 	}
-	_, path, err := graph.CriticalPath(g, vw, ew)
+	_, path, err := graph.CriticalPathScratch(g, vw, ew, &r.sc.ps)
 	return path, err
 }
 
 // pathCosts splits the critical path into computation and communication
 // components (Algorithm 1 steps 12-13).
-func (s *LoCMPS) pathCosts(cur *schedule.Schedule, tg *model.TaskGraph, commAware bool, np []int, cp []int) (tcomp, tcomm float64) {
+func (r *search) pathCosts(cur *schedule.Schedule, np, cp []int) (tcomp, tcomm float64) {
 	for i, v := range cp {
-		tcomp += tg.ExecTime(v, np[v])
-		if commAware && i+1 < len(cp) && tg.DAG().HasEdge(v, cp[i+1]) {
-			tcomm += cur.CommOn(v, cp[i+1])
+		tcomp += r.tb.ExecTime(v, np[v])
+		if r.cfg.CommAware && i+1 < len(cp) {
+			if id, ok := r.tg.EdgeID(v, cp[i+1]); ok {
+				tcomm += cur.CommID(id)
+			}
 		}
 	}
 	return tcomp, tcomm
@@ -306,26 +364,24 @@ func (s *LoCMPS) pathCosts(cur *schedule.Schedule, tg *model.TaskGraph, commAwar
 // of a look-ahead, unmarked) critical-path tasks, rank by execution-time
 // improvement and take the minimum-concurrency-ratio task within the top
 // fraction.
-func (s *LoCMPS) bestCandidateTask(tg *model.TaskGraph, np, pbest []int, cr []float64, cp []int, maxP int, entry bool, marked map[int]bool) int {
-	type cand struct {
-		t    int
-		gain float64
-	}
-	var cands []cand
+func (r *search) bestCandidateTask(np, cp []int, entry bool) int {
+	maxP := r.cluster.P
+	cands := r.sc.cands[:0]
 	for _, t := range cp {
-		limit := pbest[t]
+		limit := r.pbest[t]
 		if maxP < limit {
 			limit = maxP
 		}
 		if np[t] >= limit {
 			continue
 		}
-		if entry && marked[t] {
+		if entry && r.sc.markedTask[t] {
 			continue
 		}
-		gain := tg.ExecTime(t, np[t]) - tg.ExecTime(t, np[t]+1)
-		cands = append(cands, cand{t, gain})
+		gain := r.tb.ExecTime(t, np[t]) - r.tb.ExecTime(t, np[t]+1)
+		cands = append(cands, taskCand{t, gain})
 	}
+	r.sc.cands = cands
 	if len(cands) == 0 {
 		return -1
 	}
@@ -335,13 +391,14 @@ func (s *LoCMPS) bestCandidateTask(tg *model.TaskGraph, np, pbest []int, cr []fl
 		}
 		return cands[i].t < cands[j].t
 	})
-	k := int(math.Ceil(s.topFraction() * float64(len(cands))))
+	k := int(math.Ceil(r.alg.topFraction() * float64(len(cands))))
 	if k < 1 {
 		k = 1
 	}
 	best := cands[0].t
 	for _, c := range cands[1:k] {
-		if cr[c.t] < cr[best] || (cr[c.t] == cr[best] && c.t < best) {
+		if r.tb.ConcurrencyRatio(c.t) < r.tb.ConcurrencyRatio(best) ||
+			(r.tb.ConcurrencyRatio(c.t) == r.tb.ConcurrencyRatio(best) && c.t < best) {
 			best = c.t
 		}
 	}
@@ -350,28 +407,30 @@ func (s *LoCMPS) bestCandidateTask(tg *model.TaskGraph, np, pbest []int, cr []fl
 
 // heaviestEdge implements §III.D: the heaviest (by charged redistribution
 // time) real edge along the critical path whose endpoints can still grow
-// within their per-task caps.
-func (s *LoCMPS) heaviestEdge(tg *model.TaskGraph, cur *schedule.Schedule, np, caps []int, cp []int, entry bool, marked map[[2]int]bool) [2]int {
+// within their per-task caps. It returns the edge and its dense id (-1 if
+// none qualifies).
+func (r *search) heaviestEdge(cur *schedule.Schedule, np, cp []int, entry bool) ([2]int, int) {
 	best := [2]int{-1, -1}
+	bestID := -1
 	bestW := 0.0
 	for i := 0; i+1 < len(cp); i++ {
 		u, v := cp[i], cp[i+1]
-		if !tg.DAG().HasEdge(u, v) {
+		id, ok := r.tg.EdgeID(u, v)
+		if !ok {
 			continue // pseudo-edge
 		}
-		if np[u] >= caps[u] && np[v] >= caps[v] {
+		if np[u] >= r.caps[u] && np[v] >= r.caps[v] {
 			continue
 		}
-		key := [2]int{u, v}
-		if entry && marked[key] {
+		if entry && r.sc.markedEdge[id] {
 			continue
 		}
-		if w := cur.CommOn(u, v); w > bestW {
+		if w := cur.CommID(id); w > bestW {
 			bestW = w
-			best = key
+			best, bestID = [2]int{u, v}, id
 		}
 	}
-	return best
+	return best, bestID
 }
 
 // widenEdge increments the allocation of the lighter endpoint, or both when
@@ -400,33 +459,34 @@ func widenEdge(np []int, e [2]int, caps []int) {
 // terminated evaluates the repeat-until condition: every task and edge on
 // the committed schedule's critical path is marked (or saturated), or every
 // critical-path task is at the full machine width.
-func (s *LoCMPS) terminated(tg *model.TaskGraph, best *schedule.Schedule, np, pbest []int, maxP int, markedTask map[int]bool, markedEdge map[[2]int]bool, commAware bool) bool {
-	cp, err := s.criticalPath(best, tg, commAware, np)
+func (r *search) terminated(best *schedule.Schedule, np []int) bool {
+	cp, err := r.criticalPath(best, np)
 	if err != nil || len(cp) == 0 {
 		return true
 	}
+	maxP := r.cluster.P
 	allAtP := true
 	allBlocked := true
 	for _, t := range cp {
 		if np[t] < maxP {
 			allAtP = false
 		}
-		limit := pbest[t]
+		limit := r.pbest[t]
 		if maxP < limit {
 			limit = maxP
 		}
-		if np[t] < limit && !markedTask[t] {
+		if np[t] < limit && !r.sc.markedTask[t] {
 			allBlocked = false
 		}
 	}
-	if commAware {
+	if r.cfg.CommAware {
 		for i := 0; i+1 < len(cp); i++ {
 			u, v := cp[i], cp[i+1]
-			if !tg.DAG().HasEdge(u, v) || best.CommOn(u, v) == 0 {
+			id, ok := r.tg.EdgeID(u, v)
+			if !ok || best.CommID(id) == 0 {
 				continue
 			}
-			key := [2]int{u, v}
-			if (np[u] < maxP || np[v] < maxP) && !markedEdge[key] {
+			if (np[u] < maxP || np[v] < maxP) && !r.sc.markedEdge[id] {
 				allBlocked = false
 			}
 		}
@@ -466,36 +526,48 @@ func (a score) better(b score) bool {
 // task-parallel start and once from the saturated data-parallel
 // allocation (np = min(P, Pbest) per task) — and returns the better
 // schedule. Landscapes like Fig 3's have minima reachable from one end
-// but not the other; the dual start covers both at roughly twice the
-// scheduling cost. LastStats reflects the winning run... the second run's
-// stats when it wins, the first's otherwise.
+// but not the other; the two searches are independent, so they run on
+// separate goroutines and the dual start costs roughly one search of
+// wall-clock time. LastStats reflects the winning run.
 func (s *LoCMPS) ScheduleDual(tg *model.TaskGraph, cluster model.Cluster) (*schedule.Schedule, error) {
 	started := time.Now()
-	fromTask, err := s.Schedule(tg, cluster)
-	if err != nil {
+
+	var (
+		fromData  *schedule.Schedule
+		dataStats SearchStats
+		dataErr   error
+		wg        sync.WaitGroup
+	)
+	if err := cluster.Validate(); err != nil {
 		return nil, err
 	}
-	taskStats := s.stats
-
+	tb := tg.Tables(cluster.P)
 	wide := make([]int, tg.N())
 	for t := range wide {
-		wide[t] = speedup.Pbest(tg.Tasks[t].Profile, cluster.P)
+		wide[t] = tb.Pbest(t, cluster.P)
 		if wide[t] > cluster.P {
 			wide[t] = cluster.P
 		}
 	}
-	s.initAlloc = wide
-	fromData, err := s.Schedule(tg, cluster)
-	s.initAlloc = nil
-	if err != nil {
-		return nil, err
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fromData, dataStats, dataErr = s.runSearch(tg, cluster, Preset{}, wide)
+	}()
+	fromTask, taskStats, taskErr := s.runSearch(tg, cluster, Preset{}, nil)
+	wg.Wait()
+	if taskErr != nil {
+		return nil, taskErr
 	}
-	best := fromTask
+	if dataErr != nil {
+		return nil, dataErr
+	}
+
+	best, stats := fromTask, taskStats
 	if objective(fromData).better(objective(fromTask)) {
-		best = fromData
-	} else {
-		s.stats = taskStats
+		best, stats = fromData, dataStats
 	}
+	s.setStats(stats)
 	best.SchedulingTime = time.Since(started)
 	return best, nil
 }

@@ -78,35 +78,7 @@ func LoCBSWithPreset(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg C
 			return nil, fmt.Errorf("core: task %d allocated %d processors outside [1,%d]", t, n, cluster.P)
 		}
 	}
-	cfg = cfg.withDefaults()
-	e := &placer{
-		tg:      tg,
-		cluster: cluster,
-		np:      np,
-		cfg:     cfg,
-		rm:      redistModel(cfg, cluster),
-		chart:   newChart(cluster.P, cfg.Backfill),
-		sched:   schedule.NewSchedule(engineName(cfg), cluster, tg.N()),
-		factor:  preset.NodeFactor,
-	}
-	e.preset = make([]bool, tg.N())
-	for t, pl := range preset.Fixed {
-		e.sched.Placements[t] = pl
-		e.preset[t] = true
-		// Fixed tasks that are still running block their processors.
-		for _, proc := range pl.Procs {
-			e.chart.reserve(proc, pl.Start, pl.Finish)
-		}
-	}
-	if preset.BusyUntil != nil {
-		for proc, until := range preset.BusyUntil {
-			if until > 0 {
-				e.chart.reserve(proc, 0, until)
-			}
-		}
-	}
-	if err := e.run(); err != nil {
-		return nil, err
-	}
-	return e.sched, nil
+	sc := getScratch()
+	defer putScratch(sc)
+	return runPlacer(tg, cluster, np, cfg.withDefaults(), preset, sc)
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+
+	"locmps/internal/graph"
+	"locmps/internal/redist"
+	"locmps/internal/schedule"
+)
+
+// placerScratch bundles every reusable buffer of the scheduling hot path:
+// the resource chart and per-task/per-processor slices of a LoCBS run, plus
+// the search-level scratch of the LoC-MPS outer loop (the G' builder, the
+// critical-path buffers and the mark bitsets). One LoC-MPS search invokes
+// LoCBS thousands of times against the same scratch, so after warm-up a
+// placement run allocates only its output schedule. Scratches are recycled
+// through a sync.Pool so concurrent searches (ScheduleDual, experiment
+// worker pools) each grab their own; a scratch must never be shared between
+// goroutines.
+type placerScratch struct {
+	chart    chart
+	priority []float64
+	bottom   []float64
+	placed   []bool
+	preset   []bool
+	score    []float64
+	costBuf  *redist.CostBuffer
+	costP    int // processor capacity of costBuf
+	freeBuf  []freeProc
+	prefIDs  []int32 // preference-ordered processor ids
+	procBuf  []int
+	posBuf   []int // per-processor busy-list cursor for freeAtSeq
+	pendBuf  []int // per-task count of unplaced predecessors
+	readyBuf []int // current ready frontier
+	widthBuf []int
+	shareBuf []float64
+	// ctProcs/ctComm/ctAgg memoize the tau-independent communication
+	// charges of the processor sets recently probed for the task being
+	// placed; the fixed-point rounds alternate between a few subsets, so a
+	// handful of slots captures nearly every repeat.
+	ctProcs [8][]int
+	ctComm  [8][]float64
+	ctMax   [8]float64
+	ctSum   [8]float64
+	ctRct   [8]float64
+	ctCount int
+	ctNext  int
+	// Per-task preference-order cache: prefScores/prefOrder hold one row
+	// of P entries per task, valid while prefValid[t] and the task's score
+	// vector is unchanged. The sorted order is a pure function of the
+	// score vector (factor-free case), so rows survive across LoCBS runs —
+	// where they hit constantly, because the outer search perturbs one
+	// allocation at a time and most tasks' parents land identically.
+	prefScores   []float64
+	prefOrder    []int32
+	prefValid    []bool
+	prefN, prefP int
+	// bestProcs/bestComm hold the best attempt found so far for the task
+	// being placed; copying into them only when an attempt improves replaces
+	// the per-attempt detach allocations of the map-based implementation.
+	bestProcs []int
+	bestComm  []float64
+
+	// LoC-MPS search scratch.
+	gp         *schedule.DAGBuilder
+	ps         graph.PathScratch
+	markedTask []bool // by task id
+	markedEdge []bool // by dense edge id
+	np         []int
+	bestAlloc  []int
+	cands      []taskCand
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &placerScratch{gp: schedule.NewDAGBuilder()} },
+}
+
+func getScratch() *placerScratch { return scratchPool.Get().(*placerScratch) }
+
+func putScratch(sc *placerScratch) { scratchPool.Put(sc) }
+
+// preparePlacer sizes and clears the buffers one LoCBS run needs for n
+// tasks on p processors.
+func (sc *placerScratch) preparePlacer(n, p int, backfill bool) {
+	sc.chart.reset(p, backfill)
+	sc.priority = growFloats(sc.priority, n)
+	sc.bottom = growFloats(sc.bottom, n)
+	sc.placed = clearBools(sc.placed, n)
+	sc.preset = clearBools(sc.preset, n)
+	sc.score = growFloats(sc.score, p)
+	if sc.costBuf == nil || sc.costP < p {
+		sc.costBuf = redist.NewCostBuffer(p)
+		sc.costP = p
+	}
+	if sc.prefN != n || sc.prefP != p {
+		sc.prefN, sc.prefP = n, p
+		sc.prefScores = growFloats(sc.prefScores, n*p)
+		if cap(sc.prefOrder) < n*p {
+			sc.prefOrder = make([]int32, n*p)
+		} else {
+			sc.prefOrder = sc.prefOrder[:n*p]
+		}
+		sc.prefValid = clearBools(sc.prefValid, n)
+	}
+}
+
+// prepareSearch additionally sizes and clears the LoC-MPS mark sets for n
+// tasks and m graph edges.
+func (sc *placerScratch) prepareSearch(n, m int) {
+	sc.markedTask = clearBools(sc.markedTask, n)
+	sc.markedEdge = clearBools(sc.markedEdge, m)
+	sc.np = growInts(sc.np, n)
+	sc.bestAlloc = growInts(sc.bestAlloc, n)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func clearBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func resetInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// taskCand is one §III.C widening candidate (task, execution-time gain).
+type taskCand struct {
+	t    int
+	gain float64
+}

@@ -24,6 +24,10 @@ type AppOptions struct {
 	// Noise and Seed drive Figure 11's simulated execution.
 	Noise float64
 	Seed  int64
+	// Workers bounds the number of (algorithm, P) cells scheduled
+	// concurrently: 0 uses one worker per CPU, 1 runs serially. Results are
+	// identical for any value — only wall-clock time changes.
+	Workers int
 }
 
 // PaperAppOptions mirrors §IV.B.
@@ -102,7 +106,7 @@ func Fig8(overlap bool, o AppOptions) (Figure, error) {
 	}
 	cluster := func(p int) model.Cluster { return apps.CCSDCluster(p, overlap) }
 	return relativePerformance("fig8"+variant, title,
-		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, ScheduledMakespan)
+		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, ScheduledMakespan, o.Workers)
 }
 
 // Fig9 reproduces Figure 9: Strassen matrix multiplication for the given
@@ -118,7 +122,7 @@ func Fig9(n int, o AppOptions) (Figure, error) {
 	cluster := func(p int) model.Cluster { return apps.StrassenCluster(p, o.Overlap) }
 	return relativePerformance(fmt.Sprintf("fig9-%d", n),
 		fmt.Sprintf("Strassen %dx%d", n, n),
-		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, ScheduledMakespan)
+		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, ScheduledMakespan, o.Workers)
 }
 
 // Fig10 reproduces Figure 10: wall-clock scheduling times of every
@@ -148,14 +152,24 @@ func Fig10(app string, o AppOptions) (Figure, error) {
 		return Figure{}, err
 	}
 	fig := Figure{ID: id, Title: title, XLabel: "procs", YLabel: "scheduling time (s)"}
-	for _, alg := range sched.All() {
+	algs := sched.All()
+	secs := make([]float64, len(algs)*len(o.Procs))
+	err = parallelFor(o.Workers, len(secs), func(idx int) error {
+		ai, pi := idx/len(o.Procs), idx%len(o.Procs)
+		s, err := algs[ai].Schedule(tg, apps.CCSDCluster(o.Procs[pi], o.Overlap))
+		if err != nil {
+			return err
+		}
+		secs[idx] = s.SchedulingTime.Seconds()
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for ai, alg := range algs {
 		series := Series{Name: alg.Name()}
-		for _, p := range o.Procs {
-			s, err := alg.Schedule(tg, apps.CCSDCluster(p, o.Overlap))
-			if err != nil {
-				return Figure{}, err
-			}
-			series.Points = append(series.Points, Point{X: float64(p), Y: s.SchedulingTime.Seconds()})
+		for pi, p := range o.Procs {
+			series.Points = append(series.Points, Point{X: float64(p), Y: secs[ai*len(o.Procs)+pi]})
 		}
 		fig.Series = append(fig.Series, series)
 	}
@@ -183,5 +197,5 @@ func Fig11(o AppOptions) (Figure, error) {
 	}
 	cluster := func(p int) model.Cluster { return apps.CCSDCluster(p, o.Overlap) }
 	return relativePerformance("fig11", "CCSD-T1 actual (simulated) execution",
-		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, measure)
+		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, measure, o.Workers)
 }

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var calls atomic.Int64
+		out := make([]int, 50)
+		err := parallelFor(workers, len(out), func(i int) error {
+			calls.Add(1)
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != int64(len(out)) {
+			t.Fatalf("workers=%d: %d calls, want %d", workers, calls.Load(), len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestParallelForFirstError(t *testing.T) {
+	// Every index still runs, and the reported error is the one from the
+	// lowest failing index regardless of worker count.
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		err := parallelFor(workers, 20, func(i int) error {
+			calls.Add(1)
+			if i == 7 || i == 13 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Errorf("workers=%d: err = %v, want cell 7's", workers, err)
+		}
+		if calls.Load() != 20 {
+			t.Errorf("workers=%d: %d calls, want 20", workers, calls.Load())
+		}
+	}
+	if err := parallelFor(4, 0, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("empty range: %v", err)
+	}
+}
+
+// TestWorkerPoolDeterminism checks the pool's core contract: a figure is
+// bit-identical no matter how many workers computed its cells.
+func TestWorkerPoolDeterminism(t *testing.T) {
+	serial := tinySuite()
+	serial.Workers = 1
+	pooled := tinySuite()
+	pooled.Workers = 4
+
+	fs, err := Fig5('a', serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fig5('a', pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Series) != len(fp.Series) {
+		t.Fatalf("series count %d != %d", len(fp.Series), len(fs.Series))
+	}
+	for i, s := range fs.Series {
+		p := fp.Series[i]
+		if s.Name != p.Name || len(s.Points) != len(p.Points) {
+			t.Fatalf("series %d mismatch: %q/%d vs %q/%d", i, s.Name, len(s.Points), p.Name, len(p.Points))
+		}
+		for j := range s.Points {
+			if s.Points[j] != p.Points[j] {
+				t.Errorf("series %s point %d: serial %v != pooled %v", s.Name, j, s.Points[j], p.Points[j])
+			}
+		}
+	}
+}

@@ -28,6 +28,10 @@ type SuiteOptions struct {
 	Overlap bool
 	// Seed makes the suite deterministic.
 	Seed int64
+	// Workers bounds the number of (algorithm, graph, P) cells scheduled
+	// concurrently: 0 uses one worker per CPU, 1 runs serially. Results are
+	// identical for any value — only wall-clock time changes.
+	Workers int
 }
 
 // PaperSuiteOptions reproduces §IV.A at full scale: 30 graphs of 10-50
@@ -97,48 +101,45 @@ func ScheduledMakespan(alg schedule.Scheduler, tg *model.TaskGraph, c model.Clus
 // algorithm and machine size, the geometric mean over the graphs of
 // makespan(LoC-MPS)/makespan(algorithm). The reference algorithm is the
 // first in algs and its series is identically 1.
+//
+// Every (algorithm, P, graph) cell is independent — each scheduler run is a
+// pure function of its inputs — so the cells fan out over a bounded worker
+// pool. Each cell writes only its own slot of spans, and the figure is
+// assembled serially afterwards, so the output is bit-identical for any
+// worker count.
 func relativePerformance(id, title string, graphs []*model.TaskGraph, algs []schedule.Scheduler,
-	procs []int, cluster func(int) model.Cluster, measure Measure) (Figure, error) {
+	procs []int, cluster func(int) model.Cluster, measure Measure, workers int) (Figure, error) {
 
 	fig := Figure{
 		ID: id, Title: title,
 		XLabel: "procs", YLabel: "relative performance (LoC-MPS/algo)",
 	}
-	// The reference (LoC-MPS) makespans are computed once per (graph, P)
-	// cell and reused for every comparator's ratio.
-	ref := algs[0]
-	refSpan := make(map[[2]int]float64, len(graphs)*len(procs))
-	for _, p := range procs {
-		c := cluster(p)
-		for gi, tg := range graphs {
-			span, err := measure(ref, tg, c)
-			if err != nil {
-				return Figure{}, fmt.Errorf("exp: %s graph %d P=%d: %w", ref.Name(), gi, p, err)
-			}
-			if span <= 0 {
-				return Figure{}, fmt.Errorf("exp: non-positive reference makespan %v", span)
-			}
-			refSpan[[2]int{gi, p}] = span
+	nP, nG := len(procs), len(graphs)
+	spans := make([]float64, len(algs)*nP*nG)
+	err := parallelFor(workers, len(spans), func(idx int) error {
+		ai := idx / (nP * nG)
+		pi := idx / nG % nP
+		gi := idx % nG
+		span, err := measure(algs[ai], graphs[gi], cluster(procs[pi]))
+		if err != nil {
+			return fmt.Errorf("exp: %s graph %d P=%d: %w", algs[ai].Name(), gi, procs[pi], err)
 		}
+		if span <= 0 {
+			return fmt.Errorf("exp: non-positive makespan %v (%s graph %d P=%d)",
+				span, algs[ai].Name(), gi, procs[pi])
+		}
+		spans[idx] = span
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
 	for ai, alg := range algs {
 		series := Series{Name: alg.Name()}
-		for _, p := range procs {
-			c := cluster(p)
-			ratios := make([]float64, 0, len(graphs))
-			for gi, tg := range graphs {
-				span := refSpan[[2]int{gi, p}]
-				if ai > 0 {
-					var err error
-					span, err = measure(alg, tg, c)
-					if err != nil {
-						return Figure{}, fmt.Errorf("exp: %s graph %d P=%d: %w", alg.Name(), gi, p, err)
-					}
-					if span <= 0 {
-						return Figure{}, fmt.Errorf("exp: non-positive makespan %v", span)
-					}
-				}
-				ratios = append(ratios, refSpan[[2]int{gi, p}]/span)
+		for pi, p := range procs {
+			ratios := make([]float64, 0, nG)
+			for gi := 0; gi < nG; gi++ {
+				ratios = append(ratios, spans[pi*nG+gi]/spans[(ai*nP+pi)*nG+gi])
 			}
 			g, err := stats.GeoMean(ratios)
 			if err != nil {
@@ -171,7 +172,7 @@ func Fig4(variant byte, opt SuiteOptions) (Figure, error) {
 		return Figure{}, err
 	}
 	title := fmt.Sprintf("synthetic, CCR=0, Amax=%g sigma=%g", opt.AMax, opt.Sigma)
-	return relativePerformance("fig4"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan)
+	return relativePerformance("fig4"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan, opt.Workers)
 }
 
 // Fig5 reproduces Figure 5: Amax=64, sigma=1 with significant
@@ -194,7 +195,7 @@ func Fig5(variant byte, opt SuiteOptions) (Figure, error) {
 		return Figure{}, err
 	}
 	title := fmt.Sprintf("synthetic, CCR=%g, Amax=64 sigma=1", opt.CCR)
-	return relativePerformance("fig5"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan)
+	return relativePerformance("fig5"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan, opt.Workers)
 }
 
 // Fig6 reproduces Figure 6: LoC-MPS with and without backfilling on
@@ -224,31 +225,42 @@ func Fig6(opt SuiteOptions) (perf, times Figure, err error) {
 		perfSeries[i].Name = alg.Name()
 		timeSeries[i].Name = alg.Name()
 	}
-	for _, p := range opt.Procs {
-		c := opt.cluster(p)
-		ratios := make([][]float64, len(algs))
-		secs := make([][]float64, len(algs))
-		for _, tg := range graphs {
-			var refSpan float64
-			for i, alg := range algs {
-				s, err := alg.Schedule(tg, c)
-				if err != nil {
-					return Figure{}, Figure{}, err
-				}
-				if i == 0 {
-					refSpan = s.Makespan
-				}
-				ratios[i] = append(ratios[i], refSpan/s.Makespan)
-				secs[i] = append(secs[i], s.SchedulingTime.Seconds())
+	// One pool cell per (P, graph) pair; both variants run inside the cell
+	// so the ratio pairs up the same two schedules as the serial loop did.
+	nG := len(graphs)
+	spans := make([]float64, len(opt.Procs)*nG*len(algs))
+	secs := make([]float64, len(spans))
+	err = parallelFor(opt.Workers, len(opt.Procs)*nG, func(idx int) error {
+		pi, gi := idx/nG, idx%nG
+		c := opt.cluster(opt.Procs[pi])
+		for i, alg := range algs {
+			s, err := alg.Schedule(graphs[gi], c)
+			if err != nil {
+				return err
 			}
+			spans[idx*len(algs)+i] = s.Makespan
+			secs[idx*len(algs)+i] = s.SchedulingTime.Seconds()
 		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	for pi, p := range opt.Procs {
 		for i := range algs {
-			g, err := stats.GeoMean(ratios[i])
+			ratios := make([]float64, 0, nG)
+			ss := make([]float64, 0, nG)
+			for gi := 0; gi < nG; gi++ {
+				cell := (pi*nG + gi) * len(algs)
+				ratios = append(ratios, spans[cell]/spans[cell+i])
+				ss = append(ss, secs[cell+i])
+			}
+			g, err := stats.GeoMean(ratios)
 			if err != nil {
 				return Figure{}, Figure{}, err
 			}
 			perfSeries[i].Points = append(perfSeries[i].Points, Point{X: float64(p), Y: g})
-			timeSeries[i].Points = append(timeSeries[i].Points, Point{X: float64(p), Y: stats.Mean(secs[i])})
+			timeSeries[i].Points = append(timeSeries[i].Points, Point{X: float64(p), Y: stats.Mean(ss)})
 		}
 	}
 	perf.Series = perfSeries

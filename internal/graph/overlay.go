@@ -1,0 +1,113 @@
+package graph
+
+// Digraph is the read-only adjacency view shared by DAG and Overlay, letting
+// the level and critical-path computations run over either a materialized
+// DAG or a lightweight base-plus-pseudo-edge overlay without copying.
+type Digraph interface {
+	// N reports the number of vertices.
+	N() int
+	// Succ returns the successors of v. Callers must not modify or retain
+	// the slice across mutations of the graph.
+	Succ(v int) []int
+	// Pred returns the predecessors of v under the same contract.
+	Pred(v int) []int
+}
+
+// Overlay is a DAG plus a small set of extra edges, designed to be reset and
+// refilled thousands of times without reallocating: deriving the
+// schedule-DAG G' at every look-ahead step of LoC-MPS clones nothing. Extra
+// edges keep the same adjacency order a materialized Clone-and-AddEdge
+// sequence would produce (base edges first, extras in insertion order), so
+// traversals over an Overlay are bit-compatible with the clone-based path.
+//
+// An Overlay is single-goroutine scratch; give each worker its own.
+type Overlay struct {
+	base *DAG
+	gen  uint32
+	// succGen/predGen mark which buffers belong to the current generation;
+	// Reset invalidates all buffers in O(1) by bumping gen.
+	succGen, predGen []uint32
+	succBuf, predBuf [][]int
+}
+
+// NewOverlay returns an empty overlay; call Reset before use.
+func NewOverlay() *Overlay { return &Overlay{} }
+
+// Reset re-targets the overlay at base with no extra edges, reusing all
+// internal buffers.
+func (o *Overlay) Reset(base *DAG) {
+	o.base = base
+	n := base.N()
+	if len(o.succGen) < n {
+		o.succGen = make([]uint32, n)
+		o.predGen = make([]uint32, n)
+		o.succBuf = make([][]int, n)
+		o.predBuf = make([][]int, n)
+		o.gen = 0
+	}
+	o.gen++
+	if o.gen == 0 { // generation counter wrapped: hard-clear the marks
+		for i := range o.succGen {
+			o.succGen[i] = 0
+			o.predGen[i] = 0
+		}
+		o.gen = 1
+	}
+}
+
+// N implements Digraph.
+func (o *Overlay) N() int { return o.base.N() }
+
+// Succ implements Digraph: base successors followed by extra edges in
+// insertion order.
+func (o *Overlay) Succ(v int) []int {
+	if o.succGen[v] == o.gen {
+		return o.succBuf[v]
+	}
+	return o.base.Succ(v)
+}
+
+// Pred implements Digraph.
+func (o *Overlay) Pred(v int) []int {
+	if o.predGen[v] == o.gen {
+		return o.predBuf[v]
+	}
+	return o.base.Pred(v)
+}
+
+// HasEdge reports whether u -> v exists in the base graph or among the
+// extra edges.
+func (o *Overlay) HasEdge(u, v int) bool {
+	if o.base.HasEdge(u, v) {
+		return true
+	}
+	if o.succGen[u] != o.gen {
+		return false
+	}
+	// Only the tail beyond the base adjacency can hold extras.
+	for _, w := range o.succBuf[u][len(o.base.Succ(u)):] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the extra edge u -> v. Inserting an existing edge is a
+// no-op, matching DAG.AddEdge. The caller is responsible for keeping the
+// graph acyclic (as with DAG, acyclicity is not enforced on insertion).
+func (o *Overlay) AddEdge(u, v int) {
+	if o.HasEdge(u, v) {
+		return
+	}
+	if o.succGen[u] != o.gen {
+		o.succBuf[u] = append(o.succBuf[u][:0], o.base.Succ(u)...)
+		o.succGen[u] = o.gen
+	}
+	o.succBuf[u] = append(o.succBuf[u], v)
+	if o.predGen[v] != o.gen {
+		o.predBuf[v] = append(o.predBuf[v][:0], o.base.Pred(v)...)
+		o.predGen[v] = o.gen
+	}
+	o.predBuf[v] = append(o.predBuf[v], u)
+}

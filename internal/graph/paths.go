@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // WeightFunc supplies a vertex weight (e.g. execution time of the task on
 // its allocated processors).
@@ -25,13 +28,34 @@ type Levels struct {
 // ComputeLevels computes top and bottom levels in a single forward and a
 // single backward sweep over a topological order. It returns ErrCycle for
 // cyclic graphs.
-func ComputeLevels(d *DAG, vw WeightFunc, ew EdgeWeightFunc) (Levels, error) {
-	order, err := d.TopoOrder()
+func ComputeLevels(d Digraph, vw WeightFunc, ew EdgeWeightFunc) (Levels, error) {
+	order, err := topoOrderInto(d, nil, nil, nil)
 	if err != nil {
 		return Levels{}, err
 	}
-	top := make([]float64, d.n)
-	bottom := make([]float64, d.n)
+	return levelsOver(d, order, vw, ew, nil, nil), nil
+}
+
+// ComputeLevelsOrder is ComputeLevels over a pre-computed topological order
+// (e.g. the one cached on a task graph), writing into the caller's Levels
+// buffers when they are large enough. The order must be a valid topological
+// order of d covering all vertices.
+func ComputeLevelsOrder(d Digraph, order []int, vw WeightFunc, ew EdgeWeightFunc, buf *Levels) Levels {
+	return levelsOver(d, order, vw, ew, buf.Top, buf.Bottom)
+}
+
+func levelsOver(d Digraph, order []int, vw WeightFunc, ew EdgeWeightFunc, top, bottom []float64) Levels {
+	n := d.N()
+	if cap(top) < n {
+		top = make([]float64, n)
+	} else {
+		top = top[:n]
+	}
+	if cap(bottom) < n {
+		bottom = make([]float64, n)
+	} else {
+		bottom = bottom[:n]
+	}
 	for _, v := range order {
 		best := 0.0
 		for _, u := range d.Pred(v) {
@@ -53,7 +77,71 @@ func ComputeLevels(d *DAG, vw WeightFunc, ew EdgeWeightFunc) (Levels, error) {
 		}
 		bottom[v] = vw(v) + best
 	}
-	return Levels{Top: top, Bottom: bottom}, nil
+	return Levels{Top: top, Bottom: bottom}
+}
+
+// PathScratch holds the reusable buffers of repeated level and critical-path
+// computations: topological-order state, levels and the reconstructed path.
+// The zero value is ready to use; a scratch must not be shared between
+// goroutines.
+type PathScratch struct {
+	indeg    []int
+	frontier []int
+	order    []int
+	lv       Levels
+	path     []int
+}
+
+// topoOrderInto is Kahn's algorithm over a sorted frontier (identical
+// ordering to DAG.TopoOrder) appending into the caller's buffers.
+func topoOrderInto(d Digraph, indeg, frontier, order []int) ([]int, error) {
+	n := d.N()
+	if cap(indeg) < n {
+		indeg = make([]int, n)
+	} else {
+		indeg = indeg[:n]
+	}
+	frontier = frontier[:0]
+	order = order[:0]
+	for v := 0; v < n; v++ {
+		indeg[v] = len(d.Pred(v))
+		if indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		for _, w := range d.Succ(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// CriticalPathScratch is CriticalPath reusing the caller's scratch buffers.
+// The returned path aliases the scratch and is valid until the next call.
+func CriticalPathScratch(d Digraph, vw WeightFunc, ew EdgeWeightFunc, s *PathScratch) (float64, []int, error) {
+	if d.N() == 0 {
+		return 0, nil, nil
+	}
+	order, err := topoOrderInto(d, s.indeg, s.frontier[:0], s.order[:0])
+	if err != nil {
+		return 0, nil, err
+	}
+	s.order = order
+	s.lv = levelsOver(d, order, vw, ew, s.lv.Top, s.lv.Bottom)
+	length, path := reconstructPath(d, s.lv, vw, ew, s.path[:0])
+	s.path = path
+	return length, path, nil
 }
 
 // CriticalPath returns the longest weighted path in the DAG: its length and
@@ -61,25 +149,32 @@ func ComputeLevels(d *DAG, vw WeightFunc, ew EdgeWeightFunc) (Levels, error) {
 // topL(v)+bottomL(v) lies on a critical path; the path is reconstructed by
 // walking from such a source-side start greedily through successors that
 // preserve the bottom level. For an empty graph it returns (0, nil).
-func CriticalPath(d *DAG, vw WeightFunc, ew EdgeWeightFunc) (float64, []int, error) {
-	if d.n == 0 {
+func CriticalPath(d Digraph, vw WeightFunc, ew EdgeWeightFunc) (float64, []int, error) {
+	if d.N() == 0 {
 		return 0, nil, nil
 	}
 	lv, err := ComputeLevels(d, vw, ew)
 	if err != nil {
 		return 0, nil, err
 	}
-	// The critical path starts at a source vertex whose bottom level equals
-	// the overall critical path length.
+	length, path := reconstructPath(d, lv, vw, ew, nil)
+	return length, path, nil
+}
+
+// reconstructPath finds the critical-path length and walks one critical path
+// from a source, appending into the caller's buffer. The path starts at a
+// source vertex whose bottom level equals the overall critical-path length.
+func reconstructPath(d Digraph, lv Levels, vw WeightFunc, ew EdgeWeightFunc, path []int) (float64, []int) {
+	n := d.N()
 	length := 0.0
-	for v := 0; v < d.n; v++ {
+	for v := 0; v < n; v++ {
 		if l := lv.Top[v] + lv.Bottom[v]; l > length {
 			length = l
 		}
 	}
 	start := -1
-	for _, s := range d.Sources() {
-		if approxEq(lv.Bottom[s], length) {
+	for s := 0; s < n; s++ {
+		if len(d.Pred(s)) == 0 && approxEq(lv.Bottom[s], length) {
 			start = s
 			break
 		}
@@ -89,14 +184,14 @@ func CriticalPath(d *DAG, vw WeightFunc, ew EdgeWeightFunc) (float64, []int, err
 		// maximum, but floating error could hide it; fall back to the best
 		// source.
 		best := math.Inf(-1)
-		for _, s := range d.Sources() {
-			if lv.Bottom[s] > best {
+		for s := 0; s < n; s++ {
+			if len(d.Pred(s)) == 0 && lv.Bottom[s] > best {
 				best = lv.Bottom[s]
 				start = s
 			}
 		}
 	}
-	path := []int{start}
+	path = append(path, start)
 	v := start
 	for {
 		next := -1
@@ -112,7 +207,7 @@ func CriticalPath(d *DAG, vw WeightFunc, ew EdgeWeightFunc) (float64, []int, err
 		path = append(path, next)
 		v = next
 	}
-	return length, path, nil
+	return length, path
 }
 
 // PathCosts splits a path's total length into the computation part (sum of

@@ -10,6 +10,8 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"locmps/internal/graph"
 	"locmps/internal/speedup"
@@ -43,6 +45,30 @@ type TaskGraph struct {
 	dag   *graph.DAG
 	// volume[{u,v}] is the data volume of edge u->v.
 	volume map[[2]int]float64
+
+	// Derived hot-path indices, built once by NewTaskGraph and immutable
+	// afterwards: every graph edge gets a dense id in [0, M) assigned in
+	// sorted (From, To) order, and the per-vertex adjacency carries
+	// (neighbour, id, volume) triples so scheduler inner loops never hash
+	// [2]int map keys.
+	edges []Edge
+	predE [][]AdjEdge // aligned with dag.Pred(v)
+	succE [][]AdjEdge // aligned with dag.Succ(u)
+	topo  []int       // cached deterministic topological order
+
+	// tables caches the execution-time/Pbest/concurrency-ratio lookups
+	// (see Tables); tablesMu serializes (re)builds.
+	tables   atomic.Pointer[Tables]
+	tablesMu sync.Mutex
+}
+
+// AdjEdge is one entry of the indexed adjacency: the neighbouring vertex
+// (parent for PredEdges, child for SuccEdges), the dense edge id and the
+// edge's data volume.
+type AdjEdge struct {
+	Other  int
+	ID     int
+	Volume float64
 }
 
 // NewTaskGraph builds and validates a task graph.
@@ -74,10 +100,78 @@ func NewTaskGraph(tasks []Task, edges []Edge) (*TaskGraph, error) {
 		}
 		tg.volume[key] = e.Volume
 	}
-	if err := tg.dag.Validate(); err != nil {
+	topo, err := tg.dag.TopoOrder()
+	if err != nil {
 		return nil, fmt.Errorf("model: task graph is not acyclic: %w", err)
 	}
+	tg.topo = topo
+	tg.buildEdgeIndex()
 	return tg, nil
+}
+
+// buildEdgeIndex assigns dense edge ids in sorted (From, To) order and
+// materializes the id- and volume-carrying adjacency lists.
+func (tg *TaskGraph) buildEdgeIndex() {
+	raw := tg.dag.Edges() // sorted: deterministic id assignment
+	tg.edges = make([]Edge, len(raw))
+	id := make(map[[2]int]int, len(raw))
+	for i, e := range raw {
+		tg.edges[i] = Edge{From: e[0], To: e[1], Volume: tg.volume[e]}
+		id[e] = i
+	}
+	n := tg.N()
+	tg.predE = make([][]AdjEdge, n)
+	tg.succE = make([][]AdjEdge, n)
+	for v := 0; v < n; v++ {
+		preds := tg.dag.Pred(v)
+		if len(preds) > 0 {
+			pe := make([]AdjEdge, len(preds))
+			for i, u := range preds {
+				eid := id[[2]int{u, v}]
+				pe[i] = AdjEdge{Other: u, ID: eid, Volume: tg.edges[eid].Volume}
+			}
+			tg.predE[v] = pe
+		}
+		succs := tg.dag.Succ(v)
+		if len(succs) > 0 {
+			se := make([]AdjEdge, len(succs))
+			for i, w := range succs {
+				eid := id[[2]int{v, w}]
+				se[i] = AdjEdge{Other: w, ID: eid, Volume: tg.edges[eid].Volume}
+			}
+			tg.succE[v] = se
+		}
+	}
+}
+
+// M reports the number of edges.
+func (tg *TaskGraph) M() int { return len(tg.edges) }
+
+// TopoOrder returns the cached deterministic topological order of the DAG.
+// Callers must not modify the returned slice.
+func (tg *TaskGraph) TopoOrder() []int { return tg.topo }
+
+// PredEdges returns the incoming edges of v (parent, edge id, volume),
+// aligned with DAG().Pred(v). Callers must not modify the slice.
+func (tg *TaskGraph) PredEdges(v int) []AdjEdge { return tg.predE[v] }
+
+// SuccEdges returns the outgoing edges of u (child, edge id, volume),
+// aligned with DAG().Succ(u). Callers must not modify the slice.
+func (tg *TaskGraph) SuccEdges(u int) []AdjEdge { return tg.succE[u] }
+
+// EdgeID returns the dense id of edge u->v, or false if the edge is absent.
+// Out-degrees of mixed-parallel DAGs are small, so a linear scan of the
+// indexed adjacency beats hashing a [2]int key.
+func (tg *TaskGraph) EdgeID(u, v int) (int, bool) {
+	if u < 0 || u >= len(tg.succE) {
+		return 0, false
+	}
+	for _, e := range tg.succE[u] {
+		if e.Other == v {
+			return e.ID, true
+		}
+	}
+	return 0, false
 }
 
 // N reports the number of tasks.
@@ -90,18 +184,21 @@ func (tg *TaskGraph) DAG() *graph.DAG { return tg.dag }
 // Volume returns the data volume on edge u->v (0 if the edge is absent).
 func (tg *TaskGraph) Volume(u, v int) float64 { return tg.volume[[2]int{u, v}] }
 
-// Edges returns all edges with volumes in deterministic order.
+// Edges returns all edges with volumes in deterministic (edge-id) order.
+// The returned slice is a copy and may be modified by the caller.
 func (tg *TaskGraph) Edges() []Edge {
-	raw := tg.dag.Edges()
-	es := make([]Edge, len(raw))
-	for i, e := range raw {
-		es[i] = Edge{From: e[0], To: e[1], Volume: tg.volume[e]}
-	}
-	return es
+	return append([]Edge(nil), tg.edges...)
 }
 
 // ExecTime returns et(t, p): the execution time of task t on p processors.
-func (tg *TaskGraph) ExecTime(t, p int) float64 { return tg.Tasks[t].Profile.Time(p) }
+// Once a Tables cache has been built (any scheduler run does this), lookups
+// within its range become array loads.
+func (tg *TaskGraph) ExecTime(t, p int) float64 {
+	if tb := tg.tables.Load(); tb != nil && p <= tb.maxP {
+		return tb.ExecTime(t, p)
+	}
+	return tg.Tasks[t].Profile.Time(p)
+}
 
 // SerialWork returns the total uniprocessor work of the graph, a lower
 // bound on P * makespan.
@@ -116,7 +213,16 @@ func (tg *TaskGraph) SerialWork() float64 {
 // ConcurrencyRatio computes cr(t) of §III.C: the total uniprocessor work of
 // the maximal concurrent set of t, relative to t's own uniprocessor work.
 // For a zero-work task the ratio is +Inf when any concurrent work exists.
+// The value is served from the Tables cache when one exists; the underlying
+// sweep is O(V^2).
 func (tg *TaskGraph) ConcurrencyRatio(t int) float64 {
+	if tb := tg.tables.Load(); tb != nil {
+		return tb.cr[t]
+	}
+	return tg.concurrencyRatioSlow(t)
+}
+
+func (tg *TaskGraph) concurrencyRatioSlow(t int) float64 {
 	var work float64
 	for _, u := range tg.dag.Concurrent(t) {
 		work += tg.ExecTime(u, 1)

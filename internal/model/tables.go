@@ -1,0 +1,100 @@
+package model
+
+// Tables is an immutable per-graph cache of the quantities the scheduler
+// hot path asks for millions of times per search: execution times et(t, p)
+// for every processor count up to MaxP, the prefix Pbest values of every
+// task, and the P-independent concurrency ratios. One LoC-MPS search calls
+// Profile.Time (a sqrt-heavy Downey evaluation) and the O(V^2)
+// Concurrent(t) sweep from its innermost weight closures; routing them
+// through a Tables turns both into array loads.
+//
+// Tables are built once per (graph, MaxP) via TaskGraph.Tables and shared
+// by concurrent searches; all fields are written before publication and
+// never mutated afterwards.
+type Tables struct {
+	maxP int
+	// et[t][p] is Profile.Time(p) for p in [1, maxP]; index 0 duplicates
+	// index 1, matching Profile's "p < 1 is treated as 1" contract.
+	et [][]float64
+	// pbest[t][p] is speedup.Pbest(profile, p): the running argmin of the
+	// prefix scan, so a single row answers Pbest for every cap at once.
+	pbest [][]int32
+	// cr[t] is ConcurrencyRatio(t).
+	cr []float64
+}
+
+// MaxP reports the largest processor count the tables cover.
+func (tb *Tables) MaxP() int { return tb.maxP }
+
+// ExecTime returns et(t, p) for p <= MaxP; p below 1 is treated as 1.
+func (tb *Tables) ExecTime(t, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return tb.et[t][p]
+}
+
+// Pbest returns the smallest processor count in [1, maxP] minimizing t's
+// execution time, bit-identical to speedup.Pbest on the task's profile.
+// maxP must not exceed MaxP.
+func (tb *Tables) Pbest(t, maxP int) int {
+	if maxP < 1 {
+		return 1
+	}
+	return int(tb.pbest[t][maxP])
+}
+
+// ConcurrencyRatio returns cr(t) of the paper's §III.C.
+func (tb *Tables) ConcurrencyRatio(t int) float64 { return tb.cr[t] }
+
+// Tables returns the execution-time/Pbest/concurrency-ratio cache covering
+// processor counts up to at least maxP, building (or widening) it on first
+// use. Safe for concurrent use; the returned value is immutable.
+func (tg *TaskGraph) Tables(maxP int) *Tables {
+	if maxP < 1 {
+		maxP = 1
+	}
+	if tb := tg.tables.Load(); tb != nil && tb.maxP >= maxP {
+		return tb
+	}
+	tg.tablesMu.Lock()
+	defer tg.tablesMu.Unlock()
+	prev := tg.tables.Load()
+	if prev != nil && prev.maxP >= maxP {
+		return prev
+	}
+	n := tg.N()
+	tb := &Tables{
+		maxP:  maxP,
+		et:    make([][]float64, n),
+		pbest: make([][]int32, n),
+	}
+	for t := 0; t < n; t++ {
+		prof := tg.Tasks[t].Profile
+		row := make([]float64, maxP+1)
+		pb := make([]int32, maxP+1)
+		row[1] = prof.Time(1)
+		row[0] = row[1]
+		pb[0], pb[1] = 1, 1
+		best, bestT := int32(1), row[1]
+		for p := 2; p <= maxP; p++ {
+			row[p] = prof.Time(p)
+			if row[p] < bestT-1e-12 {
+				best, bestT = int32(p), row[p]
+			}
+			pb[p] = best
+		}
+		tb.et[t] = row
+		tb.pbest[t] = pb
+	}
+	if prev != nil {
+		tb.cr = prev.cr // P-independent: reuse across widenings
+	} else {
+		tb.cr = make([]float64, n)
+		for t := 0; t < n; t++ {
+			tb.cr[t] = tg.concurrencyRatioSlow(t)
+		}
+	}
+	tg.tables.Store(tb)
+	return tb
+}

@@ -7,8 +7,42 @@ package redist
 type CostBuffer struct {
 	dstRank []int32 // physical id -> rank in dst, -1 if absent
 	inSrc   []bool  // physical id -> member of src
-	srcSh   []float64
-	dstSh   []float64
+	// Per-rank shares depend only on (volume, group size, block size),
+	// which repeat heavily across the probes of one placement search — a
+	// task's parents alternate in the inner loop, so a few slots suffice.
+	shares shareCache
+}
+
+// shareCache is a tiny direct-search cache of shareByRank results.
+type shareCache struct {
+	keys [16]shareKey
+	vals [16][]float64
+	next int
+}
+
+type shareKey struct {
+	vol, bb float64
+	n       int
+}
+
+// get returns the cached (or freshly computed) shares plus the slot they
+// live in. A miss never evicts slot avoid, so a caller holding the result
+// of a previous get can keep it alive across one more lookup.
+func (c *shareCache) get(m Model, volume float64, n int, full int64, rem float64, avoid int) ([]float64, int) {
+	k := shareKey{vol: volume, bb: m.BlockBytes, n: n}
+	for i := range c.keys {
+		if c.keys[i] == k {
+			return c.vals[i], i
+		}
+	}
+	i := c.next
+	if i == avoid {
+		i = (i + 1) % len(c.keys)
+	}
+	c.next = (i + 1) % len(c.keys)
+	c.keys[i] = k
+	c.vals[i] = shareByRankInto(c.vals[i][:0], full, rem, int64(n), m.BlockBytes)
+	return c.vals[i], i
 }
 
 // NewCostBuffer returns a buffer valid for processor ids in [0, maxProc).
@@ -33,8 +67,64 @@ func (m Model) FastCostBuf(volume float64, src, dst []int, buf *CostBuffer) floa
 	}
 	p, q := int64(len(src)), int64(len(dst))
 	full, rem := m.blockCount(volume)
-	buf.srcSh = shareByRankInto(buf.srcSh[:0], full, rem, p, m.BlockBytes)
-	buf.dstSh = shareByRankInto(buf.dstSh[:0], full, rem, q, m.BlockBytes)
+	srcSh, srcSlot := buf.shares.get(m, volume, len(src), full, rem, -1)
+	dstSh := srcSh
+	if len(dst) != len(src) {
+		dstSh, _ = buf.shares.get(m, volume, len(dst), full, rem, srcSlot)
+	}
+
+	// The CRT constants depend only on the group sizes, so hoist them out
+	// of the per-rank loop (FastCost recomputes them per shared node).
+	g, l := gcdLcm(p, q)
+	qg := q / g
+	inv := modInverse((p / g) % qg, qg)
+
+	var worst float64
+	if sortedIDs(src) && sortedIDs(dst) {
+		// Both groups in ascending id order (the canonical layout order
+		// every scheduler in this module emits): find shared nodes with a
+		// two-pointer merge instead of the id-indexed rank tables.
+		i, j := 0, 0
+		for i < len(src) || j < len(dst) {
+			switch {
+			case j == len(dst) || (i < len(src) && src[i] < dst[j]):
+				if srcSh[i] > worst {
+					worst = srcSh[i]
+				}
+				i++
+			case i == len(src) || dst[j] < src[i]:
+				if dstSh[j] > worst {
+					worst = dstSh[j]
+				}
+				j++
+			default: // shared node, src rank i, dst rank j
+				var local float64
+				switch {
+				case p == q:
+					// Equal group sizes: the layouts coincide rank-for-
+					// rank, so a shared node keeps its data iff it holds
+					// the same rank in both groups — exactly its share.
+					if i == j {
+						local = srcSh[i]
+					}
+				default:
+					local = float64(countCongruentPre(full, int64(i), p, int64(j), g, l, qg, inv)) * m.BlockBytes
+					if rem > 0 && full%p == int64(i) && full%q == int64(j) {
+						local += rem
+					}
+				}
+				if load := (srcSh[i] - local) + (dstSh[j] - local); load > worst {
+					worst = load
+				}
+				i++
+				j++
+			}
+		}
+		if worst < 0 {
+			worst = 0
+		}
+		return worst / m.Bandwidth
+	}
 
 	for c, node := range dst {
 		buf.dstRank[node] = int32(c)
@@ -42,24 +132,22 @@ func (m Model) FastCostBuf(volume float64, src, dst []int, buf *CostBuffer) floa
 	for _, node := range src {
 		buf.inSrc[node] = true
 	}
-
-	var worst float64
 	for a, node := range src {
-		load := buf.srcSh[a]
+		load := srcSh[a]
 		if c := buf.dstRank[node]; c >= 0 {
-			local := float64(countCongruent(full, int64(a), p, int64(c), q)) * m.BlockBytes
+			local := float64(countCongruentPre(full, int64(a), p, int64(c), g, l, qg, inv)) * m.BlockBytes
 			if rem > 0 && full%p == int64(a) && full%q == int64(c) {
 				local += rem
 			}
-			load = (buf.srcSh[a] - local) + (buf.dstSh[c] - local)
+			load = (srcSh[a] - local) + (dstSh[c] - local)
 		}
 		if load > worst {
 			worst = load
 		}
 	}
 	for c, node := range dst {
-		if !buf.inSrc[node] && buf.dstSh[c] > worst {
-			worst = buf.dstSh[c]
+		if !buf.inSrc[node] && dstSh[c] > worst {
+			worst = dstSh[c]
 		}
 	}
 
@@ -74,6 +162,47 @@ func (m Model) FastCostBuf(volume float64, src, dst []int, buf *CostBuffer) floa
 		worst = 0
 	}
 	return worst / m.Bandwidth
+}
+
+// sortedIDs reports whether ids are in strictly ascending order.
+func sortedIDs(ids []int) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// countCongruentPre is countCongruent with the CRT constants (g = gcd(p,q),
+// l = lcm(p,q), qg = q/g, inv = (p/g)^-1 mod qg) precomputed by the caller.
+func countCongruentPre(n, a, p, c, g, l, qg, inv int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if (c-a)%g != 0 {
+		return 0
+	}
+	diff := ((c - a) / g) % qg
+	if diff < 0 {
+		diff += qg
+	}
+	j0 := (a + p*(diff*inv%qg)) % l
+	if j0 < 0 {
+		j0 += l
+	}
+	if j0 >= n {
+		return 0
+	}
+	return (n-1-j0)/l + 1
+}
+
+// ResidentShareInto is ResidentShare appending into a reused slice. Like
+// FastCostBuf it is a hot-path variant that assumes a validated model, a
+// non-empty group and a finite non-negative volume.
+func (m Model) ResidentShareInto(share []float64, volume float64, procs []int) []float64 {
+	full, rem := m.blockCount(volume)
+	return shareByRankInto(share, full, rem, int64(len(procs)), m.BlockBytes)
 }
 
 // shareByRankInto is shareByRank appending into a reused slice.

@@ -63,7 +63,7 @@ func (o Optimal) Schedule(tg *model.TaskGraph, c model.Cluster) (*schedule.Sched
 	if b.best == nil {
 		return nil, fmt.Errorf("sched: OPT found no schedule")
 	}
-	s := schedule.NewSchedule("OPT", c, tg.N())
+	s := schedule.NewSchedule("OPT", c, tg)
 	copy(s.Placements, b.best)
 	s.ComputeMakespan()
 	s.SchedulingTime = time.Since(started)

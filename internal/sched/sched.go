@@ -79,7 +79,7 @@ func (Data) Schedule(tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, 
 	for i := range all {
 		all[i] = i
 	}
-	s := schedule.NewSchedule("DATA", c, tg.N())
+	s := schedule.NewSchedule("DATA", c, tg)
 	now := 0.0
 	for _, t := range order {
 		et := tg.ExecTime(t, c.P)

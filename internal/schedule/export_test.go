@@ -9,7 +9,7 @@ import (
 
 func TestWriteJSONSchedule(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s := NewSchedule("LoC-MPS", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 12, Finish: 17, DataReady: 12, CommTime: 2}
 	s.ComputeMakespan()
@@ -37,7 +37,7 @@ func TestWriteJSONSchedule(t *testing.T) {
 	}
 
 	// Mismatched graph rejected.
-	bad := NewSchedule("x", cluster2, 1)
+	bad := NewSchedule("x", cluster2, singleGraph(t))
 	if err := bad.WriteJSON(&buf, tg); err == nil {
 		t.Error("placement/task count mismatch accepted")
 	}
@@ -45,7 +45,7 @@ func TestWriteJSONSchedule(t *testing.T) {
 
 func TestWriteCSVSchedule(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s := NewSchedule("LoC-MPS", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 12, Finish: 17, CommTime: 2}
 	s.ComputeMakespan()
@@ -67,7 +67,7 @@ func TestWriteCSVSchedule(t *testing.T) {
 
 func TestSummary(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("CPR", cluster2, 2)
+	s := NewSchedule("CPR", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15}
 	s.ComputeMakespan()

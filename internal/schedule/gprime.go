@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"math"
+
+	"locmps/internal/graph"
+	"locmps/internal/model"
+)
+
+// DAGBuilder derives the schedule-DAG G' (the application DAG plus
+// pseudo-edges for resource-induced dependences, exactly as ScheduleDAG)
+// into a reusable graph.Overlay instead of cloning the DAG. LoC-MPS
+// re-derives G' at every look-ahead step, so this path allocates nothing
+// after warm-up. A builder is single-goroutine scratch.
+type DAGBuilder struct {
+	ov *graph.Overlay
+	// bits is an n x ceil(P/64) bitset of each task's processor set,
+	// replacing the per-task membership maps of the clone-based path.
+	bits []uint64
+}
+
+// NewDAGBuilder returns an empty builder.
+func NewDAGBuilder() *DAGBuilder { return &DAGBuilder{ov: graph.NewOverlay()} }
+
+// Build derives G' for the schedule over tg. The returned overlay aliases
+// the builder's scratch and is valid until the next Build call. The
+// pseudo-edge derivation is bit-identical to Schedule.ScheduleDAG: same
+// candidate scan order, same tie rules, same adjacency ordering.
+func (b *DAGBuilder) Build(s *Schedule, tg *model.TaskGraph) *graph.Overlay {
+	b.ov.Reset(tg.DAG())
+	n := tg.N()
+	words := (s.Cluster.P + 63) / 64
+	need := n * words
+	if cap(b.bits) < need {
+		b.bits = make([]uint64, need)
+	} else {
+		b.bits = b.bits[:need]
+		for i := range b.bits {
+			b.bits[i] = 0
+		}
+	}
+	for t := range s.Placements {
+		row := b.bits[t*words : (t+1)*words]
+		for _, p := range s.Placements[t].Procs {
+			row[p>>6] |= 1 << (uint(p) & 63)
+		}
+	}
+	for tp := range s.Placements {
+		pl := &s.Placements[tp]
+		if pl.Start <= pl.DataReady+Eps {
+			continue
+		}
+		row := b.bits[tp*words : (tp+1)*words]
+		for ti := range s.Placements {
+			pli := &s.Placements[ti]
+			if ti == tp || math.Abs(pli.Finish-pl.Start) > Eps {
+				continue
+			}
+			if pli.Start >= pl.Start-Eps {
+				// ti must have started strictly before tp starts; this
+				// excludes zero-duration tasks at the same instant, which
+				// could otherwise chain into a cycle of pseudo-edges.
+				continue
+			}
+			shared := false
+			for _, p := range pli.Procs {
+				if row[p>>6]&(1<<(uint(p)&63)) != 0 {
+					shared = true
+					break
+				}
+			}
+			if shared && !b.ov.HasEdge(tp, ti) { // avoid creating 2-cycles on ties
+				// Pseudo-edges stay acyclic because they always point
+				// forward in time (ft(ti) == st(tp) < ft(tp)).
+				b.ov.AddEdge(ti, tp)
+			}
+		}
+	}
+	return b.ov
+}

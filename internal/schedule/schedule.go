@@ -48,27 +48,52 @@ type Schedule struct {
 	// Placements is indexed by task id.
 	Placements []Placement
 	Makespan   float64
-	// EdgeComm[{u,v}] is the redistribution time actually charged on the
-	// graph edge u->v under this schedule's placements (0 for fully local
-	// reuse). Used as G' edge weights.
-	EdgeComm map[[2]int]float64
+	// comm is the redistribution time actually charged on each graph edge
+	// under this schedule's placements (0 for fully local reuse), stored
+	// densely by the task graph's edge ids. Used as G' edge weights.
+	comm []float64
+	// tg is the task graph the edge ids index into.
+	tg *model.TaskGraph
 	// SchedulingTime is the wall-clock cost of computing this schedule,
 	// the quantity plotted in the paper's Figure 10.
 	SchedulingTime time.Duration
 }
 
-// NewSchedule allocates an empty schedule for n tasks.
-func NewSchedule(algorithm string, c model.Cluster, n int) *Schedule {
+// NewSchedule allocates an empty schedule for the graph's tasks. Edge
+// communication charges are stored densely against tg's edge index.
+func NewSchedule(algorithm string, c model.Cluster, tg *model.TaskGraph) *Schedule {
 	return &Schedule{
 		Algorithm:  algorithm,
 		Cluster:    c,
-		Placements: make([]Placement, n),
-		EdgeComm:   make(map[[2]int]float64),
+		Placements: make([]Placement, tg.N()),
+		comm:       make([]float64, tg.M()),
+		tg:         tg,
 	}
 }
 
-// CommOn returns the communication time charged on edge u->v.
-func (s *Schedule) CommOn(u, v int) float64 { return s.EdgeComm[[2]int{u, v}] }
+// CommOn returns the communication time charged on edge u->v (0 when the
+// edge is absent).
+func (s *Schedule) CommOn(u, v int) float64 {
+	if id, ok := s.tg.EdgeID(u, v); ok {
+		return s.comm[id]
+	}
+	return 0
+}
+
+// SetComm records the communication time charged on edge u->v. Setting a
+// non-existent edge is a no-op.
+func (s *Schedule) SetComm(u, v int, w float64) {
+	if id, ok := s.tg.EdgeID(u, v); ok {
+		s.comm[id] = w
+	}
+}
+
+// CommID returns the charge on the edge with the given dense id — the
+// hot-path variant of CommOn for callers that already hold edge ids.
+func (s *Schedule) CommID(id int) float64 { return s.comm[id] }
+
+// SetCommID records the charge on the edge with the given dense id.
+func (s *Schedule) SetCommID(id int, w float64) { s.comm[id] = w }
 
 // Validate checks the fundamental invariants of a schedule against its task
 // graph:

@@ -35,9 +35,19 @@ func chainGraph(t *testing.T) *model.TaskGraph {
 	return tg
 }
 
+// singleGraph is a one-task graph for placement-count mismatch tests.
+func singleGraph(t *testing.T) *model.TaskGraph {
+	t.Helper()
+	tg, err := model.NewTaskGraph([]model.Task{lin("solo", 10)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
 func TestValidateAcceptsGoodSchedule(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("test", cluster2, 2)
+	s := NewSchedule("test", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10, DataReady: 0}
 	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15, DataReady: 10}
 	s.ComputeMakespan()
@@ -55,7 +65,7 @@ func TestValidateAcceptsGoodSchedule(t *testing.T) {
 func TestValidateRejections(t *testing.T) {
 	tg := chainGraph(t)
 	mk := func(mutate func(*Schedule)) error {
-		s := NewSchedule("test", cluster2, 2)
+		s := NewSchedule("test", cluster2, tg)
 		s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 		s.Placements[1] = Placement{Procs: []int{1}, Start: 10, Finish: 20}
 		mutate(s)
@@ -110,7 +120,7 @@ func TestPaperFigure1(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := model.Cluster{P: 4, Bandwidth: 1, Overlap: true}
-	s := NewSchedule("manual", c, 4)
+	s := NewSchedule("manual", c, tg)
 	// T2 on 3 procs and T3 on 2 procs cannot coexist on P=4: serialize.
 	s.Placements[0] = Placement{Procs: []int{0, 1, 2, 3}, Start: 0, Finish: 10, DataReady: 0}
 	s.Placements[1] = Placement{Procs: []int{0, 1, 2}, Start: 10, Finish: 17, DataReady: 10}
@@ -142,7 +152,7 @@ func TestPaperFigure1(t *testing.T) {
 
 func TestScheduleDAGNoPseudoEdgeWhenOnTime(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("test", cluster2, 2)
+	s := NewSchedule("test", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10, DataReady: 0}
 	s.Placements[1] = Placement{Procs: []int{0}, Start: 10, Finish: 20, DataReady: 10}
 	g := s.ScheduleDAG(tg)
@@ -158,10 +168,10 @@ func TestCriticalPathUsesEdgeComm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSchedule("test", cluster2, 2)
+	s := NewSchedule("test", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10, DataReady: 0}
 	s.Placements[1] = Placement{Procs: []int{1}, Start: 15, Finish: 25, DataReady: 15, CommTime: 5}
-	s.EdgeComm[[2]int{0, 1}] = 5
+	s.SetComm(0, 1, 5)
 	length, _, err := s.CriticalPath(tg)
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +183,7 @@ func TestCriticalPathUsesEdgeComm(t *testing.T) {
 
 func TestGanttRendering(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("test", cluster2, 2)
+	s := NewSchedule("test", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15}
 	s.ComputeMakespan()
@@ -188,14 +198,22 @@ func TestGanttRendering(t *testing.T) {
 		t.Errorf("missing makespan header:\n%s", out)
 	}
 	// Empty schedule renders a placeholder, not a panic.
-	empty := NewSchedule("e", cluster2, 0)
+	noTasks, err := model.NewTaskGraph(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := NewSchedule("e", cluster2, noTasks)
 	if got := empty.Gantt(tg, 40); !strings.Contains(got, "empty") {
 		t.Errorf("empty schedule rendering: %q", got)
 	}
 }
 
 func TestCommOnDefaultsZero(t *testing.T) {
-	s := NewSchedule("test", cluster2, 1)
+	tg, err := model.NewTaskGraph([]model.Task{lin("a", 1), lin("b", 1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule("test", cluster2, tg)
 	if s.CommOn(0, 1) != 0 {
 		t.Error("CommOn on absent edge should be 0")
 	}

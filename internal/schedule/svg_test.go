@@ -22,7 +22,7 @@ func chainGraphNamed(t *testing.T, nameA, nameB string) *model.TaskGraph {
 
 func TestWriteSVG(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s := NewSchedule("LoC-MPS", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15, CommTime: 1}
 	s.ComputeMakespan()
@@ -50,7 +50,7 @@ func TestWriteSVG(t *testing.T) {
 		t.Error("SVG output not deterministic")
 	}
 	// Mismatched graph rejected.
-	bad := NewSchedule("x", cluster2, 1)
+	bad := NewSchedule("x", cluster2, singleGraph(t))
 	if err := bad.WriteSVG(&buf, tg); err == nil {
 		t.Error("mismatch accepted")
 	}
@@ -58,7 +58,7 @@ func TestWriteSVG(t *testing.T) {
 
 func TestWriteSVGEscapesNames(t *testing.T) {
 	tg := chainGraphNamed(t, `<evil&"task">`, "b")
-	s := NewSchedule("a<b", cluster2, 2)
+	s := NewSchedule("a<b", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = Placement{Procs: []int{1}, Start: 10, Finish: 20}
 	s.ComputeMakespan()
@@ -77,7 +77,7 @@ func TestWriteSVGEscapesNames(t *testing.T) {
 
 func TestWriteChromeTrace(t *testing.T) {
 	tg := chainGraph(t)
-	s := NewSchedule("LoC-MPS", cluster2, 2)
+	s := NewSchedule("LoC-MPS", cluster2, tg)
 	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = Placement{Procs: []int{0, 1}, Start: 10, Finish: 15, CommTime: 1}
 	s.ComputeMakespan()

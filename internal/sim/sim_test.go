@@ -52,7 +52,7 @@ func TestExecuteMatchesScheduleWithoutComm(t *testing.T) {
 func TestExecuteRejectsBadInput(t *testing.T) {
 	tg := chain(t, 0)
 	c := model.Cluster{P: 2, Bandwidth: 1e6, Overlap: true}
-	bad := schedule.NewSchedule("x", c, 2) // unplaced tasks
+	bad := schedule.NewSchedule("x", c, tg) // unplaced tasks
 	if _, err := Execute(tg, bad, Options{}); err == nil {
 		t.Error("invalid schedule accepted")
 	}
@@ -71,7 +71,7 @@ func TestExecuteRejectsBadInput(t *testing.T) {
 func TestExecuteChargesCommOnDisjointGroups(t *testing.T) {
 	tg := chain(t, 1000)
 	c := model.Cluster{P: 2, Bandwidth: 100, Overlap: true}
-	s := schedule.NewSchedule("manual", c, 2)
+	s := schedule.NewSchedule("manual", c, tg)
 	s.Placements[0] = schedule.Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = schedule.Placement{Procs: []int{1}, Start: 20, Finish: 30, DataReady: 20}
 	s.ComputeMakespan()
@@ -92,7 +92,7 @@ func TestExecuteChargesCommOnDisjointGroups(t *testing.T) {
 func TestExecuteLocalDataIsFree(t *testing.T) {
 	tg := chain(t, 1000)
 	c := model.Cluster{P: 2, Bandwidth: 100, Overlap: true}
-	s := schedule.NewSchedule("manual", c, 2)
+	s := schedule.NewSchedule("manual", c, tg)
 	s.Placements[0] = schedule.Placement{Procs: []int{0}, Start: 0, Finish: 10}
 	s.Placements[1] = schedule.Placement{Procs: []int{0}, Start: 10, Finish: 20, DataReady: 10}
 	s.ComputeMakespan()
@@ -121,7 +121,7 @@ func TestNoOverlapDelaysCompute(t *testing.T) {
 		[]model.Edge{{From: 0, To: 1, Volume: 1000}})
 	mk := func(overlap bool) Result {
 		c := model.Cluster{P: 2, Bandwidth: 100, Overlap: overlap}
-		s := schedule.NewSchedule("manual", c, 3)
+		s := schedule.NewSchedule("manual", c, tg)
 		s.Placements[0] = schedule.Placement{Procs: []int{0}, Start: 0, Finish: 10}
 		s.Placements[2] = schedule.Placement{Procs: []int{1}, Start: 0, Finish: 15}
 		s.Placements[1] = schedule.Placement{Procs: []int{1}, Start: 25, Finish: 35, DataReady: 25}
