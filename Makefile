@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json golden
+.PHONY: check build vet test race bench-smoke bench-json bench-save profile golden
 
 check: build vet race bench-smoke
 
@@ -30,6 +30,20 @@ bench-smoke:
 # is preserved).
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Repeated runs of the mid-scale benchmarks in benchstat's input format:
+# `make bench-save OUT=old.txt`, change code, `make bench-save OUT=new.txt`,
+# then `benchstat old.txt new.txt` (benchstat itself is not vendored here).
+OUT ?= bench.txt
+bench-save:
+	$(GO) test -run '^$$' -bench 'BenchmarkLoCMPS(30Tasks16Procs|50Tasks64Procs)' -benchtime 1x -benchmem -count 6 . | tee $(OUT)
+
+# CPU and heap profiles of the two mid-scale scheduler benchmarks, for
+# `go tool pprof profiles/locmps.test profiles/cpu.pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkLoCMPS(30Tasks16Procs|50Tasks64Procs)' -benchtime 2x \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof -o profiles/locmps.test .
 
 # Re-check the golden determinism fixture on its own.
 golden:

@@ -159,6 +159,21 @@ func BenchmarkLoCMPS50Tasks64Procs(b *testing.B) {
 	}
 }
 
+// BenchmarkLoCMPS100Tasks128Procs stresses the search layer beyond the
+// paper's scale: long look-ahead trajectories over many rounds, where the
+// allocation-vector memo absorbs most repeat evaluations.
+func BenchmarkLoCMPS100Tasks128Procs(b *testing.B) {
+	tg := synthGraph(b, 100, 0.1)
+	c := locmps.Cluster{P: 128, Bandwidth: 12.5e6, Overlap: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := locmps.NewLoCMPS().Schedule(tg, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCPR30Tasks16Procs for comparison with the cheaper baselines.
 func BenchmarkCPR30Tasks16Procs(b *testing.B) {
 	tg := synthGraph(b, 30, 0.1)

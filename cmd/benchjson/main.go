@@ -1,17 +1,21 @@
 // Command benchjson runs the mid-scale scheduler benchmarks and records
 // them in BENCH_locmps.json so the performance trajectory is tracked across
-// PRs. Each entry holds ns/op, B/op, allocs/op, the scheduled makespan and
-// the makespan ratio against the CPR baseline (a quality check: speedups
-// must not change what is scheduled).
+// PRs. Each entry holds ns/op, B/op, allocs/op, the scheduled makespan, the
+// makespan ratio against the CPR baseline (a quality check: speedups must
+// not change what is scheduled) and a search_stats snapshot of the LoC-MPS
+// search layer (look-ahead steps, engine runs, allocation-memo hit rate,
+// speculation accounting).
 //
 // The file keeps two snapshots: "baseline" (written once, preserved on
 // every rerun) and "current" (refreshed each run), plus the derived
-// speedups. Delete the file to re-baseline.
+// speedups. Delete the file to re-baseline. Cases added after the baseline
+// was recorded are backfilled into it on first measurement.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson            # update BENCH_locmps.json in place
 //	go run ./cmd/benchjson -o out.json
+//	go run ./cmd/benchjson -cpuprofile cpu.pprof
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"locmps"
@@ -34,6 +40,34 @@ type Result struct {
 	// input, so a change here means the optimization changed the schedule.
 	Makespan   float64 `json:"makespan"`
 	RatioVsCPR float64 `json:"makespan_ratio_vs_cpr"`
+	// Search records what the LoC-MPS search layer did on one run of this
+	// instance. Absent in snapshots recorded before the memo existed.
+	Search *SearchSnapshot `json:"search_stats,omitempty"`
+}
+
+// SearchSnapshot is the recorded slice of locmps.RunMetrics.
+type SearchSnapshot struct {
+	OuterIterations  int     `json:"outer_iterations"`
+	LookAheadSteps   int     `json:"lookahead_steps"`
+	LoCBSRuns        int     `json:"locbs_runs"`
+	CacheHits        int     `json:"cache_hits"`
+	CacheMisses      int     `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	SpeculativeRuns  int     `json:"speculative_runs"`
+	SpeculativeWaste int     `json:"speculative_waste"`
+}
+
+func snapshot(m locmps.RunMetrics) *SearchSnapshot {
+	return &SearchSnapshot{
+		OuterIterations:  m.OuterIterations,
+		LookAheadSteps:   m.LookAheadSteps,
+		LoCBSRuns:        m.LoCBSRuns,
+		CacheHits:        m.CacheHits,
+		CacheMisses:      m.CacheMisses,
+		CacheHitRate:     m.CacheHitRate(),
+		SpeculativeRuns:  m.SpeculativeRuns,
+		SpeculativeWaste: m.SpeculativeWaste,
+	}
 }
 
 // File is the on-disk layout of BENCH_locmps.json.
@@ -58,15 +92,49 @@ type benchCase struct {
 var cases = []benchCase{
 	{"BenchmarkLoCMPS30Tasks16Procs", 30, 16},
 	{"BenchmarkLoCMPS50Tasks64Procs", 50, 64},
+	{"BenchmarkLoCMPS100Tasks128Procs", 100, 128},
 }
 
 func main() {
 	path := flag.String("o", "BENCH_locmps.json", "output file (baseline inside is preserved)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
 	flag.Parse()
-	if err := run(*path); err != nil {
+	if err := profiled(*cpuprofile, *memprofile, func() error { return run(*path) }); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// profiled wraps fn with optional CPU and heap profiling; the heap profile
+// is taken after a GC so it reflects live retention.
+func profiled(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(path string) error {
@@ -92,10 +160,24 @@ func run(path string) error {
 		out.Current[cs.name] = r
 		fmt.Printf("%-34s %14.0f ns/op %12.0f B/op %10.0f allocs/op  makespan %.6g (%.3fx CPR)\n",
 			cs.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Makespan, r.RatioVsCPR)
+		if s := r.Search; s != nil {
+			fmt.Printf("%-34s %14d locbs %12d hits %10d misses  %.1f%% hit rate, spec %d/%d wasted\n",
+				"", s.LoCBSRuns, s.CacheHits, s.CacheMisses, 100*s.CacheHitRate,
+				s.SpeculativeWaste, s.SpeculativeRuns)
+		}
 	}
 	if out.Baseline == nil {
 		out.Baseline = out.Current
 		fmt.Println("no existing baseline: current run recorded as baseline")
+	} else {
+		// Cases added after the baseline was first recorded start their
+		// trajectory at this run.
+		for name, cur := range out.Current {
+			if _, ok := out.Baseline[name]; !ok {
+				out.Baseline[name] = cur
+				fmt.Printf("%-34s new case: current run backfilled into baseline\n", name)
+			}
+		}
 	}
 	for name, cur := range out.Current {
 		if base, ok := out.Baseline[name]; ok && cur.NsPerOp > 0 && cur.AllocsPerOp > 0 {
@@ -143,7 +225,8 @@ func measure(cs benchCase) (Result, error) {
 	}
 	c := locmps.Cluster{P: cs.procs, Bandwidth: 12.5e6, Overlap: true}
 
-	s, err := locmps.NewLoCMPS().Schedule(tg, c)
+	alg := locmps.NewLoCMPS()
+	s, err := alg.Schedule(tg, c)
 	if err != nil {
 		return Result{}, err
 	}
@@ -165,11 +248,15 @@ func measure(cs benchCase) (Result, error) {
 	if benchErr != nil {
 		return Result{}, benchErr
 	}
-	return Result{
+	res := Result{
 		NsPerOp:     float64(r.NsPerOp()),
 		BytesPerOp:  float64(r.AllocedBytesPerOp()),
 		AllocsPerOp: float64(r.AllocsPerOp()),
 		Makespan:    s.Makespan,
 		RatioVsCPR:  s.Makespan / cpr.Makespan,
-	}, nil
+	}
+	if m, ok := locmps.SearchMetrics(alg); ok {
+		res.Search = snapshot(m)
+	}
+	return res, nil
 }

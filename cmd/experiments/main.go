@@ -7,10 +7,13 @@
 //	experiments -fig 5b -full       # one figure at full paper scale
 //	experiments -fig 8a -csv        # CSV instead of a table
 //
-// Figure ids: 4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 ablation (or "all").
-// Quick scale completes in seconds to a couple of minutes; -full mirrors
-// the paper (30 graphs, up to 128 processors) and can take tens of
+// Figure ids: 4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 stats ablation (or
+// "all"). Quick scale completes in seconds to a couple of minutes; -full
+// mirrors the paper (30 graphs, up to 128 processors) and can take tens of
 // minutes on one core.
+//
+// -cpuprofile / -memprofile write pprof profiles of the run for
+// `go tool pprof` (see also `make profile` for the benchmark binaries).
 package main
 
 import (
@@ -18,23 +21,60 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"locmps"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate (4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 or all)")
-		full    = flag.Bool("full", false, "paper-scale parameters (slow) instead of quick ones")
-		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
-		out     = flag.String("out", "", "also write each figure as <id>.csv into this directory")
-		workers = flag.Int("workers", 0, "scheduler cells run concurrently (0 = one per CPU, 1 = serial); output is identical for any value")
+		fig        = flag.String("fig", "all", "figure to regenerate (4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 stats ablation or all)")
+		full       = flag.Bool("full", false, "paper-scale parameters (slow) instead of quick ones")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+		out        = flag.String("out", "", "also write each figure as <id>.csv into this directory")
+		workers    = flag.Int("workers", 0, "scheduler cells run concurrently (0 = one per CPU, 1 = serial); output is identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
-	if err := run(*fig, *full, *csv, *out, *workers); err != nil {
+	if err := profiled(*cpuprofile, *memprofile, func() error {
+		return run(*fig, *full, *csv, *out, *workers)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// profiled wraps fn with optional CPU and heap profiling. The heap profile
+// is taken after a GC so it reflects live retention, not transient garbage.
+func profiled(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(fig string, full, csv bool, outDir string, workers int) error {
@@ -54,7 +94,7 @@ func run(fig string, full, csv bool, outDir string, workers int) error {
 
 	ids := []string{fig}
 	if fig == "all" {
-		ids = []string{"4a", "4b", "5a", "5b", "6", "7", "8a", "8b", "9a", "9b", "10a", "10b", "11", "extended", "ablation"}
+		ids = []string{"4a", "4b", "5a", "5b", "6", "7", "8a", "8b", "9a", "9b", "10a", "10b", "11", "extended", "stats", "ablation"}
 	}
 	for _, id := range ids {
 		if err := runOne(id, suite, app, csv, outDir); err != nil {
@@ -151,6 +191,14 @@ func runOne(id string, suite locmps.SuiteOptions, app locmps.AppOptions, csv boo
 		s := suite
 		s.CCR = 0.1
 		f, err := locmps.Extended(s)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "stats":
+		s := suite
+		s.CCR = 0.1
+		f, err := locmps.SearchStatsFig(s)
 		if err != nil {
 			return err
 		}

@@ -25,10 +25,14 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 12.5e6, "network bandwidth (bytes/s) used to size volumes")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		out       = flag.String("o", "-", "output file ('-' for stdout)")
-		sampleP   = flag.Int("sample-procs", 128, "processors to sample non-analytic profiles at")
+		sampleP   = flag.Int("sample-procs", 128, "processor count up to which table (non-analytic) speedup profiles are sampled when serializing; must be >= 1")
 		stat      = flag.Bool("stats", false, "print graph statistics to stderr")
 	)
 	flag.Parse()
+	if *sampleP < 1 {
+		fmt.Fprintf(os.Stderr, "taskgen: -sample-procs must be >= 1, got %d\n", *sampleP)
+		os.Exit(1)
+	}
 
 	p := locmps.SynthParams{
 		Tasks:     *tasks,

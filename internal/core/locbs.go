@@ -74,6 +74,16 @@ func LoCBS(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config) (*s
 	return runPlacer(tg, cluster, np, cfg.withDefaults(), Preset{}, sc)
 }
 
+// runPlacerPooled is runPlacer with its own pool-drawn scratch, for callers
+// running placements concurrently with the main search — the speculative
+// candidate evaluation of LoC-MPS fans these out over the bounded worker
+// pool. Inputs must already be validated, exactly as for runPlacer.
+func runPlacerPooled(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset) (*schedule.Schedule, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return runPlacer(tg, cluster, np, cfg, preset, sc)
+}
+
 // runPlacer executes one pre-validated LoCBS run against pooled scratch:
 // cluster, np and preset have been checked by the caller and cfg carries
 // its defaults. This is the entry point the LoC-MPS search loop hits

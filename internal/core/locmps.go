@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"locmps/internal/graph"
 	"locmps/internal/model"
+	"locmps/internal/par"
 	"locmps/internal/schedule"
 )
 
@@ -41,6 +43,18 @@ type LoCMPS struct {
 	// MaxOuterIters caps the outer repeat-until loop as a safety net;
 	// 0 selects 4*|V|*P.
 	MaxOuterIters int
+	// DisableMemo turns off the per-run allocation-vector memo table.
+	// Schedules are bit-identical either way (LoCBS is deterministic);
+	// the switch exists for ablation and tests.
+	DisableMemo bool
+	// SpeculativeWorkers bounds the parallel speculative evaluation of the
+	// §III.C candidate window: every top-fraction candidate's vector is
+	// LoCBS-evaluated concurrently before the minimum-concurrency-ratio
+	// winner is chosen by the usual strict total order, warming the memo
+	// for later look-ahead steps. 0 selects one worker per CPU; values
+	// below 2 (including a single-CPU default) disable speculation, which
+	// never changes the schedule — only how the memo fills.
+	SpeculativeWorkers int
 
 	// mu guards stats, the only mutable state on the instance.
 	mu sync.Mutex
@@ -55,12 +69,40 @@ type SearchStats struct {
 	OuterIterations int
 	// LookAheadSteps counts inner look-ahead iterations across all rounds.
 	LookAheadSteps int
-	// LoCBSRuns counts placement-engine invocations.
+	// LoCBSRuns counts placement-engine invocations (memo hits excluded,
+	// speculative runs included).
 	LoCBSRuns int
 	// Commits counts rounds that improved the committed best schedule.
 	Commits int
 	// Marks counts entry points marked as bad starting points.
 	Marks int
+	// CacheHits counts search-path allocation vectors served from the memo
+	// table instead of a fresh placement run.
+	CacheHits int
+	// CacheMisses counts search-path memo lookups that had to run LoCBS.
+	CacheMisses int
+	// SpeculativeRuns counts placement runs launched for non-winning
+	// candidates of the top-fraction window.
+	SpeculativeRuns int
+	// SpeculativeWaste counts speculative runs never reused by a later
+	// memo hit.
+	SpeculativeWaste int
+}
+
+// Metrics converts the stats into the model-level RunMetrics snapshot the
+// experiment drivers and command-line tools report.
+func (st SearchStats) Metrics() model.RunMetrics {
+	return model.RunMetrics{
+		OuterIterations:  st.OuterIterations,
+		LookAheadSteps:   st.LookAheadSteps,
+		LoCBSRuns:        st.LoCBSRuns,
+		Commits:          st.Commits,
+		Marks:            st.Marks,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		SpeculativeRuns:  st.SpeculativeRuns,
+		SpeculativeWaste: st.SpeculativeWaste,
+	}
 }
 
 // LastStats returns the statistics of the most recently completed Schedule
@@ -69,6 +111,27 @@ func (s *LoCMPS) LastStats() SearchStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// LastRunMetrics returns the most recent Schedule call's statistics as the
+// model-level RunMetrics snapshot (the facade's SearchMetrics discovers this
+// method through an interface assertion).
+func (s *LoCMPS) LastRunMetrics() model.RunMetrics {
+	return s.LastStats().Metrics()
+}
+
+// speculativeWorkers resolves the effective worker bound: 0 means one per
+// CPU; anything below 2 disables speculation (there is no second worker to
+// hide a speculative run behind, so it would only add serial work).
+func (s *LoCMPS) speculativeWorkers() int {
+	w := s.SpeculativeWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
 }
 
 func (s *LoCMPS) setStats(st SearchStats) {
@@ -156,6 +219,10 @@ type search struct {
 	tb      *model.Tables
 	sc      *placerScratch
 	stats   SearchStats
+	// memo caches every evaluated allocation vector (nil when disabled);
+	// specWorkers > 1 enables speculative window evaluation.
+	memo        *allocMemo
+	specWorkers int
 	// pbest/caps are the §III widening bounds; fixed tasks are frozen at
 	// their historical width.
 	pbest, caps []int
@@ -179,15 +246,19 @@ func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Pr
 	defer putScratch(sc)
 	sc.prepareSearch(n, tg.M())
 	r := &search{
-		alg:     s,
-		tg:      tg,
-		cluster: cluster,
-		cfg:     s.Engine.withDefaults(),
-		preset:  preset,
-		tb:      tg.Tables(cluster.P),
-		sc:      sc,
-		pbest:   make([]int, n),
-		caps:    make([]int, n),
+		alg:         s,
+		tg:          tg,
+		cluster:     cluster,
+		cfg:         s.Engine.withDefaults(),
+		preset:      preset,
+		tb:          tg.Tables(cluster.P),
+		sc:          sc,
+		specWorkers: s.speculativeWorkers(),
+		pbest:       make([]int, n),
+		caps:        make([]int, n),
+	}
+	if !s.DisableMemo {
+		r.memo = newAllocMemo()
 	}
 	fixed := func(t int) bool { _, ok := preset.Fixed[t]; return ok }
 	for t := 0; t < n; t++ {
@@ -253,11 +324,16 @@ func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Pr
 			applied := false
 			for attempt := 0; attempt < 2 && !applied; attempt++ {
 				if kindTask {
-					t := r.bestCandidateTask(np, cp, iter == 0)
+					t, window := r.bestCandidateTask(np, cp, iter == 0)
 					if t >= 0 {
 						if iter == 0 {
 							entryTask, entryEdgeID = t, -1
 						}
+						// Every windowed candidate's vector will be wanted
+						// if the search later enters through it; evaluate
+						// them (winner included) concurrently before np is
+						// perturbed, so the runLoCBS below is a memo hit.
+						r.speculate(np, t, window)
 						np[t]++
 						applied = true
 					}
@@ -312,23 +388,98 @@ func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Pr
 		}
 	}
 
+	if r.memo != nil {
+		r.stats.SpeculativeWaste = r.memo.wasted()
+	}
 	bestSched.Algorithm = s.Name()
 	bestSched.SchedulingTime = time.Since(started)
 	return bestSched, r.stats, nil
 }
 
-// runLoCBS invokes the placement engine against the shared scratch. Inputs
-// were validated once up front, so the hot loop skips re-validation.
+// runLoCBS resolves the schedule for an allocation vector: a memo hit when
+// the vector was already evaluated this search (LoCBS is deterministic, so
+// the cached result is bit-identical to a fresh run), otherwise one
+// placement-engine invocation against the shared scratch. Inputs were
+// validated once up front, so the hot loop skips re-validation.
 func (r *search) runLoCBS(np []int) (*schedule.Schedule, error) {
+	if r.memo != nil {
+		if sched := r.memo.lookupSched(np); sched != nil {
+			r.stats.CacheHits++
+			return sched, nil
+		}
+		r.stats.CacheMisses++
+	}
 	r.stats.LoCBSRuns++
-	return runPlacer(r.tg, r.cluster, np, r.cfg, r.preset, r.sc)
+	sched, err := runPlacer(r.tg, r.cluster, np, r.cfg, r.preset, r.sc)
+	if err == nil && r.memo != nil {
+		r.memo.insert(np, sched, false)
+	}
+	return sched, err
+}
+
+// speculate evaluates the §III.C candidate window concurrently: each
+// candidate's one-wider allocation vector gets a full LoCBS run on the
+// shared bounded worker pool (scratch drawn from the sync.Pool), and the
+// results land in the memo. The winner was already chosen by the strict
+// total order of bestCandidateTask — speculation never influences it, so
+// schedules stay bit-identical; the win is that the immediate runLoCBS on
+// the winner and any later look-ahead that enters through an alternate
+// candidate are memo hits. Runs that error are simply not cached: the main
+// path re-runs the vector and surfaces the error deterministically.
+func (r *search) speculate(np []int, winner int, window []taskCand) {
+	if r.memo == nil || r.specWorkers < 2 || len(window) < 2 {
+		return
+	}
+	// Snapshot the vectors to evaluate before touching np; skip the ones
+	// already cached so stats stay deterministic for a given machine shape.
+	vecs := make([][]int, 0, len(window))
+	tasks := make([]int, 0, len(window))
+	for _, c := range window {
+		vec := append(make([]int, 0, len(np)), np...)
+		vec[c.t]++
+		if !r.memo.contains(vec) {
+			vecs = append(vecs, vec)
+			tasks = append(tasks, c.t)
+		}
+	}
+	if len(vecs) == 0 {
+		return
+	}
+	scheds := make([]*schedule.Schedule, len(vecs))
+	_ = par.For(r.specWorkers, len(vecs), func(i int) error {
+		s, err := runPlacerPooled(r.tg, r.cluster, vecs[i], r.cfg, r.preset)
+		if err == nil {
+			scheds[i] = s
+		}
+		return nil
+	})
+	for i, s := range scheds {
+		if s == nil {
+			continue
+		}
+		r.stats.LoCBSRuns++
+		if tasks[i] != winner {
+			r.stats.SpeculativeRuns++
+		}
+		r.memo.insert(vecs[i], s, tasks[i] != winner)
+	}
 }
 
 // criticalPath returns CP(G') for the current schedule, deriving G' into
 // the pooled overlay (no DAG clone) and reusing the path scratch. When the
 // engine is not CommAware the edge weights are treated as zero (iCASLB's
 // view of the world).
+//
+// Within one search the critical path is a pure function of (allocation
+// vector, schedule) and every caller passes the np that produced cur, so
+// the result is cached on the vector's memo entry; repeated rounds that
+// replay a known vector skip the G' rebuild entirely.
 func (r *search) criticalPath(cur *schedule.Schedule, np []int) ([]int, error) {
+	if r.memo != nil {
+		if cp, ok := r.memo.lookupCP(np, cur); ok {
+			return cp, nil
+		}
+	}
 	g := r.sc.gp.Build(cur, r.tg)
 	vw := func(v int) float64 { return r.tb.ExecTime(v, np[v]) }
 	var ew graph.EdgeWeightFunc
@@ -343,6 +494,10 @@ func (r *search) criticalPath(cur *schedule.Schedule, np []int) ([]int, error) {
 		ew = func(u, v int) float64 { return 0 }
 	}
 	_, path, err := graph.CriticalPathScratch(g, vw, ew, &r.sc.ps)
+	if err == nil && r.memo != nil {
+		// storeCP copies: path aliases the scratch and the memo outlives it.
+		r.memo.storeCP(np, cur, path)
+	}
 	return path, err
 }
 
@@ -363,8 +518,11 @@ func (r *search) pathCosts(cur *schedule.Schedule, np, cp []int) (tcomp, tcomm f
 // bestCandidateTask implements §III.C: among unsaturated (and, at the entry
 // of a look-ahead, unmarked) critical-path tasks, rank by execution-time
 // improvement and take the minimum-concurrency-ratio task within the top
-// fraction.
-func (r *search) bestCandidateTask(np, cp []int, entry bool) int {
+// fraction. It returns the winner and the whole top-fraction window (which
+// aliases scratch and is valid until the next call) so the caller can
+// evaluate the runner-up vectors speculatively — the winner itself is
+// decided purely by the strict total order below, never by those runs.
+func (r *search) bestCandidateTask(np, cp []int, entry bool) (int, []taskCand) {
 	maxP := r.cluster.P
 	cands := r.sc.cands[:0]
 	for _, t := range cp {
@@ -383,7 +541,7 @@ func (r *search) bestCandidateTask(np, cp []int, entry bool) int {
 	}
 	r.sc.cands = cands
 	if len(cands) == 0 {
-		return -1
+		return -1, nil
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].gain != cands[j].gain {
@@ -402,7 +560,7 @@ func (r *search) bestCandidateTask(np, cp []int, entry bool) int {
 			best = c.t
 		}
 	}
-	return best
+	return best, cands[:k]
 }
 
 // heaviestEdge implements §III.D: the heaviest (by charged redistribution

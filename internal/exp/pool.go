@@ -1,63 +1,11 @@
 package exp
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "locmps/internal/par"
 
-// parallelFor runs fn(0) … fn(n-1) on a bounded pool of workers and blocks
-// until every call returns. Results stay deterministic because each index
-// owns its own output slot in the caller's slices; only the wall-clock
-// interleaving varies with the worker count. workers <= 0 means one worker
-// per available CPU, workers == 1 runs inline with no goroutines.
-//
-// Every index runs even when some fail; the returned error is the one from
-// the lowest failing index, so error reporting is also independent of the
-// schedule.
+// parallelFor fans cells of an experiment over the shared bounded worker
+// pool (internal/par — the same pool the core search uses for speculative
+// candidate evaluation). Each index owns its own output slot, so figures
+// are bit-identical for any worker count; errors report by lowest index.
 func parallelFor(workers, n int, fn func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		var firstErr error
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		return firstErr
-	}
-	var (
-		next     atomic.Int64
-		mu       sync.Mutex
-		firstErr error
-		firstIdx = n
-		wg       sync.WaitGroup
-	)
-	next.Store(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return par.For(workers, n, fn)
 }

@@ -1,0 +1,69 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunMetrics is a scheduler-run snapshot of the work the LoC-MPS search
+// layer performed: how the bounded look-ahead explored the allocation
+// space, how often the allocation-vector memo table short-circuited a
+// placement run, and how much speculative candidate evaluation paid off.
+// It lives in internal/model so that experiment drivers and the command
+// line tools can report it without depending on the scheduler package.
+type RunMetrics struct {
+	// OuterIterations counts repeat-until rounds (Algorithm 1 steps 5-40).
+	OuterIterations int
+	// LookAheadSteps counts inner look-ahead iterations across all rounds.
+	LookAheadSteps int
+	// LoCBSRuns counts actual placement-engine invocations, including
+	// speculative ones; memo hits do not re-run the engine.
+	LoCBSRuns int
+	// Commits counts rounds that improved the committed best schedule.
+	Commits int
+	// Marks counts entry points marked as bad starting points.
+	Marks int
+	// CacheHits counts search-path allocation vectors answered from the
+	// memo table instead of a fresh LoCBS run.
+	CacheHits int
+	// CacheMisses counts search-path memo lookups that required a run.
+	CacheMisses int
+	// SpeculativeRuns counts LoCBS runs launched for non-winning
+	// candidates of the §III.C top-fraction window.
+	SpeculativeRuns int
+	// SpeculativeWaste counts speculative runs whose results were never
+	// used by a later memo hit.
+	SpeculativeWaste int
+}
+
+// CacheHitRate is hits/(hits+misses) of the memo table, in [0,1]; zero when
+// no lookups happened (memo disabled or empty run).
+func (m RunMetrics) CacheHitRate() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// SpeculationWasteRate is the fraction of speculative runs that were never
+// reused, in [0,1]; zero when nothing was speculated.
+func (m RunMetrics) SpeculationWasteRate() float64 {
+	if m.SpeculativeRuns == 0 {
+		return 0
+	}
+	return float64(m.SpeculativeWaste) / float64(m.SpeculativeRuns)
+}
+
+// String renders a compact single-line report suitable for logs and tool
+// output.
+func (m RunMetrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "outer=%d lookahead=%d locbs=%d commits=%d marks=%d",
+		m.OuterIterations, m.LookAheadSteps, m.LoCBSRuns, m.Commits, m.Marks)
+	fmt.Fprintf(&b, " cache=%d/%d (%.1f%% hit)", m.CacheHits, m.CacheHits+m.CacheMisses, 100*m.CacheHitRate())
+	if m.SpeculativeRuns > 0 {
+		fmt.Fprintf(&b, " spec=%d (%.1f%% wasted)", m.SpeculativeRuns, 100*m.SpeculationWasteRate())
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+// Package par provides the bounded, deterministic worker pool shared by the
+// experiment drivers (internal/exp) and the speculative candidate evaluation
+// of the LoC-MPS search (internal/core). It lives below both so neither has
+// to depend on the other.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(0) … fn(n-1) on a bounded pool of workers and blocks until
+// every call returns. Results stay deterministic because each index owns its
+// own output slot in the caller's slices; only the wall-clock interleaving
+// varies with the worker count. workers <= 0 means one worker per available
+// CPU, workers == 1 runs inline with no goroutines.
+//
+// Every index runs even when some fail; the returned error is the one from
+// the lowest failing index, so error reporting is also independent of the
+// schedule.
+func For(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

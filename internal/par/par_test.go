@@ -1,0 +1,55 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var calls atomic.Int64
+		out := make([]int, 50)
+		err := For(workers, len(out), func(i int) error {
+			calls.Add(1)
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != int64(len(out)) {
+			t.Fatalf("workers=%d: %d calls, want %d", workers, calls.Load(), len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForFirstError(t *testing.T) {
+	// Every index still runs, and the reported error is the one from the
+	// lowest failing index regardless of worker count.
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		err := For(workers, 20, func(i int) error {
+			calls.Add(1)
+			if i == 7 || i == 13 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Errorf("workers=%d: err = %v, want cell 7's", workers, err)
+		}
+		if calls.Load() != 20 {
+			t.Errorf("workers=%d: %d calls, want 20", workers, calls.Load())
+		}
+	}
+	if err := For(4, 0, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("empty range: %v", err)
+	}
+}

@@ -100,6 +100,21 @@ func NewAmdahl(t1, f float64) (Amdahl, error) { return speedup.NewAmdahl(t1, f) 
 // uniprocessor time).
 func NewTable(times []float64) (Table, error) { return speedup.NewTable(times) }
 
+// RunMetrics is a per-run snapshot of the LoC-MPS search layer's work:
+// look-ahead iterations, placement-engine invocations, allocation-vector
+// memo hits/misses and speculative-evaluation accounting.
+type RunMetrics = model.RunMetrics
+
+// SearchMetrics returns the most recent Schedule call's RunMetrics for
+// schedulers that record them (LoC-MPS and its variants); ok is false for
+// the baselines, which have no iterative search layer.
+func SearchMetrics(s Scheduler) (m RunMetrics, ok bool) {
+	if rec, ok := s.(interface{ LastRunMetrics() model.RunMetrics }); ok {
+		return rec.LastRunMetrics(), true
+	}
+	return RunMetrics{}, false
+}
+
 // NewLoCMPS returns the paper's algorithm: locality conscious mixed
 // parallel allocation and scheduling with backfilling and bounded
 // look-ahead.

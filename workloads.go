@@ -137,3 +137,8 @@ func Fig11(o AppOptions) (Figure, error) { return exp.Fig11(o) }
 // Extended runs the Figure 4/5-style comparison including the extra
 // M-HEFT baseline this repository adds beyond the paper.
 func Extended(o SuiteOptions) (Figure, error) { return exp.Extended(o) }
+
+// SearchStatsFig profiles the LoC-MPS search layer across machine sizes:
+// placement-engine runs, look-ahead steps, allocation-memo hit rate and
+// speculative-evaluation accounting, averaged over the suite's graphs.
+func SearchStatsFig(o SuiteOptions) (Figure, error) { return exp.SearchStatsFigure(o) }
