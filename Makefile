@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench-save profile golden
+.PHONY: check build vet test race bench-smoke bench-json bench-save bench-diff profile golden
 
 check: build vet race bench-smoke
 
@@ -33,10 +33,25 @@ bench-json:
 
 # Repeated runs of the mid-scale benchmarks in benchstat's input format:
 # `make bench-save OUT=old.txt`, change code, `make bench-save OUT=new.txt`,
-# then `benchstat old.txt new.txt` (benchstat itself is not vendored here).
+# then `make bench-diff OLD=old.txt NEW=new.txt` (benchstat itself is not
+# vendored here).
 OUT ?= bench.txt
 bench-save:
 	$(GO) test -run '^$$' -bench 'BenchmarkLoCMPS(30Tasks16Procs|50Tasks64Procs)' -benchtime 1x -benchmem -count 6 . | tee $(OUT)
+
+# Compare two bench-save outputs with benchstat (install it once with
+# `go install golang.org/x/perf/cmd/benchstat@latest`). OLD defaults to the
+# last bench-save output; NEW is measured fresh when the file is absent.
+OLD ?= bench.txt
+NEW ?= bench.new.txt
+bench-diff:
+	@command -v benchstat >/dev/null 2>&1 || { \
+		echo "bench-diff: benchstat not found; install it with:"; \
+		echo "  go install golang.org/x/perf/cmd/benchstat@latest"; \
+		exit 1; }
+	@test -f $(OLD) || { echo "bench-diff: $(OLD) missing; record it first with 'make bench-save OUT=$(OLD)'"; exit 1; }
+	@test -f $(NEW) || $(MAKE) bench-save OUT=$(NEW)
+	benchstat $(OLD) $(NEW)
 
 # CPU and heap profiles of the two mid-scale scheduler benchmarks, for
 # `go tool pprof profiles/locmps.test profiles/cpu.pprof`.

@@ -8,23 +8,38 @@
 //
 // The file keeps two snapshots: "baseline" (written once, preserved on
 // every rerun) and "current" (refreshed each run), plus the derived
-// speedups. Delete the file to re-baseline. Cases added after the baseline
-// was recorded are backfilled into it on first measurement.
+// speedups. Delete the file to re-baseline everything, or pass
+// -rebaseline with a comma-separated list of case names to re-measure just
+// those baselines using the reference scheduler (NewLoCMPSReference: memo,
+// resume and speculation disabled), so the recorded speedup compares the
+// optimized engine against the same engine with its accelerations off.
+//
+// A case whose baseline and current entries are byte-identical carries no
+// information (its speedup is a vacuous 1.0x — the backfill of a case added
+// after the baseline was first recorded); the tool warns about every such
+// case so stale baselines do not masquerade as "no improvement".
+//
+// To suppress scheduler jitter each case is measured -reps times (default
+// 3) and the fastest repetition is recorded, the same convention as
+// benchstat's min column.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson            # update BENCH_locmps.json in place
 //	go run ./cmd/benchjson -o out.json
 //	go run ./cmd/benchjson -cpuprofile cpu.pprof
+//	go run ./cmd/benchjson -rebaseline BenchmarkLoCMPS100Tasks128Procs
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"testing"
 
 	"locmps"
@@ -55,6 +70,13 @@ type SearchSnapshot struct {
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	SpeculativeRuns  int     `json:"speculative_runs"`
 	SpeculativeWaste int     `json:"speculative_waste"`
+	// Incremental-placement accounting: placement runs that resumed from a
+	// prefix checkpoint, task placements replayed from the checkpoint trace
+	// and traced steps rolled back at the divergence point.
+	ResumedRuns   int     `json:"resumed_runs"`
+	ReplayedTasks int     `json:"replayed_tasks"`
+	RollbackDepth int     `json:"rollback_depth"`
+	ReplayRate    float64 `json:"replay_rate"`
 }
 
 func snapshot(m locmps.RunMetrics) *SearchSnapshot {
@@ -67,6 +89,10 @@ func snapshot(m locmps.RunMetrics) *SearchSnapshot {
 		CacheHitRate:     m.CacheHitRate(),
 		SpeculativeRuns:  m.SpeculativeRuns,
 		SpeculativeWaste: m.SpeculativeWaste,
+		ResumedRuns:      m.ResumedRuns,
+		ReplayedTasks:    m.ReplayedTasks,
+		RollbackDepth:    m.RollbackDepth,
+		ReplayRate:       m.ReplayRate(),
 	}
 }
 
@@ -97,10 +123,16 @@ var cases = []benchCase{
 
 func main() {
 	path := flag.String("o", "BENCH_locmps.json", "output file (baseline inside is preserved)")
+	rebase := flag.String("rebaseline", "", "comma-separated case names whose baseline is re-measured with the reference scheduler (memo/resume/speculation off)")
+	reps := flag.Int("reps", 3, "benchmark repetitions per case; the fastest is recorded")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
 	flag.Parse()
-	if err := profiled(*cpuprofile, *memprofile, func() error { return run(*path) }); err != nil {
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: -reps must be at least 1")
+		os.Exit(1)
+	}
+	if err := profiled(*cpuprofile, *memprofile, func() error { return run(*path, *rebase, *reps) }); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -137,9 +169,9 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(path string) error {
+func run(path, rebase string, reps int) error {
 	out := File{
-		Note:     "Mid-scale LoC-MPS scheduler benchmarks (synthetic graphs, CCR=0.1, seed 7). Baseline is preserved across runs; delete this file to re-baseline.",
+		Note:     "Mid-scale LoC-MPS scheduler benchmarks (synthetic graphs, CCR=0.1, seed 7). Baseline is preserved across runs; delete this file to re-baseline, or re-measure single cases with -rebaseline (reference scheduler: memo/resume/speculation off). Each figure is the fastest of -reps repetitions.",
 		Current:  map[string]Result{},
 		SpeedupX: map[string]Speedup{},
 	}
@@ -152,8 +184,24 @@ func run(path string) error {
 		}
 	}
 
+	for _, name := range splitNames(rebase) {
+		cs, ok := caseByName(name)
+		if !ok {
+			return fmt.Errorf("-rebaseline: unknown case %q", name)
+		}
+		if out.Baseline == nil {
+			out.Baseline = map[string]Result{}
+		}
+		r, err := measure(cs, reps, true)
+		if err != nil {
+			return fmt.Errorf("%s (rebaseline): %w", cs.name, err)
+		}
+		out.Baseline[cs.name] = r
+		fmt.Printf("%-34s baseline re-measured with reference scheduler: %.0f ns/op\n", cs.name, r.NsPerOp)
+	}
+
 	for _, cs := range cases {
-		r, err := measure(cs)
+		r, err := measure(cs, reps, false)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cs.name, err)
 		}
@@ -164,6 +212,10 @@ func run(path string) error {
 			fmt.Printf("%-34s %14d locbs %12d hits %10d misses  %.1f%% hit rate, spec %d/%d wasted\n",
 				"", s.LoCBSRuns, s.CacheHits, s.CacheMisses, 100*s.CacheHitRate,
 				s.SpeculativeWaste, s.SpeculativeRuns)
+			if s.ResumedRuns > 0 {
+				fmt.Printf("%-34s %14d resumed %10d replayed %8d rolled back  %.1f%% replay\n",
+					"", s.ResumedRuns, s.ReplayedTasks, s.RollbackDepth, 100*s.ReplayRate)
+			}
 		}
 	}
 	if out.Baseline == nil {
@@ -189,12 +241,51 @@ func run(path string) error {
 				name, out.SpeedupX[name].Ns, out.SpeedupX[name].Allocs)
 		}
 	}
+	warnStale(&out)
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// warnStale flags every case whose baseline and current snapshots are
+// byte-identical: the 1.0x speedup such a pair produces is the fingerprint
+// of a backfilled (never re-measured) baseline, not a measurement.
+func warnStale(f *File) {
+	for name, cur := range f.Current {
+		base, ok := f.Baseline[name]
+		if !ok {
+			continue
+		}
+		bj, err1 := json.Marshal(base)
+		cj, err2 := json.Marshal(cur)
+		if err1 == nil && err2 == nil && bytes.Equal(bj, cj) {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: warning: %s baseline == current byte-for-byte (stale backfill, speedup vacuously 1.0x); re-measure it with -rebaseline %s\n",
+				name, name)
+		}
+	}
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func caseByName(name string) (benchCase, bool) {
+	for _, cs := range cases {
+		if cs.name == name {
+			return cs, true
+		}
+	}
+	return benchCase{}, false
 }
 
 func load(path string) (*File, error) {
@@ -213,8 +304,12 @@ func load(path string) (*File, error) {
 }
 
 // measure builds the same instance as the bench_test.go benchmark of the
-// same name and times LoC-MPS on it.
-func measure(cs benchCase) (Result, error) {
+// same name and times the scheduler on it: the optimized LoC-MPS, or (for
+// re-baselining) the reference configuration with its cross-run
+// accelerations off. Timing repeats reps times and the fastest repetition
+// is recorded, which suppresses scheduler jitter the same way benchstat's
+// min column does.
+func measure(cs benchCase, reps int, reference bool) (Result, error) {
 	p := locmps.DefaultSynthParams()
 	p.Tasks = cs.tasks
 	p.CCR = 0.1
@@ -224,8 +319,12 @@ func measure(cs benchCase) (Result, error) {
 		return Result{}, err
 	}
 	c := locmps.Cluster{P: cs.procs, Bandwidth: 12.5e6, Overlap: true}
+	newAlg := locmps.NewLoCMPS
+	if reference {
+		newAlg = locmps.NewLoCMPSReference
+	}
 
-	alg := locmps.NewLoCMPS()
+	alg := newAlg()
 	s, err := alg.Schedule(tg, c)
 	if err != nil {
 		return Result{}, err
@@ -235,23 +334,29 @@ func measure(cs benchCase) (Result, error) {
 		return Result{}, err
 	}
 
-	var benchErr error
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := locmps.NewLoCMPS().Schedule(tg, c); err != nil {
-				benchErr = err
-				b.FailNow()
+	var best testing.BenchmarkResult
+	for rep := 0; rep < reps; rep++ {
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := newAlg().Schedule(tg, c); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
 			}
+		})
+		if benchErr != nil {
+			return Result{}, benchErr
 		}
-	})
-	if benchErr != nil {
-		return Result{}, benchErr
+		if rep == 0 || r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
 	}
 	res := Result{
-		NsPerOp:     float64(r.NsPerOp()),
-		BytesPerOp:  float64(r.AllocedBytesPerOp()),
-		AllocsPerOp: float64(r.AllocsPerOp()),
+		NsPerOp:     float64(best.NsPerOp()),
+		BytesPerOp:  float64(best.AllocedBytesPerOp()),
+		AllocsPerOp: float64(best.AllocsPerOp()),
 		Makespan:    s.Makespan,
 		RatioVsCPR:  s.Makespan / cpr.Makespan,
 	}

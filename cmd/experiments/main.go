@@ -12,6 +12,11 @@
 // mirrors the paper (30 graphs, up to 128 processors) and can take tens of
 // minutes on one core.
 //
+// -workers bounds how many scheduler cells run concurrently; it defaults to
+// GOMAXPROCS (one worker per CPU) and must be at least 1. Figures are
+// deterministic for any worker count — the flag only trades wall-clock time
+// for parallelism.
+//
 // -cpuprofile / -memprofile write pprof profiles of the run for
 // `go tool pprof` (see also `make profile` for the benchmark binaries).
 package main
@@ -33,11 +38,16 @@ func main() {
 		full       = flag.Bool("full", false, "paper-scale parameters (slow) instead of quick ones")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		out        = flag.String("out", "", "also write each figure as <id>.csv into this directory")
-		workers    = flag.Int("workers", 0, "scheduler cells run concurrently (0 = one per CPU, 1 = serial); output is identical for any value")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler cells run concurrently (defaults to GOMAXPROCS, i.e. one per CPU; 1 = serial); must be at least 1, output is identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers must be at least 1 (got %d); omit the flag to use one worker per CPU (GOMAXPROCS, currently %d)\n",
+			*workers, runtime.GOMAXPROCS(0))
+		os.Exit(2)
+	}
 	if err := profiled(*cpuprofile, *memprofile, func() error {
 		return run(*fig, *full, *csv, *out, *workers)
 	}); err != nil {

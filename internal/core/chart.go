@@ -32,6 +32,32 @@ type chart struct {
 	// lets candidateTimes answer with a binary search instead of sorting
 	// all boundaries on every query.
 	ends []float64
+	// rec enables the undo log: every reserve appends one reserveOp so a
+	// later rollback can peel reservations off in reverse order, restoring
+	// the chart to any recorded mark without a full reset + replay. The
+	// incremental LoCBS resume path uses this to truncate the chart back to
+	// the last placement step shared with the previous run.
+	rec bool
+	log []reserveOp
+	// rebuildOK records that the chart was empty when recording started, so
+	// rolling back to a mark may equivalently rebuild from empty by replaying
+	// the kept log prefix — cheaper whenever the prefix is the short side.
+	// Pre-log reservations (presets) make a rebuild lossy, so they clear it.
+	rebuildOK bool
+}
+
+// reserveOp is the undo/redo record of one reserve call: the interval, where
+// it was inserted, plus the boundary-multiset edits that accompanied it.
+// Keeping the interval itself makes the log replayable forward, so rollback
+// can rebuild a short kept prefix instead of popping a long discarded suffix.
+type reserveOp struct {
+	proc int32
+	pos  int32 // insertion index in busy[proc]
+	// ins/rem flag the ends-multiset edits: backfill inserts the interval
+	// end; no-backfill may replace the old frontier with the new one.
+	ins, rem   bool
+	insV, remV float64
+	start, end float64 // the reserved interval (for forward replay)
 }
 
 func newChart(p int, backfill bool) *chart {
@@ -53,6 +79,9 @@ func (c *chart) reset(p int, backfill bool) {
 		c.busy[i] = c.busy[i][:0]
 	}
 	c.ends = c.ends[:0]
+	c.rec = false
+	c.log = c.log[:0]
+	c.rebuildOK = false
 	if !backfill {
 		// Every processor starts with frontier 0.
 		for i := 0; i < p; i++ {
@@ -82,12 +111,92 @@ func (c *chart) reserve(proc int, start, end float64) {
 	copy(list[pos+1:], list[pos:])
 	list[pos] = iv
 	c.busy[proc] = list
+	op := reserveOp{proc: int32(proc), pos: int32(pos), start: start, end: end}
 	if c.backfill {
 		c.insertEnd(end)
+		op.ins, op.insV = true, end
 	} else if newF := list[len(list)-1].end; newF != oldF {
 		c.removeEnd(oldF)
 		c.insertEnd(newF)
+		op.rem, op.remV = true, oldF
+		op.ins, op.insV = true, newF
 	}
+	if c.rec {
+		c.log = append(c.log, op)
+	}
+}
+
+// record switches the undo log on, noting whether the chart is still empty
+// (no preset reservations) so rollback may take the rebuild shortcut.
+func (c *chart) record() {
+	c.rec = true
+	c.rebuildOK = true
+	for _, list := range c.busy {
+		if len(list) > 0 {
+			c.rebuildOK = false
+			break
+		}
+	}
+}
+
+// mark returns the current undo-log position; rollback(mark()) is a no-op.
+func (c *chart) mark() int { return len(c.log) }
+
+// rollback undoes every reservation recorded after mark, newest first, so
+// the chart (busy lists and the ends multiset) is restored bit-for-bit to
+// its state when mark was taken. Cost is O(ops undone) plus the interval
+// shifts inside the touched busy lists — independent of the chart's total
+// population, which is what makes prefix-resumed placements cheap. When the
+// kept prefix is the short side (an early divergence discarding most of the
+// chart) and nothing predates the log, it rebuilds forward instead.
+func (c *chart) rollback(mark int) {
+	if c.rebuildOK && 2*mark < len(c.log) {
+		c.rebuild(mark)
+		return
+	}
+	for len(c.log) > mark {
+		op := c.log[len(c.log)-1]
+		c.log = c.log[:len(c.log)-1]
+		if op.ins {
+			c.removeEnd(op.insV)
+		}
+		if op.rem {
+			c.insertEnd(op.remV)
+		}
+		list := c.busy[op.proc]
+		copy(list[op.pos:], list[op.pos+1:])
+		c.busy[op.proc] = list[:len(list)-1]
+	}
+}
+
+// rebuild clears the chart and replays the first mark ops of the log in
+// order. Insertion positions recorded at reserve time are valid again when
+// the ops rerun in the same order from the same empty state, so the result
+// is bit-identical to popping the suffix.
+func (c *chart) rebuild(mark int) {
+	for i := range c.busy {
+		c.busy[i] = c.busy[i][:0]
+	}
+	c.ends = c.ends[:0]
+	if !c.backfill {
+		for i := 0; i < c.p; i++ {
+			c.ends = append(c.ends, 0)
+		}
+	}
+	for _, op := range c.log[:mark] {
+		list := c.busy[op.proc]
+		list = append(list, interval{})
+		copy(list[op.pos+1:], list[op.pos:])
+		list[op.pos] = interval{op.start, op.end}
+		c.busy[op.proc] = list
+		if op.rem {
+			c.removeEnd(op.remV)
+		}
+		if op.ins {
+			c.insertEnd(op.insV)
+		}
+	}
+	c.log = c.log[:mark]
 }
 
 func (c *chart) insertEnd(v float64) {

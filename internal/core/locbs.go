@@ -71,25 +71,55 @@ func LoCBS(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config) (*s
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	return runPlacer(tg, cluster, np, cfg.withDefaults(), Preset{}, sc)
+	return runPlacer(tg, cluster, np, cfg.withDefaults(), Preset{}, sc, 0)
+}
+
+// placeStats reports how much of a placement run was served by the resume
+// path: tasks replayed from the trace prefix, steps rolled back off the
+// chart, and whether any prefix was reused at all.
+type placeStats struct {
+	replayed   int
+	rolledBack int
+	resumed    bool
 }
 
 // runPlacerPooled is runPlacer with its own pool-drawn scratch, for callers
 // running placements concurrently with the main search — the speculative
 // candidate evaluation of LoC-MPS fans these out over the bounded worker
-// pool. Inputs must already be validated, exactly as for runPlacer.
-func runPlacerPooled(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset) (*schedule.Schedule, error) {
+// pool. Inputs must already be validated, exactly as for runPlacer. A
+// non-zero resumeKey lets the drawn scratch resume from a trace it recorded
+// earlier in the same search (pool recycling makes that the common case
+// once speculation has run a few batches).
+func runPlacerPooled(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, resumeKey uint64) (*schedule.Schedule, placeStats, error) {
 	sc := getScratch()
 	defer putScratch(sc)
-	return runPlacer(tg, cluster, np, cfg, preset, sc)
+	s, err := runPlacer(tg, cluster, np, cfg, preset, sc, resumeKey)
+	return s, placeStats{replayed: sc.lastReplayed, rolledBack: sc.lastRolledBack, resumed: sc.lastResumed}, err
 }
 
 // runPlacer executes one pre-validated LoCBS run against pooled scratch:
 // cluster, np and preset have been checked by the caller and cfg carries
 // its defaults. This is the entry point the LoC-MPS search loop hits
 // thousands of times per Schedule call.
-func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, sc *placerScratch) (*schedule.Schedule, error) {
-	sc.preparePlacer(tg.N(), cluster.P, cfg.Backfill)
+//
+// resumeKey selects the incremental mode. 0 runs from an empty chart and
+// records nothing. A non-zero key (one per LoC-MPS search, so the graph,
+// cluster, config and preset are fixed for every run sharing it) makes the
+// run record a placement trace, and — when the scratch's trace carries the
+// same key — resume from it: the placement prefix shared with the previous
+// run is replayed by copying its committed decisions (provably identical,
+// see run), the chart is rolled back to the first divergent step, and only
+// the suffix is searched. Schedules are bit-identical to a from-scratch run
+// either way.
+func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, sc *placerScratch, resumeKey uint64) (*schedule.Schedule, error) {
+	tr := &sc.trace
+	record := resumeKey != 0 && !cfg.AdaptiveWidth
+	resume := record && tr.matches(resumeKey, tg, cluster, cfg)
+	sc.preparePlacer(tg.N(), cluster.P, cfg.Backfill, resume)
+	sc.lastReplayed, sc.lastRolledBack, sc.lastResumed = 0, 0, false
+	// The trace is invalid while the run mutates the chart and the trace's
+	// own step records; a successful completion re-validates it below.
+	tr.key = 0
 	e := &placer{
 		tg:      tg,
 		tb:      tg.Tables(cluster.P),
@@ -100,21 +130,38 @@ func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config,
 		sc:      sc,
 		sched:   schedule.NewSchedule(engineName(cfg), cluster, tg),
 		factor:  preset.NodeFactor,
+		resume:  resume,
+		record:  record,
+	}
+	if record {
+		// Shares cached by earlier runs of the same search stay warm; a
+		// scratch recycled from another search starts cold.
+		sc.costBuf.SetShareEpoch(resumeKey)
 	}
 	for t, pl := range preset.Fixed {
 		e.sched.Placements[t] = pl
 		sc.preset[t] = true
-		// Fixed tasks that are still running block their processors.
-		for _, proc := range pl.Procs {
-			sc.chart.reserve(proc, pl.Start, pl.Finish)
+		// Fixed tasks that are still running block their processors. On
+		// resume the chart still holds these reservations (the trace key
+		// pins the preset), so they must not be booked twice.
+		if !resume {
+			for _, proc := range pl.Procs {
+				sc.chart.reserve(proc, pl.Start, pl.Finish)
+			}
 		}
 	}
-	if preset.BusyUntil != nil {
+	if !resume && preset.BusyUntil != nil {
 		for proc, until := range preset.BusyUntil {
 			if until > 0 {
 				sc.chart.reserve(proc, 0, until)
 			}
 		}
+	}
+	if record && !resume {
+		// Preset reservations stay below the first checkpoint: they are
+		// shared by every run of the search and never rolled back.
+		sc.chart.record()
+		tr.restart(sc.chart.mark())
 	}
 	// One backing array serves every placement's processor set; with
 	// adaptive width the saturation points bound the chosen widths.
@@ -133,6 +180,13 @@ func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config,
 	if err := e.run(); err != nil {
 		return nil, err
 	}
+	if record {
+		tr.key = resumeKey
+		tr.tg, tr.cluster, tr.cfg = tg, cluster, cfg
+		tr.sched = e.sched
+		tr.np = append(tr.np[:0], np...)
+	}
+	sc.lastResumed = sc.lastReplayed > 0
 	return e.sched, nil
 }
 
@@ -173,6 +227,9 @@ type placer struct {
 	// pref is the preference-ordered processor list of the task currently
 	// being placed (set by buildPreference; may alias the scratch cache).
 	pref []int32
+	// resume replays the scratch trace's placement prefix; record appends
+	// this run's steps to the trace (both set by runPlacer).
+	resume, record bool
 }
 
 func intsEqual(a, b []int) bool {
@@ -233,6 +290,20 @@ func (e *placer) run() error {
 	}
 	e.sc.pendBuf = pend
 
+	// Resume fast path: the placement order is a pure function of the
+	// priority vector and the graph (selection below never consults the
+	// chart), and a task's placement is a pure function of its width, its
+	// parents' placements and the chart state at its step. So as long as
+	// the traced run selected the same task with the same width at every
+	// step so far, all inputs are bit-identical by induction and the traced
+	// decision can be copied instead of searched. The first step where the
+	// selection or the width diverges is the (exact, not estimated) dirty
+	// position: the chart is rolled back to its checkpoint and the suffix
+	// is placed normally. fast stays false for non-resumed runs.
+	tr := &e.sc.trace
+	step := 0
+	fast := e.resume
+
 	for done := 0; done < remaining; done++ {
 		// Highest priority wins, ties broken by lower task id; the scan
 		// order over ready is irrelevant under this strict total order.
@@ -251,23 +322,57 @@ func (e *placer) run() error {
 		ready[bi] = ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
 
-		best, err := e.place(tp)
-		if err != nil {
-			e.sc.readyBuf = ready[:0]
-			return err
+		replayed := false
+		if fast {
+			if step < len(tr.order) && int(tr.order[step]) == tp && e.np[tp] == tr.np[tp] {
+				// Same task, same width, same parents and chart: copy the
+				// traced placement; its reservations are already charted.
+				prev := tr.sched.Placements[tp]
+				e.sched.Placements[tp] = schedule.Placement{
+					Procs:     e.claim(prev.Procs),
+					Start:     prev.Start,
+					Finish:    prev.Finish,
+					DataReady: prev.DataReady,
+					CommTime:  prev.CommTime,
+				}
+				for _, pe := range e.tg.PredEdges(tp) {
+					e.sched.SetCommID(pe.ID, tr.sched.CommID(pe.ID))
+				}
+				e.sc.lastReplayed++
+				step++
+				replayed = true
+			} else {
+				// First dirty step: peel the traced suffix off the chart
+				// and fall through to a normal placement of tp.
+				e.sc.lastRolledBack = len(tr.order) - step
+				e.sc.chart.rollback(int(tr.undoMark[step]))
+				tr.truncate(step)
+				fast = false
+			}
 		}
-		e.sched.Placements[tp] = schedule.Placement{
-			Procs:     e.claim(best.procs),
-			Start:     best.start,
-			Finish:    best.finish,
-			DataReady: best.dataReady,
-			CommTime:  best.commTime,
-		}
-		for i, pe := range e.tg.PredEdges(tp) {
-			e.sched.SetCommID(pe.ID, best.comm[i])
-		}
-		for _, proc := range best.procs {
-			e.sc.chart.reserve(proc, best.occupy, best.finish)
+		if !replayed {
+			best, err := e.place(tp)
+			if err != nil {
+				e.sc.readyBuf = ready[:0]
+				return err
+			}
+			e.sched.Placements[tp] = schedule.Placement{
+				Procs:     e.claim(best.procs),
+				Start:     best.start,
+				Finish:    best.finish,
+				DataReady: best.dataReady,
+				CommTime:  best.commTime,
+			}
+			for i, pe := range e.tg.PredEdges(tp) {
+				e.sched.SetCommID(pe.ID, best.comm[i])
+			}
+			for _, proc := range best.procs {
+				e.sc.chart.reserve(proc, best.occupy, best.finish)
+			}
+			if e.record {
+				tr.order = append(tr.order, int32(tp))
+				tr.undoMark = append(tr.undoMark, int32(e.sc.chart.mark()))
+			}
 		}
 		e.sc.placed[tp] = true
 		for _, se := range e.tg.SuccEdges(tp) {
@@ -277,6 +382,14 @@ func (e *placer) run() error {
 				}
 			}
 		}
+	}
+	if fast && step < len(tr.order) {
+		// Unreachable with a matching trace (the step count is fixed by the
+		// graph and preset), but if it ever happened the surplus traced
+		// reservations must not survive into the recorded state.
+		e.sc.lastRolledBack = len(tr.order) - step
+		e.sc.chart.rollback(int(tr.undoMark[step]))
+		tr.truncate(step)
 	}
 	e.sc.readyBuf = ready[:0]
 	e.sched.ComputeMakespan()
@@ -375,8 +488,10 @@ func (e *placer) place(tp int) (attempt, error) {
 		et := e.tb.ExecTime(tp, n)
 		etFastest := et * minF
 		// Candidate times ascend within a width, so each processor's busy
-		// list is walked with a resumable cursor instead of binary search.
-		e.sc.posBuf = resetInts(e.sc.posBuf, e.cluster.P)
+		// list is walked with a resumable cursor: -1 marks an unprobed
+		// processor, whose first probe binary-searches instead of scanning
+		// the whole list up to tau (tasks place late, lists are deep).
+		e.sc.posBuf = resetIntsTo(e.sc.posBuf, e.cluster.P, -1)
 		tau, idx := maxParentFt, endsFrom
 		for {
 			if bestOK && tau+etFastest >= best.finish {
@@ -448,15 +563,7 @@ func (e *placer) buildPreference(tp int) {
 					pref = append(pref, int32(proc))
 				}
 			}
-			slices.SortFunc(pref, func(a, b int32) int {
-				if sa, sb := score[a], score[b]; sa != sb {
-					if sa > sb {
-						return -1
-					}
-					return 1
-				}
-				return int(a - b)
-			})
+			sortByScore(pref, score)
 			for proc := 0; proc < p; proc++ {
 				if score[proc] == 0 {
 					pref = append(pref, int32(proc))
@@ -500,6 +607,39 @@ func (e *placer) buildPreference(tp int) {
 		}
 		return int(a - b)
 	})
+}
+
+// sortByScore orders processor ids by score descending, id ascending. The
+// comparator is a strict total order, so any sorting algorithm yields the
+// same sequence; the data-holding groups are small (the union of a task's
+// parents), so an inline insertion sort beats the generic sort's dispatch.
+func sortByScore(pref []int32, score []float64) {
+	if len(pref) > 48 {
+		slices.SortFunc(pref, func(a, b int32) int {
+			if sa, sb := score[a], score[b]; sa != sb {
+				if sa > sb {
+					return -1
+				}
+				return 1
+			}
+			return int(a - b)
+		})
+		return
+	}
+	for i := 1; i < len(pref); i++ {
+		v := pref[i]
+		sv := score[v]
+		j := i
+		for j > 0 {
+			u := pref[j-1]
+			if su := score[u]; su > sv || (su == sv && u < v) {
+				break
+			}
+			pref[j] = u
+			j--
+		}
+		pref[j] = v
+	}
 }
 
 // tryAt evaluates placing tp in the idle slot beginning at tau. Because the
@@ -546,11 +686,24 @@ func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []model.A
 					}
 					continue
 				}
-				// First interval with start > tau, resumed from the
-				// previous probe's position.
+				// First interval with start > tau: binary search on the
+				// first probe, then resume from the previous position
+				// (probe times never decrease within a width).
 				k := cur[id]
-				for k < len(list) && list[k].start <= tau {
-					k++
+				if k < 0 {
+					lo, hi := 0, len(list)
+					for lo < hi {
+						if mid := int(uint(lo+hi) >> 1); list[mid].start <= tau {
+							lo = mid + 1
+						} else {
+							hi = mid
+						}
+					}
+					k = lo
+				} else {
+					for k < len(list) && list[k].start <= tau {
+						k++
+					}
 				}
 				cur[id] = k
 				if k > 0 && list[k-1].end > tau+1e-12 {
@@ -600,9 +753,10 @@ func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []model.A
 // candidate-time probes of the task being placed.
 func (e *placer) timeOn(tp int, tau, et float64, parents []model.AdjEdge, maxParentFt float64, procs []int) (attempt, error) {
 	sc := e.sc
+	ph := procsHash(procs)
 	slot := -1
 	for i := 0; i < sc.ctCount; i++ {
-		if intsEqual(sc.ctProcs[i], procs) {
+		if sc.ctHash[i] == ph && intsEqual(sc.ctProcs[i], procs) {
 			slot = i
 			break
 		}
@@ -616,10 +770,11 @@ func (e *placer) timeOn(tp int, tau, et float64, parents []model.AdjEdge, maxPar
 			sc.ctNext = (sc.ctNext + 1) % len(sc.ctProcs)
 		}
 		sc.ctProcs[slot] = append(sc.ctProcs[slot][:0], procs...)
+		sc.ctHash[slot] = ph
 		comm := sc.ctComm[slot][:0]
 		maxCt, sumCt, rct := 0.0, 0.0, 0.0
 		for _, pe := range parents {
-			ct := e.edgeCost(pe.Other, pe.Volume, procs)
+			ct := e.edgeCost(pe.Other, pe.Volume, procs, ph)
 			comm = append(comm, ct)
 			if ct > maxCt {
 				maxCt = ct
@@ -688,12 +843,24 @@ func (e *placer) minFactor() float64 {
 }
 
 // edgeCost is the locality-aware redistribution time from parent's group to
-// the candidate subset.
-func (e *placer) edgeCost(par int, vol float64, procs []int) float64 {
+// the candidate subset, memoized by complete content in the scratch's cost
+// cache (the search re-asks the same layout pairs run after run). procsHash
+// is the caller's digest of procs, computed once per candidate subset.
+func (e *placer) edgeCost(par int, vol float64, procs []int, procsHash uint64) float64 {
 	if vol == 0 {
 		return 0
 	}
-	return e.rm.FastCostBuf(vol, e.sched.Placements[par].Procs, procs, e.sc.costBuf)
+	src := e.sched.Placements[par].Procs
+	if len(src) == len(procs) && intsEqual(src, procs) {
+		return 0 // same layout, nothing moves
+	}
+	h := costHash(procsHash, vol, e.rm.BlockBytes, e.rm.Bandwidth, src)
+	if c, ok := e.sc.costCache.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
+		return c
+	}
+	c := e.rm.FastCostBuf(vol, src, procs, e.sc.costBuf)
+	e.sc.costCache.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
+	return c
 }
 
 // fillLocalityScores computes, for every processor, the number of bytes of

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locmps/internal/graph"
@@ -13,6 +14,14 @@ import (
 	"locmps/internal/par"
 	"locmps/internal/schedule"
 )
+
+// searchEpoch hands every runSearch invocation a process-unique resume key.
+// The key ties placement traces (and redistribution share caches) in the
+// pool-recycled scratches to one search: within a search the graph, cluster,
+// config and preset are fixed, so a trace carrying the current key is safe
+// to resume from; a trace from any other search never matches. Key 0 is
+// reserved for non-incremental runs (standalone LoCBS, DisableResume).
+var searchEpoch atomic.Uint64
 
 // DefaultLookAheadDepth is the bounded look-ahead of §III.E ("a bound of 20
 // iterations was found to yield good results").
@@ -47,6 +56,12 @@ type LoCMPS struct {
 	// Schedules are bit-identical either way (LoCBS is deterministic);
 	// the switch exists for ablation and tests.
 	DisableMemo bool
+	// DisableResume turns off incremental placement: every LoCBS run then
+	// rebuilds its resource chart from empty instead of resuming from the
+	// placement prefix shared with the previous run. Schedules are
+	// bit-identical either way; the switch exists for ablation, tests and
+	// the reference configuration benchmarks are baselined against.
+	DisableResume bool
 	// SpeculativeWorkers bounds the parallel speculative evaluation of the
 	// §III.C candidate window: every top-fraction candidate's vector is
 	// LoCBS-evaluated concurrently before the minimum-concurrency-ratio
@@ -87,6 +102,16 @@ type SearchStats struct {
 	// SpeculativeWaste counts speculative runs never reused by a later
 	// memo hit.
 	SpeculativeWaste int
+	// ReplayedTasks counts task placements copied from a resumed run's
+	// trace prefix instead of being searched from the chart.
+	ReplayedTasks int
+	// ResumedRuns counts placement runs that reused a non-empty prefix of
+	// the previous run on the same scratch.
+	ResumedRuns int
+	// RollbackDepth accumulates, over all resumed runs, the number of
+	// traced placement steps rolled back off the chart at the first dirty
+	// position (the suffix each resume had to re-place).
+	RollbackDepth int
 }
 
 // Metrics converts the stats into the model-level RunMetrics snapshot the
@@ -102,6 +127,9 @@ func (st SearchStats) Metrics() model.RunMetrics {
 		CacheMisses:      st.CacheMisses,
 		SpeculativeRuns:  st.SpeculativeRuns,
 		SpeculativeWaste: st.SpeculativeWaste,
+		ReplayedTasks:    st.ReplayedTasks,
+		ResumedRuns:      st.ResumedRuns,
+		RollbackDepth:    st.RollbackDepth,
 	}
 }
 
@@ -166,6 +194,21 @@ func NewICASLB() *LoCMPS {
 	}
 }
 
+// NewReference returns the paper configuration with every engine-level
+// acceleration (memo table, incremental resume, speculative evaluation)
+// switched off. Schedules are bit-identical to New's — the accelerations
+// never change results — so this is the baseline configuration performance
+// comparisons are measured against.
+func NewReference() *LoCMPS {
+	return &LoCMPS{
+		AlgorithmName:      "LoC-MPS",
+		Engine:             DefaultConfig(),
+		DisableMemo:        true,
+		DisableResume:      true,
+		SpeculativeWorkers: 1,
+	}
+}
+
 // Name implements schedule.Scheduler.
 func (s *LoCMPS) Name() string {
 	if s.AlgorithmName != "" {
@@ -223,6 +266,10 @@ type search struct {
 	// specWorkers > 1 enables speculative window evaluation.
 	memo        *allocMemo
 	specWorkers int
+	// resumeKey is this search's epoch for incremental placement (0 when
+	// resume is disabled): every runLoCBS under the same key may resume
+	// from the trace its scratch recorded for the previous run.
+	resumeKey uint64
 	// pbest/caps are the §III widening bounds; fixed tasks are frozen at
 	// their historical width.
 	pbest, caps []int
@@ -259,6 +306,9 @@ func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Pr
 	}
 	if !s.DisableMemo {
 		r.memo = newAllocMemo()
+	}
+	if !s.DisableResume {
+		r.resumeKey = searchEpoch.Add(1)
 	}
 	fixed := func(t int) bool { _, ok := preset.Fixed[t]; return ok }
 	for t := 0; t < n; t++ {
@@ -401,6 +451,12 @@ func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Pr
 // the cached result is bit-identical to a fresh run), otherwise one
 // placement-engine invocation against the shared scratch. Inputs were
 // validated once up front, so the hot loop skips re-validation.
+//
+// Misses run incrementally: the scratch carries the trace of the previous
+// run it executed (memo hits leave it untouched), and consecutive search
+// vectors differ in one or two task widths, so most of the priority-order
+// placement prefix is replayed rather than re-searched. The replay is
+// bit-exact, so memoized and resumed results remain interchangeable.
 func (r *search) runLoCBS(np []int) (*schedule.Schedule, error) {
 	if r.memo != nil {
 		if sched := r.memo.lookupSched(np); sched != nil {
@@ -410,11 +466,23 @@ func (r *search) runLoCBS(np []int) (*schedule.Schedule, error) {
 		r.stats.CacheMisses++
 	}
 	r.stats.LoCBSRuns++
-	sched, err := runPlacer(r.tg, r.cluster, np, r.cfg, r.preset, r.sc)
-	if err == nil && r.memo != nil {
-		r.memo.insert(np, sched, false)
+	sched, err := runPlacer(r.tg, r.cluster, np, r.cfg, r.preset, r.sc, r.resumeKey)
+	if err == nil {
+		r.noteResume(placeStats{replayed: r.sc.lastReplayed, rolledBack: r.sc.lastRolledBack, resumed: r.sc.lastResumed})
+		if r.memo != nil {
+			r.memo.insert(np, sched, false)
+		}
 	}
 	return sched, err
+}
+
+// noteResume folds one placement run's resume accounting into the stats.
+func (r *search) noteResume(ps placeStats) {
+	r.stats.ReplayedTasks += ps.replayed
+	r.stats.RollbackDepth += ps.rolledBack
+	if ps.resumed {
+		r.stats.ResumedRuns++
+	}
 }
 
 // speculate evaluates the §III.C candidate window concurrently: each
@@ -446,10 +514,14 @@ func (r *search) speculate(np []int, winner int, window []taskCand) {
 		return
 	}
 	scheds := make([]*schedule.Schedule, len(vecs))
+	resumes := make([]placeStats, len(vecs))
 	_ = par.For(r.specWorkers, len(vecs), func(i int) error {
-		s, err := runPlacerPooled(r.tg, r.cluster, vecs[i], r.cfg, r.preset)
+		// Each worker's pool scratch carries the trace of its own previous
+		// speculative run, so window candidates — which share all but two
+		// width entries with each other — resume from long prefixes too.
+		s, ps, err := runPlacerPooled(r.tg, r.cluster, vecs[i], r.cfg, r.preset, r.resumeKey)
 		if err == nil {
-			scheds[i] = s
+			scheds[i], resumes[i] = s, ps
 		}
 		return nil
 	})
@@ -458,6 +530,7 @@ func (r *search) speculate(np []int, winner int, window []taskCand) {
 			continue
 		}
 		r.stats.LoCBSRuns++
+		r.noteResume(resumes[i])
 		if tasks[i] != winner {
 			r.stats.SpeculativeRuns++
 		}

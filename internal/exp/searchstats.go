@@ -13,8 +13,10 @@ import (
 // suite's graphs, how much work the §III.C/§III.E look-ahead performed
 // (placement-engine runs, look-ahead steps) and how much of it the
 // allocation-vector memo absorbed (cache-hit percentage, speculative runs
-// and wasted speculation). It is the experiment-level view of the numbers
-// cmd/benchjson records per benchmark case.
+// and wasted speculation), plus the incremental-placement accounting
+// (resumed runs, replayed tasks, rollback depth and the replay rate). It is
+// the experiment-level view of the numbers cmd/benchjson records per
+// benchmark case.
 func SearchStatsFigure(opt SuiteOptions) (Figure, error) {
 	if err := opt.validate(); err != nil {
 		return Figure{}, err
@@ -54,6 +56,10 @@ func SearchStatsFigure(opt SuiteOptions) (Figure, error) {
 		{"cache-hit-%", func(m model.RunMetrics) float64 { return 100 * m.CacheHitRate() }},
 		{"spec-runs", func(m model.RunMetrics) float64 { return float64(m.SpeculativeRuns) }},
 		{"spec-waste", func(m model.RunMetrics) float64 { return float64(m.SpeculativeWaste) }},
+		{"resumed-runs", func(m model.RunMetrics) float64 { return float64(m.ResumedRuns) }},
+		{"replayed-tasks", func(m model.RunMetrics) float64 { return float64(m.ReplayedTasks) }},
+		{"rollback-depth", func(m model.RunMetrics) float64 { return float64(m.RollbackDepth) }},
+		{"replay-%", func(m model.RunMetrics) float64 { return 100 * m.ReplayRate() }},
 	}
 	for _, sp := range series {
 		s := Series{Name: sp.name}

@@ -11,7 +11,8 @@ func TestSearchStatsFigure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"locbs-runs", "lookahead-steps", "cache-hit-%", "spec-runs", "spec-waste"}
+	want := []string{"locbs-runs", "lookahead-steps", "cache-hit-%", "spec-runs", "spec-waste",
+		"resumed-runs", "replayed-tasks", "rollback-depth", "replay-%"}
 	if len(f.Series) != len(want) {
 		t.Fatalf("stats: %d series, want %d", len(f.Series), len(want))
 	}
@@ -28,7 +29,7 @@ func TestSearchStatsFigure(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"locbs-runs", "lookahead-steps", "cache-hit-%"} {
+	for _, name := range []string{"locbs-runs", "lookahead-steps", "cache-hit-%", "resumed-runs", "replayed-tasks"} {
 		s, ok := f.SeriesByName(name)
 		if !ok {
 			t.Fatalf("missing series %s", name)

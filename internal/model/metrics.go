@@ -34,6 +34,25 @@ type RunMetrics struct {
 	// SpeculativeWaste counts speculative runs whose results were never
 	// used by a later memo hit.
 	SpeculativeWaste int
+	// ReplayedTasks counts task placements replayed from a resumed run's
+	// checkpoint trace instead of being searched against the chart.
+	ReplayedTasks int
+	// ResumedRuns counts placement runs that resumed from a non-empty
+	// prefix of the previous run on the same scratch.
+	ResumedRuns int
+	// RollbackDepth accumulates, over all resumed runs, how many traced
+	// placement steps were rolled back at the first divergent position.
+	RollbackDepth int
+}
+
+// ReplayRate is the fraction of traced placement work served by replay:
+// replayed/(replayed+rolled back), in [0,1]; zero when nothing resumed.
+func (m RunMetrics) ReplayRate() float64 {
+	total := m.ReplayedTasks + m.RollbackDepth
+	if total == 0 {
+		return 0
+	}
+	return float64(m.ReplayedTasks) / float64(total)
 }
 
 // CacheHitRate is hits/(hits+misses) of the memo table, in [0,1]; zero when
@@ -64,6 +83,10 @@ func (m RunMetrics) String() string {
 	fmt.Fprintf(&b, " cache=%d/%d (%.1f%% hit)", m.CacheHits, m.CacheHits+m.CacheMisses, 100*m.CacheHitRate())
 	if m.SpeculativeRuns > 0 {
 		fmt.Fprintf(&b, " spec=%d (%.1f%% wasted)", m.SpeculativeRuns, 100*m.SpeculationWasteRate())
+	}
+	if m.ResumedRuns > 0 {
+		fmt.Fprintf(&b, " resume=%d replayed=%d rollback=%d (%.1f%% replay)",
+			m.ResumedRuns, m.ReplayedTasks, m.RollbackDepth, 100*m.ReplayRate())
 	}
 	return b.String()
 }

@@ -13,11 +13,19 @@ type CostBuffer struct {
 	shares shareCache
 }
 
-// shareCache is a tiny direct-search cache of shareByRank results.
+// shareCache is a tiny direct-search cache of shareByRank results. Entries
+// are valid only when stamped with the cache's current epoch, so a buffer
+// that moves between unrelated workloads (scratches are pool-recycled
+// across searches) can drop every slot in O(1) instead of letting stale
+// keys linger in the probe loop.
 type shareCache struct {
-	keys [16]shareKey
-	vals [16][]float64
-	next int
+	keys  [16]shareKey
+	vals  [16][]float64
+	gen   [16]uint64
+	epoch uint64 // internal generation; a slot is live iff gen[i] == epoch
+	token uint64 // last owner token seen by SetShareEpoch
+	next  int
+	last  int // most recently hit slot, probed first
 }
 
 type shareKey struct {
@@ -30,8 +38,15 @@ type shareKey struct {
 // of a previous get can keep it alive across one more lookup.
 func (c *shareCache) get(m Model, volume float64, n int, full int64, rem float64, avoid int) ([]float64, int) {
 	k := shareKey{vol: volume, bb: m.BlockBytes, n: n}
+	// Consecutive probes overwhelmingly repeat the previous key (the fixed-
+	// point rounds of one placement alternate between the same parents), so
+	// the last-hit slot short-circuits most scans.
+	if j := c.last; c.gen[j] == c.epoch && c.keys[j] == k {
+		return c.vals[j], j
+	}
 	for i := range c.keys {
-		if c.keys[i] == k {
+		if c.gen[i] == c.epoch && c.keys[i] == k {
+			c.last = i
 			return c.vals[i], i
 		}
 	}
@@ -41,8 +56,23 @@ func (c *shareCache) get(m Model, volume float64, n int, full int64, rem float64
 	}
 	c.next = (i + 1) % len(c.keys)
 	c.keys[i] = k
+	c.gen[i] = c.epoch
 	c.vals[i] = shareByRankInto(c.vals[i][:0], full, rem, int64(n), m.BlockBytes)
 	return c.vals[i], i
+}
+
+// SetShareEpoch declares which workload epoch the buffer is about to serve;
+// when the token differs from the previous owner's, every cached share is
+// invalidated in O(1) by bumping the internal generation. Schedulers pass
+// their per-search epoch: within one search shares stay warm across every
+// placement run (the same data volumes and group sizes recur constantly),
+// while a buffer recycled into a different search starts cold. Token 0 is
+// reserved for one-shot callers and always invalidates.
+func (b *CostBuffer) SetShareEpoch(token uint64) {
+	if token == 0 || token != b.shares.token {
+		b.shares.epoch++
+		b.shares.token = token
+	}
 }
 
 // NewCostBuffer returns a buffer valid for processor ids in [0, maxProc).
@@ -77,7 +107,7 @@ func (m Model) FastCostBuf(volume float64, src, dst []int, buf *CostBuffer) floa
 	// of the per-rank loop (FastCost recomputes them per shared node).
 	g, l := gcdLcm(p, q)
 	qg := q / g
-	inv := modInverse((p / g) % qg, qg)
+	inv := modInverse((p/g)%qg, qg)
 
 	var worst float64
 	if sortedIDs(src) && sortedIDs(dst) {

@@ -120,6 +120,14 @@ func SearchMetrics(s Scheduler) (m RunMetrics, ok bool) {
 // look-ahead.
 func NewLoCMPS() Scheduler { return core.New() }
 
+// NewLoCMPSReference returns LoC-MPS with every cross-run acceleration
+// switched off: no allocation-vector memo, no incremental placement resume
+// and no speculative candidate evaluation. It computes bit-identical
+// schedules to NewLoCMPS by the direct (re-run everything) route, so it
+// serves as the correctness oracle in differential tests and as the
+// measurement baseline when cmd/benchjson re-baselines a case.
+func NewLoCMPSReference() Scheduler { return core.NewReference() }
+
 // NewLoCMPSNoBackfill returns the cheaper frontier-only variant of Fig 6.
 func NewLoCMPSNoBackfill() Scheduler { return core.NewNoBackfill() }
 
