@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench-save bench-diff profile golden
+.PHONY: check build vet test race bench-smoke bench-json bench-save bench-diff profile golden stress fuzz-smoke
 
 check: build vet race bench-smoke
 
@@ -63,3 +63,21 @@ profile:
 # Re-check the golden determinism fixture on its own.
 golden:
 	$(GO) test -run TestGoldenDeterminism .
+
+# Differential stress sweep: N seeded workloads through every scheduler,
+# the internal/audit oracle and the metamorphic invariants. Failures are
+# minimized and dumped to testdata/ as replayable JSON
+# (`go run ./cmd/stress -case testdata/<dump>.json`).
+N ?= 500
+SEED ?= 1
+stress:
+	$(GO) run ./cmd/stress -n $(N) -seed $(SEED)
+
+# Short fuzz passes over each fuzz target: the graph/format parsers and
+# the audit oracle. ~30s total.
+FUZZTIME ?= 7s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime $(FUZZTIME) ./internal/model
+	$(GO) test -run '^$$' -fuzz FuzzReadSTG -fuzztime $(FUZZTIME) ./internal/formats
+	$(GO) test -run '^$$' -fuzz FuzzParseTGFF -fuzztime $(FUZZTIME) ./internal/formats
+	$(GO) test -run '^$$' -fuzz FuzzAudit -fuzztime $(FUZZTIME) ./internal/audit

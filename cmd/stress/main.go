@@ -1,0 +1,134 @@
+// Command stress runs the randomized differential audit harness from the
+// command line: n seeded workloads are generated, scheduled by the
+// optimized LoC-MPS, the frozen reference and every registry algorithm,
+// and every schedule is checked by the internal/audit oracle alongside the
+// harness's metamorphic invariants. Any failure is greedily minimized and
+// dumped as a reproducible JSON counterexample.
+//
+// Usage:
+//
+//	stress -seed 1 -n 500            # 500 cases from base seed 1
+//	stress -seed 1 -n 50 -shape sp   # pin the topology
+//	stress -case testdata/stress-1-17.json   # re-run a dumped counterexample
+//
+// Exit status is 0 when every case passes, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"locmps/internal/audit"
+)
+
+// counterexample is the JSON artifact dumped for each failing case.
+type counterexample struct {
+	// Failure is the original failing case and what broke.
+	Failure audit.Failure `json:"failure"`
+	// Minimized is the smallest shrunk case that still fails, with the
+	// failure it produces (possibly a different stage than the original).
+	Minimized audit.Failure `json:"minimized"`
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "base seed; case i derives deterministically from (seed, i)")
+		n        = flag.Int("n", 100, "number of cases to run")
+		shape    = flag.String("shape", "", "pin all cases to one topology ("+strings.Join(audit.Shapes, ", ")+"); empty samples all")
+		out      = flag.String("out", "testdata", "directory for minimized counterexample dumps")
+		caseFile = flag.String("case", "", "re-run a single dumped counterexample instead of generating cases")
+		verbose  = flag.Bool("v", false, "print every case as it runs")
+	)
+	flag.Parse()
+
+	if *caseFile != "" {
+		os.Exit(rerun(*caseFile))
+	}
+	if *shape != "" && !validShape(*shape) {
+		fmt.Fprintf(os.Stderr, "stress: unknown -shape %q (want one of %s)\n", *shape, strings.Join(audit.Shapes, ", "))
+		os.Exit(2)
+	}
+
+	failures := audit.Stress(*seed, *n, *shape, func(i int, f *audit.Failure) {
+		if f != nil {
+			fmt.Fprintf(os.Stderr, "FAIL case %d: %v\n", i, f.Error())
+		} else if *verbose {
+			c := audit.CaseAt(*seed, i)
+			if *shape != "" {
+				c.Shape = *shape
+			}
+			fmt.Printf("ok   case %d: {%s}\n", i, c)
+		}
+	})
+	if len(failures) == 0 {
+		fmt.Printf("stress: %d cases passed (seed %d)\n", *n, *seed)
+		return
+	}
+	for i, f := range failures {
+		dump(*out, fmt.Sprintf("stress-%d-%d.json", *seed, i), f)
+	}
+	fmt.Fprintf(os.Stderr, "stress: %d/%d cases failed\n", len(failures), *n)
+	os.Exit(1)
+}
+
+func validShape(s string) bool {
+	for _, known := range audit.Shapes {
+		if s == known {
+			return true
+		}
+	}
+	return false
+}
+
+// dump minimizes the failure and writes the counterexample JSON.
+func dump(dir, name string, f audit.Failure) {
+	minCase := audit.Minimize(f.Case, func(c audit.Case) bool { return audit.RunCase(c) != nil })
+	minFail := audit.RunCase(minCase)
+	if minFail == nil { // cannot happen: Minimize only moves between failing cases
+		minFail = &f
+	}
+	ce := counterexample{Failure: f, Minimized: *minFail}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(ce, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "stress: minimized counterexample written to %s\n", path)
+}
+
+// rerun replays one dumped counterexample and reports its current status.
+func rerun(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		return 2
+	}
+	var ce counterexample
+	if err := json.Unmarshal(data, &ce); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		return 2
+	}
+	status := 0
+	for _, c := range []audit.Case{ce.Minimized.Case, ce.Failure.Case} {
+		if f := audit.RunCase(c); f != nil {
+			fmt.Fprintf(os.Stderr, "FAIL {%s}: %v\n", c, f.Error())
+			status = 1
+		} else {
+			fmt.Printf("ok   {%s}\n", c)
+		}
+	}
+	return status
+}

@@ -1,0 +1,49 @@
+package audit
+
+import (
+	"testing"
+
+	"locmps/internal/sched"
+	"locmps/internal/synth"
+)
+
+// FuzzAudit drives randomly parameterized workloads through a real
+// scheduler and the oracle: genuine schedules must be accepted, a schedule
+// corrupted after the fact must be rejected, and nothing may panic.
+func FuzzAudit(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(2), uint8(1), uint8(0), false, uint8(0))
+	f.Add(int64(42), uint8(9), uint8(3), uint8(4), uint8(2), true, uint8(3))
+	f.Add(int64(-7), uint8(3), uint8(0), uint8(0), uint8(4), false, uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, tasks, procs, ccrSel, shapeSel uint8, overlap bool, corrupt uint8) {
+		c := Case{
+			Seed:    seed,
+			Shape:   Shapes[int(shapeSel)%len(Shapes)],
+			Profile: synth.ProfileKind(int(ccrSel) % (int(synth.ProfileMixed) + 1)),
+			Tasks:   3 + int(tasks)%8,
+			Procs:   1 + int(procs)%4,
+			CCR:     ccrSweep[int(ccrSel)%len(ccrSweep)],
+			Overlap: overlap,
+		}
+		tg, cl, err := c.Build()
+		if err != nil {
+			t.Fatalf("build %v: %v", c, err)
+		}
+		// M-HEFT is the cheapest full-featured scheduler: one LoCBS pass
+		// with adaptive widths, no allocation search.
+		s, err := (sched.MHEFT{}).Schedule(tg, cl)
+		if err != nil {
+			t.Fatalf("schedule %v: %v", c, err)
+		}
+		r := Check(tg, s, Options{RequireAccounting: true})
+		if err := r.Err(); err != nil {
+			t.Fatalf("oracle rejects genuine schedule of %v: %v", c, err)
+		}
+		// Shift one task's start without its finish: the duration no
+		// longer matches et, which the oracle must always catch.
+		i := int(corrupt) % tg.N()
+		s.Placements[i].Start -= 1
+		if err := Check(tg, s, Options{RequireAccounting: true}).Err(); err == nil {
+			t.Fatalf("oracle accepts corrupted schedule of %v", c)
+		}
+	})
+}

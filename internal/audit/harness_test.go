@@ -1,0 +1,139 @@
+package audit
+
+import (
+	"fmt"
+	"testing"
+
+	"locmps/internal/core"
+	"locmps/internal/synth"
+)
+
+// TestStress500 is the acceptance gate of the harness: 500 seeded random
+// workloads through the full differential + audit + metamorphic pipeline,
+// sharded so the race detector's overhead is spread across cores.
+func TestStress500(t *testing.T) {
+	const (
+		total  = 500
+		shards = 10
+	)
+	per := total / shards
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("shard%02d", s), func(t *testing.T) {
+			t.Parallel()
+			for i := s * per; i < (s+1)*per; i++ {
+				if f := RunCase(CaseAt(1, i)); f != nil {
+					t.Errorf("case %d: %v", i, f.Error())
+				}
+			}
+		})
+	}
+}
+
+func TestCaseAtIsDeterministic(t *testing.T) {
+	seen := make(map[Case]bool)
+	for i := 0; i < 50; i++ {
+		a, b := CaseAt(7, i), CaseAt(7, i)
+		if a != b {
+			t.Fatalf("case %d not deterministic: %v vs %v", i, a, b)
+		}
+		if a.Tasks < 3 || a.Procs < 1 {
+			t.Fatalf("case %d out of range: %v", i, a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 40 {
+		t.Errorf("only %d distinct cases out of 50", len(seen))
+	}
+	if CaseAt(7, 0) == CaseAt(8, 0) {
+		t.Error("base seed does not vary the cases")
+	}
+}
+
+func TestCaseBuildCoversAllShapes(t *testing.T) {
+	for _, shape := range Shapes {
+		c := Case{Seed: 3, Shape: shape, Tasks: 8, Procs: 4, CCR: 0.5}
+		tg, cl, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if tg.N() < c.Tasks || cl.P != 4 {
+			t.Errorf("%s: N=%d P=%d", shape, tg.N(), cl.P)
+		}
+	}
+	if _, _, err := (Case{Seed: 3, Shape: "moebius", Tasks: 8, Procs: 4}).Build(); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestDiffSchedulesDetectsDrift(t *testing.T) {
+	c := CaseAt(2, 0)
+	tg, cl, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New().Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.New().Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffSchedules(tg, a, b); d != "" {
+		t.Fatalf("identical runs diff: %s", d)
+	}
+	b.Placements[0].Start += 1e-12
+	if d := DiffSchedules(tg, a, b); d == "" {
+		t.Error("sub-epsilon start drift not detected")
+	}
+	b.Placements[0].Start = a.Placements[0].Start
+	if tg.M() > 0 {
+		b.SetCommID(0, b.CommID(0)+1e-12)
+		if d := DiffSchedules(tg, a, b); d == "" {
+			t.Error("comm charge drift not detected")
+		}
+	}
+}
+
+// TestMinimize shrinks against a synthetic predicate with a known minimum.
+func TestMinimize(t *testing.T) {
+	big := Case{Seed: 9, Shape: "layered", Profile: synth.ProfileMixed,
+		Tasks: 12, Procs: 8, CCR: 2, Overlap: true}
+	fails := func(c Case) bool { return c.Tasks >= 5 && c.CCR > 0 }
+	got := Minimize(big, fails)
+	if !fails(got) {
+		t.Fatalf("minimized case no longer fails: %v", got)
+	}
+	if got.Tasks != 5 {
+		t.Errorf("tasks = %d, want 5", got.Tasks)
+	}
+	if got.CCR != 2 {
+		t.Errorf("ccr = %v, want 2 (predicate pins it)", got.CCR)
+	}
+	if got.Procs != 1 || got.Shape != "chain" || got.Profile != synth.ProfileDowney || got.Overlap {
+		t.Errorf("free parameters not minimized: %v", got)
+	}
+}
+
+// TestHarnessFlagsBrokenScheduler feeds the oracle a scheduler whose
+// output is corrupted after the fact, proving the harness end actually
+// fails when the schedule is wrong.
+func TestHarnessFlagsBrokenScheduler(t *testing.T) {
+	c := CaseAt(4, 3)
+	tg, cl, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New().Schedule(tg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(tg, s, Options{RequireAccounting: true}).Err(); err != nil {
+		t.Fatalf("genuine schedule rejected: %v", err)
+	}
+	s.Placements[0].Start -= 1 // desynchronize start from finish
+	if err := Check(tg, s, Options{RequireAccounting: true}).Err(); err == nil {
+		t.Error("corrupted schedule accepted")
+	}
+}

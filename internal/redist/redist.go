@@ -205,11 +205,12 @@ func (mat *Matrix) NetworkBytes() float64 {
 	return sum
 }
 
-// SinglePortTime is the optimal preemptive single-port schedule length for
-// the matrix: max over nodes of the total volume it must send or receive,
-// divided by the bandwidth. Nodes present in both groups accumulate both
-// directions.
-func (m Model) SinglePortTime(mat *Matrix) float64 {
+// PortLoads returns, for every physical node touched by the matrix, the
+// total volume its single port must move (bytes sent plus bytes received;
+// a node present in both groups accumulates both directions). SinglePortTime
+// is the maximum of these divided by the bandwidth; audits use the full map
+// to check per-port feasibility of a transfer against its time window.
+func (mat *Matrix) PortLoads() map[int]float64 {
 	load := make(map[int]float64)
 	for i, row := range mat.Vol {
 		for j, v := range row {
@@ -220,8 +221,16 @@ func (m Model) SinglePortTime(mat *Matrix) float64 {
 			load[mat.Dst[j]] += v
 		}
 	}
+	return load
+}
+
+// SinglePortTime is the optimal preemptive single-port schedule length for
+// the matrix: max over nodes of the total volume it must send or receive,
+// divided by the bandwidth. Nodes present in both groups accumulate both
+// directions.
+func (m Model) SinglePortTime(mat *Matrix) float64 {
 	var worst float64
-	for _, v := range load {
+	for _, v := range mat.PortLoads() {
 		if v > worst {
 			worst = v
 		}

@@ -322,3 +322,46 @@ func TestCostMonotoneInVolumeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPortLoadsMatchSinglePortTime(t *testing.T) {
+	m := Model{BlockBytes: 10, Bandwidth: 5}
+	mat, err := m.TransferMatrix(237, []int{0, 1, 2}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := mat.PortLoads()
+	var worst float64
+	for node, v := range loads {
+		if v <= 0 {
+			t.Errorf("node %d non-positive load %v", node, v)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	if got := m.SinglePortTime(mat); got != worst/m.Bandwidth {
+		t.Errorf("SinglePortTime %v != max load / bw %v", got, worst/m.Bandwidth)
+	}
+	// Every node's send+recv sums must bound the network volume: total
+	// load counts each byte exactly twice (once sent, once received).
+	var sum float64
+	for _, v := range loads {
+		sum += v
+	}
+	if net := mat.NetworkBytes(); math.Abs(sum-2*net) > 1e-9*(1+net) {
+		t.Errorf("sum of port loads %v != 2 * network bytes %v", sum, 2*net)
+	}
+	// A node in both groups accumulates both directions; node 2 here sends
+	// as source rank 2 and receives as destination rank 0.
+	var sent, recvd float64
+	for j, v := range mat.Vol[2] {
+		_ = j
+		sent += v
+	}
+	for i := range mat.Vol {
+		recvd += mat.Vol[i][0]
+	}
+	if got := loads[2]; math.Abs(got-(sent+recvd)) > 1e-9 {
+		t.Errorf("shared node load %v, want sent %v + received %v", got, sent, recvd)
+	}
+}

@@ -15,6 +15,13 @@ func All() []schedule.Scheduler {
 	}
 }
 
+// Extended returns All plus the extra baselines implemented beyond the
+// paper's evaluation (currently M-HEFT). OPT is excluded: its exhaustive
+// search is exponential and only viable on toy graphs.
+func Extended() []schedule.Scheduler {
+	return append(All(), MHEFT{})
+}
+
 // Baselines returns every algorithm except LoC-MPS itself.
 func Baselines() []schedule.Scheduler {
 	return []schedule.Scheduler{ICASLB(), CPR{}, CPA{}, Task{}, Data{}}

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"locmps/internal/model"
+	"locmps/internal/speedup"
 )
 
 func TestWriteJSONSchedule(t *testing.T) {
@@ -76,5 +79,72 @@ func TestSummary(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q: %s", want, out)
 		}
+	}
+}
+
+// The exported JSON must report the cluster's overlap mode faithfully:
+// downstream tooling uses it to decide whether commTime windows occupy the
+// receiving processors.
+func TestWriteJSONOverlapReporting(t *testing.T) {
+	tg := chainGraph(t)
+	for _, overlap := range []bool{false, true} {
+		c := cluster2
+		c.Overlap = overlap
+		s := NewSchedule("LoC-MPS", c, tg)
+		s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+		s.Placements[1] = Placement{Procs: []int{1}, Start: 12, Finish: 22, DataReady: 12, CommTime: 2}
+		s.ComputeMakespan()
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf, tg); err != nil {
+			t.Fatal(err)
+		}
+		var decoded struct {
+			Overlap    bool    `json:"overlap"`
+			Bandwidth  float64 `json:"bandwidth"`
+			Placements []struct {
+				CommTime float64 `json:"commTime"`
+			} `json:"placements"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+			t.Fatal(err)
+		}
+		if decoded.Overlap != overlap {
+			t.Errorf("overlap = %v, want %v", decoded.Overlap, overlap)
+		}
+		if decoded.Bandwidth != cluster2.Bandwidth {
+			t.Errorf("bandwidth = %v", decoded.Bandwidth)
+		}
+		if decoded.Placements[1].CommTime != 2 {
+			t.Errorf("commTime = %v", decoded.Placements[1].CommTime)
+		}
+	}
+}
+
+// Zero-duration and single-task schedules must survive every exporter.
+func TestExportEdgeCaseSchedules(t *testing.T) {
+	zero := model.Task{Name: "z", Profile: speedup.Linear{T1: 0}}
+	tg, err := model.NewTaskGraph([]model.Task{zero}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule("t", model.Cluster{P: 1, Bandwidth: 1}, tg)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 0}
+	s.ComputeMakespan()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, tg); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Errorf("NaN leaked into JSON:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := s.WriteCSV(&buf, tg); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("csv has %d lines, want header + 1 row", got)
+	}
+	if sum := s.Summary(tg); !strings.Contains(sum, "makespan 0") {
+		t.Errorf("summary: %s", sum)
 	}
 }

@@ -100,7 +100,10 @@ func (s *Schedule) SetCommID(id int, w float64) { s.comm[id] = w }
 //
 //  1. every task has a non-empty set of distinct in-range processors,
 //  2. Finish = Start + et(t, np) within tolerance, Start >= 0,
-//  3. precedence: st(child) >= ft(parent) for every edge,
+//  3. precedence: st(child) >= ft(parent) + comm(e) for every edge, where
+//     comm(e) is the redistribution time this schedule recorded on the
+//     edge (schedulers that do not record charges degrade to the plain
+//     st >= ft check; internal/audit recomputes the charges independently),
 //  4. exclusivity: no processor runs two tasks at overlapping times.
 //
 // It returns the first violation found.
@@ -139,10 +142,14 @@ func (s *Schedule) Validate(tg *model.TaskGraph) error {
 			perProc[proc] = append(perProc[proc], span{t, pl.Start, pl.Finish})
 		}
 	}
-	for _, e := range tg.Edges() {
-		if s.Placements[e.To].Start < s.Placements[e.From].Finish-Eps {
-			return fmt.Errorf("schedule: edge %d->%d violated: child starts %v before parent finishes %v",
-				e.From, e.To, s.Placements[e.To].Start, s.Placements[e.From].Finish)
+	for i, e := range tg.Edges() {
+		need := s.Placements[e.From].Finish
+		if i < len(s.comm) {
+			need += s.comm[i]
+		}
+		if s.Placements[e.To].Start < need-Eps*(1+need) {
+			return fmt.Errorf("schedule: edge %d->%d violated: child starts %v before parent finish %v + redistribution %v",
+				e.From, e.To, s.Placements[e.To].Start, s.Placements[e.From].Finish, need-s.Placements[e.From].Finish)
 		}
 	}
 	for proc, spans := range perProc {

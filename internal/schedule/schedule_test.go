@@ -98,6 +98,34 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+// Validate historically treated an edge as satisfied whenever the child
+// started after the parent finished, ignoring the redistribution time the
+// scheduler itself charged on the edge. This is the regression test for
+// the fix: a child starting inside the recorded transfer window must be
+// rejected, and one starting exactly at ft(parent) + comm(e) accepted.
+func TestValidateChargesRecordedRedistribution(t *testing.T) {
+	tg := chainGraph(t)
+	mk := func(childStart, comm float64) error {
+		s := NewSchedule("test", cluster2, tg)
+		s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+		s.Placements[1] = Placement{Procs: []int{1}, Start: childStart, Finish: childStart + 10,
+			DataReady: childStart, CommTime: comm}
+		s.SetComm(0, 1, comm)
+		return s.Validate(tg)
+	}
+	if err := mk(10, 0); err != nil {
+		t.Errorf("zero-charge edge rejected: %v", err)
+	}
+	if err := mk(13, 3); err != nil {
+		t.Errorf("child at ft+comm rejected: %v", err)
+	}
+	if err := mk(10, 3); err == nil {
+		t.Error("child starting inside the recorded 3-unit transfer accepted")
+	} else if !strings.Contains(err.Error(), "redistribution") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
 // TestPaperFigure1 reproduces the paper's Fig 1 worked example: four tasks
 // on P=4 with zero communication; T2 and T3 are serialized by resource
 // limits, inducing a pseudo-edge T2 -> T3 and a schedule-DAG critical path

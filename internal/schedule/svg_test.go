@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"locmps/internal/model"
+	"locmps/internal/speedup"
 )
 
 func chainGraphNamed(t *testing.T, nameA, nameB string) *model.TaskGraph {
@@ -99,5 +100,87 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 	if err := s.WriteChromeTrace(&buf, tg, 0); err == nil {
 		t.Error("zero scale accepted")
+	}
+}
+
+// A schedule whose only task has zero duration drives the makespan to 0;
+// the renderers must fall back to a non-degenerate scale instead of
+// emitting NaN/Inf coordinates, and the Gantt chart must say so.
+func TestRenderersZeroDurationSchedule(t *testing.T) {
+	zero := model.Task{Name: "z", Profile: speedup.Linear{T1: 0}}
+	tg, err := model.NewTaskGraph([]model.Task{zero}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule("t", model.Cluster{P: 2, Bandwidth: 1}, tg)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 0}
+	s.ComputeMakespan()
+
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(svg, bad) {
+			t.Errorf("%s leaked into SVG:\n%s", bad, svg)
+		}
+	}
+	// The zero-width bar is still drawn (clamped to 1px) so the task is
+	// visible.
+	if !strings.Contains(svg, `<rect`) {
+		t.Error("zero-duration task dropped from SVG")
+	}
+	if g := s.Gantt(tg, 40); g != "(empty schedule)\n" {
+		t.Errorf("gantt on zero makespan = %q", g)
+	}
+	buf.Reset()
+	if err := s.WriteChromeTrace(&buf, tg, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 1 || events[0]["dur"].(float64) != 0 {
+		t.Errorf("trace events = %v", events)
+	}
+}
+
+// Single-task schedules exercise the one-bar paths of all renderers.
+func TestRenderersSingleTaskSchedule(t *testing.T) {
+	tg := singleGraph(t)
+	s := NewSchedule("t", model.Cluster{P: 1, Bandwidth: 1}, tg)
+	s.Placements[0] = Placement{Procs: []int{0}, Start: 0, Finish: 10}
+	s.ComputeMakespan()
+
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "<rect"); got != 1 {
+		t.Errorf("SVG has %d bars, want 1", got)
+	}
+	if !strings.Contains(buf.String(), "solo") {
+		t.Error("task label missing from SVG")
+	}
+	g := s.Gantt(tg, 40)
+	if !strings.Contains(g, "solo") || !strings.Contains(g, "p0") {
+		t.Errorf("gantt:\n%s", g)
+	}
+	buf.Reset()
+	if err := s.WriteChromeTrace(&buf, tg, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0]["dur"].(float64) != 10e6 {
+		t.Errorf("trace events = %v", events)
+	}
+	// Invalid time scale is rejected, not silently rendered.
+	if err := s.WriteChromeTrace(&buf, tg, 0); err == nil {
+		t.Error("zero time scale accepted")
 	}
 }

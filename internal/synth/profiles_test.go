@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"testing"
+
+	"locmps/internal/speedup"
+)
+
+// The Profile knob must not disturb the Downey RNG stream: a zero-value
+// Profile generates bit-identical graphs to the pre-knob generator.
+func TestProfileKindZeroValueIsDowney(t *testing.T) {
+	p := DefaultParams()
+	p.CCR = 0.5
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Profile = ProfileDowney
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("shape differs: %d/%d vs %d/%d", a.N(), a.M(), b.N(), b.M())
+	}
+	for i := 0; i < a.N(); i++ {
+		if _, ok := a.Tasks[i].Profile.(speedup.Downey); !ok {
+			t.Fatalf("task %d profile is %T, want Downey", i, a.Tasks[i].Profile)
+		}
+		for _, np := range []int{1, 4, 16} {
+			if a.ExecTime(i, np) != b.ExecTime(i, np) {
+				t.Fatalf("task %d et(%d) differs: %v vs %v", i, np, a.ExecTime(i, np), b.ExecTime(i, np))
+			}
+		}
+	}
+}
+
+func TestProfileKinds(t *testing.T) {
+	for _, kind := range []ProfileKind{ProfileAmdahl, ProfileTable, ProfileMixed} {
+		p := DefaultParams()
+		p.Profile = kind
+		p.CCR = 1
+		g, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if g.N() != p.Tasks {
+			t.Fatalf("%v: N = %d", kind, g.N())
+		}
+		sawKind := false
+		for i := 0; i < g.N(); i++ {
+			switch prof := g.Tasks[i].Profile.(type) {
+			case speedup.Amdahl:
+				sawKind = sawKind || kind == ProfileAmdahl || kind == ProfileMixed
+			case speedup.Table:
+				sawKind = sawKind || kind == ProfileTable || kind == ProfileMixed
+				if prof.Len() != TableMaxP {
+					t.Fatalf("%v: table covers %d procs, want %d", kind, prof.Len(), TableMaxP)
+				}
+			case speedup.Downey:
+				if kind != ProfileMixed {
+					t.Fatalf("%v: task %d got a Downey profile", kind, i)
+				}
+			default:
+				t.Fatalf("%v: unexpected profile %T", kind, prof)
+			}
+			// Execution time must stay a valid non-increasing profile.
+			prev := g.ExecTime(i, 1)
+			if prev <= 0 {
+				t.Fatalf("%v: task %d non-positive t1 %v", kind, i, prev)
+			}
+			for np := 2; np <= 8; np++ {
+				et := g.ExecTime(i, np)
+				if et > prev {
+					t.Fatalf("%v: task %d et increases %v -> %v at np=%d", kind, i, prev, et, np)
+				}
+				prev = et
+			}
+		}
+		if !sawKind {
+			t.Fatalf("%v: no profile of the requested kind generated", kind)
+		}
+		// Determinism given the seed.
+		g2, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.N(); i++ {
+			if g.ExecTime(i, 3) != g2.ExecTime(i, 3) {
+				t.Fatalf("%v: regeneration differs at task %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestProfileKindValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Profile = ProfileMixed + 1
+	if _, err := Generate(p); err == nil {
+		t.Error("out-of-range profile kind accepted")
+	}
+}
+
+func TestLayeredTopology(t *testing.T) {
+	p := DefaultParams()
+	p.Tasks = 20
+	p.CCR = 0.5
+	g, err := Layered(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if err := g.DAG().Validate(); err != nil {
+		t.Fatalf("layered graph invalid: %v", err)
+	}
+	// Exactly the roots of layer 0 have no predecessors; every other task
+	// has at least one.
+	roots := 0
+	for v := 0; v < g.N(); v++ {
+		if len(g.DAG().Pred(v)) == 0 {
+			roots++
+		}
+	}
+	if roots < 1 || roots >= g.N() {
+		t.Errorf("root count %d out of range", roots)
+	}
+	// Determinism.
+	g2, err := Layered(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != g2.M() {
+		t.Errorf("regeneration differs: %d vs %d edges", g.M(), g2.M())
+	}
+
+	if _, err := Layered(p, 0); err == nil {
+		t.Error("0 layers accepted")
+	}
+	if _, err := Layered(p, 21); err == nil {
+		t.Error("more layers than tasks accepted")
+	}
+	// Single layer: no edges at all.
+	flat, err := Layered(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.M() != 0 {
+		t.Errorf("single-layer graph has %d edges", flat.M())
+	}
+}

@@ -13,6 +13,47 @@ import (
 	"locmps/internal/speedup"
 )
 
+// ProfileKind selects the family of speedup profiles Generate (and the
+// named topology generators) attach to tasks. The zero value is the paper's
+// Downey model, so existing workloads are bit-identical to before the knob
+// existed: the alternative kinds consume extra random draws only on their
+// own code paths.
+type ProfileKind int
+
+const (
+	// ProfileDowney is the paper's model: A ~ U[1, AMax], fixed Sigma.
+	ProfileDowney ProfileKind = iota
+	// ProfileAmdahl maps the drawn average parallelism A to a serial
+	// fraction 1/A, giving the same asymptotic speedup with a different
+	// curve shape.
+	ProfileAmdahl
+	// ProfileTable samples a Downey curve at 1..TableMaxP processors and
+	// perturbs each point by up to +25% before re-monotonizing — the shape
+	// of measured (profiled) execution-time tables.
+	ProfileTable
+	// ProfileMixed draws one of the three kinds above per task.
+	ProfileMixed
+)
+
+// TableMaxP is the number of processor counts a ProfileTable profile
+// covers; queries beyond it saturate at the last entry.
+const TableMaxP = 64
+
+func (k ProfileKind) String() string {
+	switch k {
+	case ProfileDowney:
+		return "downey"
+	case ProfileAmdahl:
+		return "amdahl"
+	case ProfileTable:
+		return "table"
+	case ProfileMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("ProfileKind(%d)", int(k))
+	}
+}
+
 // Params control graph generation. The zero value is not valid; start from
 // DefaultParams.
 type Params struct {
@@ -39,6 +80,9 @@ type Params struct {
 	Bandwidth float64
 	// Seed drives the deterministic RNG.
 	Seed int64
+	// Profile selects the speedup-profile family; the zero value is the
+	// paper's Downey model.
+	Profile ProfileKind
 }
 
 // DefaultParams mirrors the paper's synthetic workload: 30 tasks (the
@@ -73,8 +117,42 @@ func (p Params) Validate() error {
 		return fmt.Errorf("synth: negative sigma %v", p.Sigma)
 	case p.Bandwidth <= 0:
 		return fmt.Errorf("synth: bandwidth must be positive, got %v", p.Bandwidth)
+	case p.Profile < ProfileDowney || p.Profile > ProfileMixed:
+		return fmt.Errorf("synth: invalid profile kind %d", int(p.Profile))
 	}
 	return nil
+}
+
+// makeProfile draws one task's work and average parallelism and builds a
+// profile of the requested kind. The Downey path consumes exactly the two
+// draws it always has, so seeded Downey workloads stay bit-identical to
+// versions that predate the Profile knob; the other kinds may consume extra
+// draws on their own code paths only.
+func makeProfile(r *rand.Rand, p Params) (speedup.Profile, error) {
+	work := uniformWithMean(r, p.MeanWork)
+	a := 1 + r.Float64()*(p.AMax-1)
+	kind := p.Profile
+	if kind == ProfileMixed {
+		kind = ProfileKind(r.Intn(3))
+	}
+	switch kind {
+	case ProfileAmdahl:
+		// Serial fraction 1/A gives the same asymptotic speedup A.
+		return speedup.NewAmdahl(work, 1/a)
+	case ProfileTable:
+		d, err := speedup.NewDowney(work, a, p.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		times := make([]float64, TableMaxP)
+		for i := range times {
+			// Up to +25% measurement noise per point; NewTable re-monotonizes.
+			times[i] = d.Time(i+1) * (1 + 0.25*r.Float64())
+		}
+		return speedup.NewTable(times)
+	default:
+		return speedup.NewDowney(work, a, p.Sigma)
+	}
 }
 
 // Generate builds one random task graph. Vertices are ranked and edges
@@ -89,9 +167,7 @@ func Generate(p Params) (*model.TaskGraph, error) {
 
 	tasks := make([]model.Task, p.Tasks)
 	for i := range tasks {
-		work := uniformWithMean(r, p.MeanWork)
-		a := 1 + r.Float64()*(p.AMax-1)
-		prof, err := speedup.NewDowney(work, a, p.Sigma)
+		prof, err := makeProfile(r, p)
 		if err != nil {
 			return nil, err
 		}

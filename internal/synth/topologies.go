@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"locmps/internal/model"
-	"locmps/internal/speedup"
 )
 
 // Named generators for the standard benchmark topologies used throughout
@@ -27,9 +26,7 @@ func newTaskMaker(p Params) (*taskMaker, error) {
 }
 
 func (m *taskMaker) task(name string) (model.Task, error) {
-	work := uniformWithMean(m.r, m.p.MeanWork)
-	a := 1 + m.r.Float64()*(m.p.AMax-1)
-	prof, err := speedup.NewDowney(work, a, m.p.Sigma)
+	prof, err := makeProfile(m.r, m.p)
 	if err != nil {
 		return model.Task{}, err
 	}
@@ -129,6 +126,61 @@ func InTree(p Params, branch int) (*model.TaskGraph, error) {
 	}
 	for _, e := range out.Edges() {
 		edges = append(edges, model.Edge{From: n - 1 - e.To, To: n - 1 - e.From, Volume: e.Volume})
+	}
+	return model.NewTaskGraph(tasks, edges)
+}
+
+// Layered generates the classic layer-by-layer random DAG: Tasks vertices
+// are dealt into the given number of layers (each non-empty, sizes drawn
+// randomly), and every task in layer l draws 1..AvgDegree*2 predecessors
+// uniformly from layer l-1. All precedence therefore crosses exactly one
+// layer boundary — the maximally "wide" counterpoint to Generate's
+// rank-skipping irregular edges.
+func Layered(p Params, layers int) (*model.TaskGraph, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("synth: need at least 1 layer, got %d", layers)
+	}
+	if layers > p.Tasks {
+		return nil, fmt.Errorf("synth: %d layers exceed %d tasks", layers, p.Tasks)
+	}
+	m, err := newTaskMaker(p)
+	if err != nil {
+		return nil, err
+	}
+	// Deal every task a layer: one guaranteed slot per layer, the surplus
+	// spread uniformly. Tasks are numbered layer by layer so edges always
+	// point from lower to higher id.
+	size := make([]int, layers)
+	for i := range size {
+		size[i] = 1
+	}
+	for i := layers; i < p.Tasks; i++ {
+		size[m.r.Intn(layers)]++
+	}
+	tasks := make([]model.Task, 0, p.Tasks)
+	var edges []model.Edge
+	prevStart, prevLen := 0, 0
+	for l, n := range size {
+		layerStart := len(tasks)
+		for j := 0; j < n; j++ {
+			t, err := m.task(fmt.Sprintf("L%d.%d", l, j))
+			if err != nil {
+				return nil, err
+			}
+			tasks = append(tasks, t)
+			if l == 0 {
+				continue
+			}
+			deg := degreeSample(m.r, m.p.AvgDegree, prevLen)
+			if deg < 1 {
+				deg = 1 // keep every non-root connected to the layer above
+			}
+			v := layerStart + j
+			for _, k := range pickDistinct(m.r, prevLen, deg) {
+				edges = append(edges, model.Edge{From: prevStart + k, To: v, Volume: m.volume()})
+			}
+		}
+		prevStart, prevLen = layerStart, n
 	}
 	return model.NewTaskGraph(tasks, edges)
 }
