@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench-save bench-diff profile golden stress fuzz-smoke
+.PHONY: check build vet test race bench-smoke bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke
 
-check: build vet race bench-smoke
+check: build vet race bench-smoke loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,17 @@ bench-smoke:
 # is preserved).
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Refresh the "current" snapshot in BENCH_serve.json: service-level
+# throughput and latency from the closed-loop load generator (baseline
+# inside is preserved; delete the file to re-baseline).
+loadgen:
+	$(GO) run ./cmd/loadgen
+
+# Reduced load-generator pass for CI: runs the cold/warm/hit-speedup phases
+# against the scheduling service, checks the invariants, writes no file.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke
 
 # Repeated runs of the mid-scale benchmarks in benchstat's input format:
 # `make bench-save OUT=old.txt`, change code, `make bench-save OUT=new.txt`,

@@ -242,6 +242,7 @@ func run(path, rebase string, reps int) error {
 		}
 	}
 	warnStale(&out)
+	warnStaleRaw("BENCH_serve.json")
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -265,6 +266,33 @@ func warnStale(f *File) {
 			fmt.Fprintf(os.Stderr,
 				"benchjson: warning: %s baseline == current byte-for-byte (stale backfill, speedup vacuously 1.0x); re-measure it with -rebaseline %s\n",
 				name, name)
+		}
+	}
+}
+
+// warnStaleRaw applies the same stale-baseline check to a sibling benchmark
+// file this tool does not write (currently BENCH_serve.json, produced by
+// cmd/loadgen): any case whose baseline and current raw JSON are
+// byte-identical is flagged. The file's schema doesn't matter — only the
+// baseline/current maps are compared — and a missing file is fine.
+func warnStaleRaw(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var f struct {
+		Baseline map[string]json.RawMessage `json:"baseline"`
+		Current  map[string]json.RawMessage `json:"current"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: warning: %s is not valid JSON: %v\n", path, err)
+		return
+	}
+	for name, cur := range f.Current {
+		if base, ok := f.Baseline[name]; ok && bytes.Equal(base, cur) {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: warning: %s: %s baseline == current byte-for-byte (stale backfill); delete the file to re-baseline\n",
+				path, name)
 		}
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		out        = flag.String("out", "", "also write each figure as <id>.csv into this directory")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler cells run concurrently (defaults to GOMAXPROCS, i.e. one per CPU; 1 = serial); must be at least 1, output is identical for any value")
+		useServe   = flag.Bool("serve", true, "route scheduler runs through the scheduling service (result cache + warm workers); figures are identical either way")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -49,7 +50,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := profiled(*cpuprofile, *memprofile, func() error {
-		return run(*fig, *full, *csv, *out, *workers)
+		return run(*fig, *full, *csv, *out, *workers, *useServe)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -87,7 +88,7 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(fig string, full, csv bool, outDir string, workers int) error {
+func run(fig string, full, csv bool, outDir string, workers int, useServe bool) error {
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -101,6 +102,23 @@ func run(fig string, full, csv bool, outDir string, workers int) error {
 	}
 	suite.Workers = workers
 	app.Workers = workers
+	if useServe {
+		svc := locmps.NewService(locmps.ServiceConfig{
+			Shards:          workers,
+			WorkersPerShard: 1,
+			QueueDepth:      2*workers + 8,
+			CacheEntries:    4096,
+		})
+		defer func() {
+			svc.Close()
+			st := svc.Stats()
+			fmt.Fprintf(os.Stderr,
+				"service: %d requests, %d cold runs, %d cache hits, %d coalesced, p50 %v, p99 %v\n",
+				st.Requests, st.Scheduled, st.CacheHits, st.Coalesced, st.P50, st.P99)
+		}()
+		suite.Service = svc
+		app.Service = svc
+	}
 
 	ids := []string{fig}
 	if fig == "all" {

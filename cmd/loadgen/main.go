@@ -1,0 +1,406 @@
+// Command loadgen drives the scheduling service with a closed-loop load
+// generator and records service-level throughput and latency in
+// BENCH_serve.json so the serving layer's trajectory is tracked across PRs
+// alongside the scheduler-kernel numbers in BENCH_locmps.json.
+//
+// Three phases per worker count (1, 2, 4):
+//
+//   - cold: a stream of distinct synthetic graphs, every request a cold
+//     scheduler run on a warm worker (schedules/sec, p50/p99);
+//   - warm: the same stream replayed, every request a content-addressed
+//     cache hit (schedules/sec, p50/p99);
+//   - hit speedup: one 50-task/64-processor instance measured cold, then
+//     served from the cache — the ratio is the headline win of the
+//     result cache.
+//
+// The file keeps a "baseline" (written once, preserved on reruns) and a
+// "current" snapshot plus derived speedups, the same convention as
+// BENCH_locmps.json; delete the file to re-baseline. The host's CPU count
+// is recorded too: cold throughput is compute-bound, so scaling with worker
+// count is only observable when the host has at least that many CPUs.
+//
+// Usage:
+//
+//	go run ./cmd/loadgen                # update BENCH_serve.json in place
+//	go run ./cmd/loadgen -o out.json
+//	go run ./cmd/loadgen -smoke         # reduced load, sanity checks, no file
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"locmps"
+)
+
+// Result is one load-generation snapshot. Throughput cases fill the phase
+// fields; the hit-speedup case fills the latency pair and the ratio.
+type Result struct {
+	Workers  int `json:"workers,omitempty"`
+	Distinct int `json:"distinct_requests,omitempty"`
+	// Cold phase: every request is a cold scheduler run.
+	ColdSchedPerSec float64 `json:"cold_schedules_per_sec,omitempty"`
+	ColdP50Ns       float64 `json:"cold_p50_ns,omitempty"`
+	ColdP99Ns       float64 `json:"cold_p99_ns,omitempty"`
+	// Warm phase: the same stream replayed out of the result cache.
+	WarmSchedPerSec float64 `json:"warm_schedules_per_sec,omitempty"`
+	WarmP50Ns       float64 `json:"warm_p50_ns,omitempty"`
+	WarmP99Ns       float64 `json:"warm_p99_ns,omitempty"`
+	// Hit-speedup case: one instance cold vs served from the cache.
+	ColdNs      float64 `json:"cold_ns,omitempty"`
+	WarmHitNs   float64 `json:"warm_hit_p50_ns,omitempty"`
+	HitSpeedupX float64 `json:"hit_speedup_x,omitempty"`
+}
+
+// File is the on-disk layout of BENCH_serve.json.
+type File struct {
+	Note string `json:"note,omitempty"`
+	// CPUs is the host's CPU count when "current" was recorded. Cold
+	// throughput cannot scale past it regardless of worker count.
+	CPUs     int                `json:"cpus"`
+	Baseline map[string]Result  `json:"baseline"`
+	Current  map[string]Result  `json:"current"`
+	SpeedupX map[string]Speedup `json:"speedup_vs_baseline"`
+}
+
+// Speedup compares current against baseline: cold throughput as
+// current/baseline (higher is better), warm hit latency as
+// baseline/current (lower is better).
+type Speedup struct {
+	ColdThroughput float64 `json:"cold_throughput,omitempty"`
+	WarmHitNs      float64 `json:"warm_hit_ns,omitempty"`
+}
+
+type config struct {
+	workerCounts []int
+	distinct     int
+	tasks, procs int
+	warmRounds   int
+	hitTasks     int
+	hitProcs     int
+	hitReps      int
+}
+
+func fullConfig() config {
+	return config{
+		workerCounts: []int{1, 2, 4},
+		distinct:     24, tasks: 24, procs: 16,
+		warmRounds: 3,
+		hitTasks:   50, hitProcs: 64, hitReps: 32,
+	}
+}
+
+func smokeConfig() config {
+	return config{
+		workerCounts: []int{1, 2},
+		distinct:     6, tasks: 12, procs: 8,
+		warmRounds: 2,
+		hitTasks:   20, hitProcs: 16, hitReps: 8,
+	}
+}
+
+func main() {
+	path := flag.String("o", "BENCH_serve.json", "output file (baseline inside is preserved)")
+	smoke := flag.Bool("smoke", false, "reduced load for CI: run the phases, check invariants, write no file")
+	flag.Parse()
+	if err := run(*path, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, smoke bool) error {
+	cfg := fullConfig()
+	if smoke {
+		cfg = smokeConfig()
+	}
+	cpus := runtime.NumCPU()
+	if max := cfg.workerCounts[len(cfg.workerCounts)-1]; cpus < max {
+		fmt.Fprintf(os.Stderr,
+			"loadgen: note: host has %d CPU(s); cold throughput cannot scale to %d workers here\n",
+			cpus, max)
+	}
+
+	current := map[string]Result{}
+	for _, w := range cfg.workerCounts {
+		r, err := throughputCase(w, cfg)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("LoadgenWorkers%d", w)
+		current[name] = r
+		fmt.Printf("%-38s cold %8.2f sched/s (p50 %v, p99 %v)  warm %10.0f sched/s (p50 %v, p99 %v)\n",
+			name, r.ColdSchedPerSec, time.Duration(r.ColdP50Ns), time.Duration(r.ColdP99Ns),
+			r.WarmSchedPerSec, time.Duration(r.WarmP50Ns), time.Duration(r.WarmP99Ns))
+	}
+	hit, err := hitSpeedupCase(cfg)
+	if err != nil {
+		return err
+	}
+	hitName := fmt.Sprintf("LoadgenHitSpeedup%dTasks%dProcs", cfg.hitTasks, cfg.hitProcs)
+	current[hitName] = hit
+	fmt.Printf("%-38s cold %v, cache hit %v: %.0fx\n",
+		hitName, time.Duration(hit.ColdNs), time.Duration(hit.WarmHitNs), hit.HitSpeedupX)
+
+	if smoke {
+		return smokeChecks(current, hitName)
+	}
+
+	out := File{
+		Note: "Scheduling-service load generation (closed loop): cold and cache-hit throughput and latency per worker count, plus the cache-hit speedup on one mid-scale instance. Baseline is preserved across runs; delete this file to re-baseline. Cold throughput is compute-bound and only scales with workers when the host has as many CPUs (see \"cpus\").",
+		CPUs:     cpus,
+		Current:  current,
+		SpeedupX: map[string]Speedup{},
+	}
+	if prev, err := load(path); err != nil {
+		return err
+	} else if prev != nil && len(prev.Baseline) > 0 {
+		out.Baseline = prev.Baseline
+		if prev.Note != "" {
+			out.Note = prev.Note
+		}
+	}
+	justBaselined := map[string]bool{}
+	if out.Baseline == nil {
+		out.Baseline = out.Current
+		for name := range out.Current {
+			justBaselined[name] = true
+		}
+		fmt.Println("no existing baseline: current run recorded as baseline")
+	} else {
+		for name, cur := range out.Current {
+			if _, ok := out.Baseline[name]; !ok {
+				out.Baseline[name] = cur
+				justBaselined[name] = true
+				fmt.Printf("%-38s new case: current run backfilled into baseline\n", name)
+			}
+		}
+	}
+	for name, cur := range out.Current {
+		base, ok := out.Baseline[name]
+		if !ok {
+			continue
+		}
+		var sp Speedup
+		if base.ColdSchedPerSec > 0 && cur.ColdSchedPerSec > 0 {
+			sp.ColdThroughput = cur.ColdSchedPerSec / base.ColdSchedPerSec
+		}
+		if base.WarmHitNs > 0 && cur.WarmHitNs > 0 {
+			sp.WarmHitNs = base.WarmHitNs / cur.WarmHitNs
+		}
+		if sp != (Speedup{}) {
+			out.SpeedupX[name] = sp
+		}
+	}
+	warnStale(&out, justBaselined)
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// smokeChecks validates the invariants a CI smoke run cares about: the
+// cache must actually serve hits, and hits must beat cold runs.
+func smokeChecks(current map[string]Result, hitName string) error {
+	for name, r := range current {
+		if name == hitName {
+			continue
+		}
+		if r.WarmSchedPerSec <= r.ColdSchedPerSec {
+			return fmt.Errorf("%s: warm throughput %.2f/s did not beat cold %.2f/s",
+				name, r.WarmSchedPerSec, r.ColdSchedPerSec)
+		}
+	}
+	hit := current[hitName]
+	if hit.HitSpeedupX < 2 {
+		return fmt.Errorf("%s: cache hit only %.1fx faster than cold", hitName, hit.HitSpeedupX)
+	}
+	fmt.Println("smoke checks passed")
+	return nil
+}
+
+// stream builds n distinct scheduling requests (different seeds, therefore
+// different fingerprints) over one cluster size.
+func stream(n, tasks, procs int, seedBase int64) ([]locmps.ServiceRequest, error) {
+	reqs := make([]locmps.ServiceRequest, n)
+	for i := range reqs {
+		p := locmps.DefaultSynthParams()
+		p.Tasks = tasks
+		p.CCR = 0.1
+		p.Seed = seedBase + int64(i)
+		tg, err := locmps.Synthetic(p)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = locmps.ServiceRequest{
+			Graph:   tg,
+			Cluster: locmps.Cluster{P: procs, Bandwidth: 12.5e6, Overlap: true},
+		}
+	}
+	return reqs, nil
+}
+
+// drive pushes rounds×reqs through the service with `concurrency` closed-loop
+// submitters and returns the wall time and per-request latencies.
+func drive(svc *locmps.Service, reqs []locmps.ServiceRequest, rounds, concurrency int) (time.Duration, []time.Duration, error) {
+	total := rounds * len(reqs)
+	lats := make([]time.Duration, total)
+	sem := make(chan struct{}, concurrency)
+	errCh := make(chan error, total)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for i := 0; i < total; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			req := reqs[i%len(reqs)]
+			t0 := time.Now()
+			if _, err := svc.Schedule(req); err != nil {
+				errCh <- err
+				return
+			}
+			lats[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	select {
+	case err := <-errCh:
+		return 0, nil, err
+	default:
+	}
+	return elapsed, lats, nil
+}
+
+func quantile(lats []time.Duration, q int) time.Duration {
+	cp := append([]time.Duration(nil), lats...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[(len(cp)-1)*q/100]
+}
+
+// throughputCase measures one worker count: a cold pass over distinct
+// requests, then warm rounds served from the result cache.
+func throughputCase(workers int, cfg config) (Result, error) {
+	reqs, err := stream(cfg.distinct, cfg.tasks, cfg.procs, 1000)
+	if err != nil {
+		return Result{}, err
+	}
+	svc := locmps.NewService(locmps.ServiceConfig{
+		Shards:          workers,
+		WorkersPerShard: 1,
+		QueueDepth:      256,
+		CacheEntries:    4096,
+	})
+	defer svc.Close()
+
+	// Oversubscribe the submitters slightly so every shard queue stays fed.
+	concurrency := 2 * workers
+	coldWall, coldLats, err := drive(svc, reqs, 1, concurrency)
+	if err != nil {
+		return Result{}, err
+	}
+	warmWall, warmLats, err := drive(svc, reqs, cfg.warmRounds, concurrency)
+	if err != nil {
+		return Result{}, err
+	}
+	st := svc.Stats()
+	if st.Failed != 0 || st.Rejected != 0 {
+		return Result{}, fmt.Errorf("workers=%d: %d failed, %d rejected requests", workers, st.Failed, st.Rejected)
+	}
+	return Result{
+		Workers:         workers,
+		Distinct:        cfg.distinct,
+		ColdSchedPerSec: float64(len(reqs)) / coldWall.Seconds(),
+		ColdP50Ns:       float64(quantile(coldLats, 50)),
+		ColdP99Ns:       float64(quantile(coldLats, 99)),
+		WarmSchedPerSec: float64(len(warmLats)) / warmWall.Seconds(),
+		WarmP50Ns:       float64(quantile(warmLats, 50)),
+		WarmP99Ns:       float64(quantile(warmLats, 99)),
+	}, nil
+}
+
+// hitSpeedupCase times one mid-scale instance cold, then repeatedly as a
+// cache hit, and reports cold / p50(hit).
+func hitSpeedupCase(cfg config) (Result, error) {
+	reqs, err := stream(1, cfg.hitTasks, cfg.hitProcs, 5000)
+	if err != nil {
+		return Result{}, err
+	}
+	req := reqs[0]
+	svc := locmps.NewService(locmps.ServiceConfig{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      8,
+		CacheEntries:    16,
+	})
+	defer svc.Close()
+
+	t0 := time.Now()
+	if _, err := svc.Schedule(req); err != nil {
+		return Result{}, err
+	}
+	coldNs := float64(time.Since(t0))
+
+	hits := make([]time.Duration, cfg.hitReps)
+	for i := range hits {
+		t0 = time.Now()
+		if _, err := svc.Schedule(req); err != nil {
+			return Result{}, err
+		}
+		hits[i] = time.Since(t0)
+	}
+	if st := svc.Stats(); st.CacheHits != uint64(cfg.hitReps) {
+		return Result{}, fmt.Errorf("hit case: %d cache hits, want %d", st.CacheHits, cfg.hitReps)
+	}
+	warmNs := float64(quantile(hits, 50))
+	return Result{
+		ColdNs:      coldNs,
+		WarmHitNs:   warmNs,
+		HitSpeedupX: coldNs / warmNs,
+	}, nil
+}
+
+// warnStale flags cases whose baseline and current snapshots are
+// byte-identical — the fingerprint of a backfilled, never re-measured
+// baseline. Cases baselined by this very run are exempt: their equality is
+// by construction, not staleness.
+func warnStale(f *File, justBaselined map[string]bool) {
+	for name, cur := range f.Current {
+		base, ok := f.Baseline[name]
+		if !ok || justBaselined[name] {
+			continue
+		}
+		bj, err1 := json.Marshal(base)
+		cj, err2 := json.Marshal(cur)
+		if err1 == nil && err2 == nil && bytes.Equal(bj, cj) {
+			fmt.Fprintf(os.Stderr,
+				"loadgen: warning: %s baseline == current byte-for-byte (stale backfill); delete %s to re-baseline\n",
+				name, "BENCH_serve.json")
+		}
+	}
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("existing %s is not valid: %w", path, err)
+	}
+	return &f, nil
+}

@@ -276,8 +276,19 @@ type search struct {
 }
 
 // runSearch executes Algorithm 1, optionally from a non-default starting
-// allocation (ScheduleDual's saturated start).
+// allocation (ScheduleDual's saturated start), against a scratch drawn from
+// the shared pool for the duration of the run.
 func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Preset, initAlloc []int) (*schedule.Schedule, SearchStats, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return s.runSearchOn(sc, tg, cluster, preset, initAlloc)
+}
+
+// runSearchOn is runSearch against caller-owned scratch. Warm workers
+// (Worker, used by internal/serve) pin one scratch across many runs so its
+// content-keyed cost cache and sized buffers survive between requests
+// instead of being surrendered to the pool after every schedule.
+func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster model.Cluster, preset Preset, initAlloc []int) (*schedule.Schedule, SearchStats, error) {
 	started := time.Now()
 	if err := cluster.Validate(); err != nil {
 		return nil, SearchStats{}, err
@@ -289,8 +300,6 @@ func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Pr
 	if err := preset.validate(tg, cluster); err != nil {
 		return nil, SearchStats{}, err
 	}
-	sc := getScratch()
-	defer putScratch(sc)
 	sc.prepareSearch(n, tg.M())
 	r := &search{
 		alg:         s,

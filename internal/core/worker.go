@@ -1,0 +1,48 @@
+package core
+
+import (
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+)
+
+// Worker pins one placement scratch for its whole lifetime so that state
+// which is valid across runs survives between them: the content-keyed
+// redistribution cost cache (its key is the complete input of the
+// computation, so entries never go stale across workloads), the per-task
+// ct/preference memo storage and every sized buffer of the placement and
+// search layers. A pool-drawn scratch gives the same reuse only while the
+// sync.Pool happens to return the same object; a Worker makes it a
+// guarantee, which is what the serving layer's warm workers are built on.
+//
+// A Worker is NOT safe for concurrent use: exactly one goroutine may call
+// Schedule at a time (the serving layer gives each worker goroutine its
+// own). Close returns the scratch to the shared pool; the Worker must not
+// be used afterwards.
+type Worker struct {
+	sc *placerScratch
+}
+
+// NewWorker draws a scratch from the shared pool and pins it.
+func NewWorker() *Worker { return &Worker{sc: getScratch()} }
+
+// Schedule runs alg's full LoC-MPS search on the worker's pinned scratch.
+// Results are bit-identical to alg.Schedule — the scratch only carries
+// buffers and never-stale caches, not decisions. alg's LastStats/
+// LastRunMetrics reflect this run afterwards, exactly as for Schedule.
+func (w *Worker) Schedule(alg *LoCMPS, tg *model.TaskGraph, cluster model.Cluster) (*schedule.Schedule, error) {
+	sched, stats, err := alg.runSearchOn(w.sc, tg, cluster, Preset{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	alg.setStats(stats)
+	return sched, nil
+}
+
+// Close surrenders the pinned scratch back to the shared pool. Calling
+// Close twice is safe; Schedule after Close is not.
+func (w *Worker) Close() {
+	if w.sc != nil {
+		putScratch(w.sc)
+		w.sc = nil
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"locmps/internal/model"
 	"locmps/internal/sched"
 	"locmps/internal/schedule"
+	"locmps/internal/serve"
 	"locmps/internal/sim"
 )
 
@@ -28,7 +29,15 @@ type AppOptions struct {
 	// concurrently: 0 uses one worker per CPU, 1 runs serially. Results are
 	// identical for any value — only wall-clock time changes.
 	Workers int
+	// Service, when non-nil, routes every scheduler run through the
+	// scheduling service (result cache, coalescing, warm workers). Figures
+	// are unchanged: the service is bit-identical to direct runs.
+	Service *serve.Service
 }
+
+// measure returns the Measure the application figures use (see
+// SuiteOptions.measure).
+func (o AppOptions) measure() Measure { return serviceMeasure(o.Service) }
 
 // PaperAppOptions mirrors §IV.B.
 func PaperAppOptions() AppOptions {
@@ -106,7 +115,7 @@ func Fig8(overlap bool, o AppOptions) (Figure, error) {
 	}
 	cluster := func(p int) model.Cluster { return apps.CCSDCluster(p, overlap) }
 	return relativePerformance("fig8"+variant, title,
-		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, ScheduledMakespan, o.Workers)
+		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, o.measure(), o.Workers)
 }
 
 // Fig9 reproduces Figure 9: Strassen matrix multiplication for the given
@@ -122,7 +131,7 @@ func Fig9(n int, o AppOptions) (Figure, error) {
 	cluster := func(p int) model.Cluster { return apps.StrassenCluster(p, o.Overlap) }
 	return relativePerformance(fmt.Sprintf("fig9-%d", n),
 		fmt.Sprintf("Strassen %dx%d", n, n),
-		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, ScheduledMakespan, o.Workers)
+		[]*model.TaskGraph{tg}, sched.All(), o.Procs, cluster, o.measure(), o.Workers)
 }
 
 // Fig10 reproduces Figure 10: wall-clock scheduling times of every
@@ -156,7 +165,7 @@ func Fig10(app string, o AppOptions) (Figure, error) {
 	secs := make([]float64, len(algs)*len(o.Procs))
 	err = parallelFor(o.Workers, len(secs), func(idx int) error {
 		ai, pi := idx/len(o.Procs), idx%len(o.Procs)
-		s, err := algs[ai].Schedule(tg, apps.CCSDCluster(o.Procs[pi], o.Overlap))
+		s, err := scheduleVia(o.Service, algs[ai], tg, apps.CCSDCluster(o.Procs[pi], o.Overlap))
 		if err != nil {
 			return err
 		}
@@ -189,7 +198,11 @@ func Fig11(o AppOptions) (Figure, error) {
 		return Figure{}, err
 	}
 	measure := func(alg schedule.Scheduler, g *model.TaskGraph, c model.Cluster) (float64, error) {
-		_, res, err := sim.Run(alg, g, c, sim.Options{Noise: o.Noise, Seed: o.Seed})
+		s, err := scheduleVia(o.Service, alg, g, c)
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.Execute(g, s, sim.Options{Noise: o.Noise, Seed: o.Seed})
 		if err != nil {
 			return 0, err
 		}

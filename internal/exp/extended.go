@@ -19,7 +19,7 @@ func Extended(opt SuiteOptions) (Figure, error) {
 	}
 	algs := append(sched.All(), sched.MHEFT{})
 	title := "extended comparison (paper algorithms + M-HEFT)"
-	return relativePerformance("extended", title, graphs, algs, opt.Procs, opt.cluster, ScheduledMakespan, opt.Workers)
+	return relativePerformance("extended", title, graphs, algs, opt.Procs, opt.cluster, opt.measure(), opt.Workers)
 }
 
 var _ schedule.Scheduler = sched.MHEFT{}

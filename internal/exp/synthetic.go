@@ -7,6 +7,7 @@ import (
 	"locmps/internal/model"
 	"locmps/internal/sched"
 	"locmps/internal/schedule"
+	"locmps/internal/serve"
 	"locmps/internal/stats"
 	"locmps/internal/synth"
 )
@@ -32,6 +33,12 @@ type SuiteOptions struct {
 	// concurrently: 0 uses one worker per CPU, 1 runs serially. Results are
 	// identical for any value — only wall-clock time changes.
 	Workers int
+	// Service, when non-nil, routes every scheduler run through the
+	// scheduling service instead of calling the algorithm directly: repeated
+	// (graph, cluster, algorithm) cells across figures hit the result cache
+	// and concurrent identical cells coalesce. Schedules are bit-identical
+	// either way, so figures do not change.
+	Service *serve.Service
 }
 
 // PaperSuiteOptions reproduces §IV.A at full scale: 30 graphs of 10-50
@@ -96,6 +103,36 @@ func ScheduledMakespan(alg schedule.Scheduler, tg *model.TaskGraph, c model.Clus
 	}
 	return s.Makespan, nil
 }
+
+// scheduleVia runs alg directly, or — when a service is attached — routes
+// the request through it by algorithm name, picking up result caching,
+// coalescing and warm-worker scratch reuse. The two paths are bit-identical
+// (the service's differential tests enforce it), so callers may mix them.
+func scheduleVia(svc *serve.Service, alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, error) {
+	if svc == nil {
+		return alg.Schedule(tg, c)
+	}
+	return svc.Schedule(serve.Request{
+		Graph:   tg,
+		Cluster: c,
+		Options: serve.Options{Algorithm: alg.Name()},
+	})
+}
+
+// serviceMeasure is ScheduledMakespan routed through scheduleVia.
+func serviceMeasure(svc *serve.Service) Measure {
+	return func(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (float64, error) {
+		s, err := scheduleVia(svc, alg, tg, c)
+		if err != nil {
+			return 0, err
+		}
+		return s.Makespan, nil
+	}
+}
+
+// measure returns the Measure the suite's figures use: a direct scheduler
+// call, or the service-routed equivalent when one is attached.
+func (o SuiteOptions) measure() Measure { return serviceMeasure(o.Service) }
 
 // relativePerformance builds the paper's standard plot: for every
 // algorithm and machine size, the geometric mean over the graphs of
@@ -172,7 +209,7 @@ func Fig4(variant byte, opt SuiteOptions) (Figure, error) {
 		return Figure{}, err
 	}
 	title := fmt.Sprintf("synthetic, CCR=0, Amax=%g sigma=%g", opt.AMax, opt.Sigma)
-	return relativePerformance("fig4"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan, opt.Workers)
+	return relativePerformance("fig4"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, opt.measure(), opt.Workers)
 }
 
 // Fig5 reproduces Figure 5: Amax=64, sigma=1 with significant
@@ -195,7 +232,7 @@ func Fig5(variant byte, opt SuiteOptions) (Figure, error) {
 		return Figure{}, err
 	}
 	title := fmt.Sprintf("synthetic, CCR=%g, Amax=64 sigma=1", opt.CCR)
-	return relativePerformance("fig5"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, ScheduledMakespan, opt.Workers)
+	return relativePerformance("fig5"+string(variant), title, graphs, sched.All(), opt.Procs, opt.cluster, opt.measure(), opt.Workers)
 }
 
 // Fig6 reproduces Figure 6: LoC-MPS with and without backfilling on
@@ -234,7 +271,7 @@ func Fig6(opt SuiteOptions) (perf, times Figure, err error) {
 		pi, gi := idx/nG, idx%nG
 		c := opt.cluster(opt.Procs[pi])
 		for i, alg := range algs {
-			s, err := alg.Schedule(graphs[gi], c)
+			s, err := scheduleVia(opt.Service, alg, graphs[gi], c)
 			if err != nil {
 				return err
 			}

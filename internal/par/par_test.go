@@ -53,3 +53,62 @@ func TestForFirstError(t *testing.T) {
 		t.Errorf("empty range: %v", err)
 	}
 }
+
+func TestForPanicPropagates(t *testing.T) {
+	// A worker panic must reach the submitting goroutine as *PanicError —
+	// not crash the process from inside the pool — and must not prevent the
+	// other indices from running. Service workers sit on top of this pool,
+	// so a panicking scheduler run has to surface as a recoverable value.
+	for _, workers := range []int{2, 4} {
+		var calls atomic.Int64
+		func() {
+			defer func() {
+				v := recover()
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T %v, want *PanicError", workers, v, v)
+				}
+				if pe.Index != 3 {
+					t.Errorf("workers=%d: panic index %d, want 3 (lowest)", workers, pe.Index)
+				}
+				if pe.Value != "boom 3" {
+					t.Errorf("workers=%d: panic value %v, want boom 3", workers, pe.Value)
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("workers=%d: empty panic stack", workers)
+				}
+			}()
+			_ = For(workers, 20, func(i int) error {
+				calls.Add(1)
+				if i == 3 || i == 11 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: For returned without panicking", workers)
+		}()
+		if calls.Load() != 20 {
+			t.Errorf("workers=%d: %d calls, want 20 (pool must keep draining)", workers, calls.Load())
+		}
+	}
+}
+
+func TestForPanicBeatsError(t *testing.T) {
+	// When both a panic and an error occur, the panic wins: swallowing it in
+	// favour of the error would hide a crashing bug behind a benign failure.
+	defer func() {
+		if _, ok := recover().(*PanicError); !ok {
+			t.Fatal("want *PanicError to take precedence over returned errors")
+		}
+	}()
+	_ = For(4, 8, func(i int) error {
+		if i == 2 {
+			return errors.New("plain failure")
+		}
+		if i == 5 {
+			panic("crash")
+		}
+		return nil
+	})
+	t.Fatal("For returned without panicking")
+}

@@ -95,6 +95,22 @@ func (s *Schedule) CommID(id int) float64 { return s.comm[id] }
 // SetCommID records the charge on the edge with the given dense id.
 func (s *Schedule) SetCommID(id int, w float64) { s.comm[id] = w }
 
+// Clone returns a deep copy of the schedule: placements (including their
+// processor sets) and per-edge communication charges are copied, so mutating
+// the clone never affects the original. The task graph reference is shared —
+// it is immutable after construction. Result caches hand out clones so a
+// caller scribbling on a returned schedule cannot corrupt the cached one.
+func (s *Schedule) Clone() *Schedule {
+	c := *s
+	c.Placements = make([]Placement, len(s.Placements))
+	for i, pl := range s.Placements {
+		pl.Procs = append([]int(nil), pl.Procs...)
+		c.Placements[i] = pl
+	}
+	c.comm = append([]float64(nil), s.comm...)
+	return &c
+}
+
 // Validate checks the fundamental invariants of a schedule against its task
 // graph:
 //

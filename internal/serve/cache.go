@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"container/list"
+
+	"locmps/internal/schedule"
+)
+
+// lruCache is one shard's segment of the content-addressed result cache: a
+// bounded least-recently-used map from request fingerprint to the schedule a
+// cold run computed. It stores the original schedule; the service hands
+// callers deep copies (schedule.Clone), so cached results can never be
+// mutated from outside.
+//
+// The cache is not goroutine-safe — the owning shard's mutex guards it.
+type lruCache struct {
+	cap   int
+	ll    *list.List               // front = most recently used
+	byKey map[Key]*list.Element    // of *lruEnt
+}
+
+type lruEnt struct {
+	key   Key
+	sched *schedule.Schedule
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[Key]*list.Element, capacity)}
+}
+
+// get returns the cached schedule for k, marking it most recently used.
+func (c *lruCache) get(k Key) (*schedule.Schedule, bool) {
+	e, ok := c.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEnt).sched, true
+}
+
+// add caches s under k, evicting the least recently used entry when the
+// shard segment is full. It reports whether an eviction happened. Adding an
+// existing key refreshes its recency and replaces the schedule (the two are
+// bit-identical anyway — LoCBS is deterministic).
+func (c *lruCache) add(k Key, s *schedule.Schedule) (evicted bool) {
+	if e, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEnt).sched = s
+		return false
+	}
+	if c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*lruEnt).key)
+		evicted = true
+	}
+	c.byKey[k] = c.ll.PushFront(&lruEnt{key: k, sched: s})
+	return evicted
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int { return c.ll.Len() }

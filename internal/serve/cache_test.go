@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"testing"
+
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+	"locmps/internal/speedup"
+)
+
+func cacheSched(t *testing.T, label string) *schedule.Schedule {
+	t.Helper()
+	tg, err := model.NewTaskGraph(
+		[]model.Task{{Name: label, Profile: speedup.Linear{T1: 1}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schedule.NewSchedule(label, model.Cluster{P: 1, Bandwidth: 1}, tg)
+}
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestLRUBoundAndEvictionOrder(t *testing.T) {
+	c := newLRU(3)
+	s := map[byte]*schedule.Schedule{}
+	for _, b := range []byte{1, 2, 3} {
+		s[b] = cacheSched(t, string('a'+rune(b)))
+		if c.add(key(b), s[b]) {
+			t.Fatalf("add(%d) evicted below capacity", b)
+		}
+	}
+	// Touch 1 so 2 becomes the LRU entry.
+	if got, ok := c.get(key(1)); !ok || got != s[1] {
+		t.Fatal("get(1) miss")
+	}
+	s[4] = cacheSched(t, "d")
+	if !c.add(key(4), s[4]) {
+		t.Fatal("add(4) at capacity did not evict")
+	}
+	if _, ok := c.get(key(2)); ok {
+		t.Error("2 should have been evicted (LRU)")
+	}
+	for _, b := range []byte{1, 3, 4} {
+		if _, ok := c.get(key(b)); !ok {
+			t.Errorf("%d missing after eviction of 2", b)
+		}
+	}
+	if c.len() != 3 {
+		t.Errorf("len = %d, want 3", c.len())
+	}
+}
+
+func TestLRUAddExistingRefreshes(t *testing.T) {
+	c := newLRU(2)
+	a, b2, repl := cacheSched(t, "a"), cacheSched(t, "b"), cacheSched(t, "a2")
+	c.add(key(1), a)
+	c.add(key(2), b2)
+	// Re-adding key 1 must replace in place (no eviction) and refresh
+	// recency so key 2 is now the eviction victim.
+	if c.add(key(1), repl) {
+		t.Error("re-add evicted")
+	}
+	if got, _ := c.get(key(1)); got != repl {
+		t.Error("re-add did not replace the schedule")
+	}
+	c.add(key(3), cacheSched(t, "c"))
+	if _, ok := c.get(key(2)); ok {
+		t.Error("2 should have been evicted after 1 was refreshed")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := newLRU(0) // clamped to 1
+	c.add(key(1), cacheSched(t, "a"))
+	c.add(key(2), cacheSched(t, "b"))
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+	if _, ok := c.get(key(2)); !ok {
+		t.Error("latest entry missing")
+	}
+}

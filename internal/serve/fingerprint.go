@@ -1,0 +1,176 @@
+// Package serve turns the optimized LoC-MPS kernel into a concurrent
+// scheduling service: a content-addressed result cache over canonical
+// request fingerprints, singleflight-style coalescing of identical in-flight
+// requests, and per-shard warm workers that keep the core scheduler's
+// scratch state alive across runs. It is the throughput layer the experiment
+// sweeps and the load generator run on.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"locmps/internal/core"
+	"locmps/internal/model"
+)
+
+// Options select and parameterize the scheduling algorithm for a request.
+// The zero value means "the paper's LoC-MPS with default knobs".
+type Options struct {
+	// Algorithm is a sched.ByName display name ("LoC-MPS", "LoC-MPS-NoBF",
+	// "iCASLB", "CPR", "CPA", "TASK", "DATA", "M-HEFT", "OPT"); empty
+	// selects "LoC-MPS".
+	Algorithm string
+	// Dual runs ScheduleDual (task-parallel and saturated starts, best of
+	// both) instead of the single search. LoC-MPS-family algorithms only.
+	Dual bool
+	// LookAheadDepth, TopFraction and BlockBytes override the LoC-MPS
+	// search knobs and the redistribution model's block-cyclic block size;
+	// zero selects the respective default. Ignored (and excluded from the
+	// fingerprint) for the non-iterative baselines, which have no such
+	// knobs.
+	LookAheadDepth int
+	TopFraction    float64
+	BlockBytes     float64
+}
+
+// locMPSFamily reports whether the named algorithm is a *core.LoCMPS
+// configuration, i.e. whether the search knobs apply to it.
+func locMPSFamily(name string) bool {
+	switch name {
+	case "", "LoC-MPS", "LoC-MPS-NoBF", "iCASLB":
+		return true
+	}
+	return false
+}
+
+// normalized resolves defaults so that every spelling of the same effective
+// configuration fingerprints (and therefore caches and coalesces)
+// identically: Options{} and Options{Algorithm: "LoC-MPS", LookAheadDepth:
+// 20, ...} are the same request, and knobs that an algorithm ignores are
+// zeroed out of the key.
+func (o Options) normalized() Options {
+	if o.Algorithm == "" {
+		o.Algorithm = "LoC-MPS"
+	}
+	if !locMPSFamily(o.Algorithm) {
+		o.Dual = false
+		o.LookAheadDepth = 0
+		o.TopFraction = 0
+		o.BlockBytes = 0
+		return o
+	}
+	if o.LookAheadDepth <= 0 {
+		o.LookAheadDepth = core.DefaultLookAheadDepth
+	}
+	if o.TopFraction <= 0 {
+		o.TopFraction = core.DefaultTopFraction
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = core.DefaultBlockBytes
+	}
+	return o
+}
+
+// Request is one unit of work for the service: schedule Graph onto Cluster
+// under Options.
+type Request struct {
+	Graph   *model.TaskGraph
+	Cluster model.Cluster
+	Options Options
+}
+
+// Key is the content address of a request: a SHA-256 digest of everything
+// the scheduler's output depends on.
+type Key [sha256.Size]byte
+
+// String renders the key's leading bytes for logs.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// Fingerprint computes the request's canonical content key. Two requests
+// receive the same key iff every input the scheduler consults is equal:
+//
+//   - graph structure and data volumes, hashed in dense edge-id order
+//     (sorted by (From, To)), so the order edges were handed to
+//     NewTaskGraph — an artifact of map iteration or slice construction at
+//     the call site — never affects the key;
+//   - per-task execution-time curves, hashed as et(t, 1..P) — exactly the
+//     values the scheduler reads. Profiles that differ parametrically but
+//     agree on every point up to the cluster size schedule identically and
+//     deliberately share a key. Task names are cosmetic (they label Gantt
+//     charts, never placements) and are excluded;
+//   - the cluster (P, bandwidth, overlap), which also covers the
+//     redistribution model's aggregate-bandwidth inputs;
+//   - the normalized scheduler options, including the redistribution
+//     block size.
+//
+// It validates the request and returns an error for an empty graph or an
+// invalid cluster.
+func (r Request) Fingerprint() (Key, error) {
+	if r.Graph == nil || r.Graph.N() == 0 {
+		return Key{}, fmt.Errorf("serve: request has an empty task graph")
+	}
+	if err := r.Cluster.Validate(); err != nil {
+		return Key{}, err
+	}
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	flush := func() {
+		h.Write(buf)
+		buf = buf[:0]
+	}
+
+	buf = append(buf, "locmps/serve/v1"...)
+	o := r.Options.normalized()
+	str(o.Algorithm)
+	if o.Dual {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	u64(uint64(o.LookAheadDepth))
+	f64(o.TopFraction)
+	f64(o.BlockBytes)
+
+	u64(uint64(r.Cluster.P))
+	f64(r.Cluster.Bandwidth)
+	if r.Cluster.Overlap {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	flush()
+
+	tg, P := r.Graph, r.Cluster.P
+	u64(uint64(tg.N()))
+	flush()
+	for t := 0; t < tg.N(); t++ {
+		prof := tg.Tasks[t].Profile
+		for p := 1; p <= P; p++ {
+			f64(prof.Time(p))
+		}
+		flush()
+	}
+	// Edges() is dense-id order: sorted (From, To), independent of the
+	// order the caller inserted them.
+	edges := tg.Edges()
+	u64(uint64(len(edges)))
+	for _, e := range edges {
+		u64(uint64(e.From))
+		u64(uint64(e.To))
+		f64(e.Volume)
+	}
+	flush()
+
+	var k Key
+	h.Sum(k[:0])
+	return k, nil
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"testing"
+
+	"locmps/internal/core"
+	"locmps/internal/model"
+	"locmps/internal/speedup"
+)
+
+// fpGraph builds a small fixed graph, with edges handed to NewTaskGraph in
+// the given order. The schedule-relevant content is identical for every
+// permutation; only the construction order varies.
+func fpGraph(t *testing.T, names []string, t1s []float64, edges []model.Edge) *model.TaskGraph {
+	t.Helper()
+	tasks := make([]model.Task, len(t1s))
+	for i := range tasks {
+		name := ""
+		if names != nil {
+			name = names[i]
+		}
+		tasks[i] = model.Task{Name: name, Profile: speedup.Downey{T1: t1s[i], A: 8, Sigma: 1}}
+	}
+	tg, err := model.NewTaskGraph(tasks, edges)
+	if err != nil {
+		t.Fatalf("NewTaskGraph: %v", err)
+	}
+	return tg
+}
+
+var fpEdges = []model.Edge{
+	{From: 0, To: 1, Volume: 1e6},
+	{From: 0, To: 2, Volume: 2e6},
+	{From: 1, To: 3, Volume: 3e6},
+	{From: 2, To: 3, Volume: 4e6},
+}
+
+func fpCluster() model.Cluster { return model.Cluster{P: 8, Bandwidth: 12.5e6, Overlap: true} }
+
+func mustKey(t *testing.T, r Request) Key {
+	t.Helper()
+	k, err := r.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	return k
+}
+
+// TestFingerprintInsertionOrderIndependent pins the canonicalization
+// property: the same request assembled with edges (and, upstream, map
+// entries) in any insertion order must hash to the same content key.
+func TestFingerprintInsertionOrderIndependent(t *testing.T) {
+	t1s := []float64{10, 20, 30, 40}
+	base := fpGraph(t, nil, t1s, fpEdges)
+	want := mustKey(t, Request{Graph: base, Cluster: fpCluster()})
+
+	perms := [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, perm := range perms {
+		shuffled := make([]model.Edge, len(fpEdges))
+		for i, j := range perm {
+			shuffled[i] = fpEdges[j]
+		}
+		tg := fpGraph(t, nil, t1s, shuffled)
+		if got := mustKey(t, Request{Graph: tg, Cluster: fpCluster()}); got != want {
+			t.Errorf("edge order %v changed the fingerprint: %v != %v", perm, got, want)
+		}
+	}
+}
+
+// TestFingerprintIgnoresCosmetics: task names label Gantt charts, never
+// placements, so they must not fragment the cache; and every spelling of
+// the default options is the same request.
+func TestFingerprintIgnoresCosmetics(t *testing.T) {
+	t1s := []float64{10, 20, 30, 40}
+	anon := fpGraph(t, nil, t1s, fpEdges)
+	named := fpGraph(t, []string{"load", "fft", "ifft", "store"}, t1s, fpEdges)
+	if mustKey(t, Request{Graph: anon, Cluster: fpCluster()}) !=
+		mustKey(t, Request{Graph: named, Cluster: fpCluster()}) {
+		t.Error("task names changed the fingerprint")
+	}
+
+	implicit := Request{Graph: anon, Cluster: fpCluster()}
+	explicit := Request{Graph: anon, Cluster: fpCluster(), Options: Options{
+		Algorithm:      "LoC-MPS",
+		LookAheadDepth: core.DefaultLookAheadDepth,
+		TopFraction:    core.DefaultTopFraction,
+		BlockBytes:     core.DefaultBlockBytes,
+	}}
+	if mustKey(t, implicit) != mustKey(t, explicit) {
+		t.Error("explicit default options changed the fingerprint")
+	}
+
+	// Baselines have no search knobs: setting them must not fragment.
+	cpr := Request{Graph: anon, Cluster: fpCluster(), Options: Options{Algorithm: "CPR"}}
+	cprKnobs := cpr
+	cprKnobs.Options.LookAheadDepth = 7
+	cprKnobs.Options.TopFraction = 0.5
+	cprKnobs.Options.Dual = true
+	if mustKey(t, cpr) != mustKey(t, cprKnobs) {
+		t.Error("ignored knobs changed a baseline fingerprint")
+	}
+}
+
+// TestFingerprintSensitivity is the table-driven no-collision check: every
+// semantically distinct mutation of the request must move the key.
+func TestFingerprintSensitivity(t *testing.T) {
+	t1s := []float64{10, 20, 30, 40}
+	base := Request{Graph: fpGraph(t, nil, t1s, fpEdges), Cluster: fpCluster()}
+	want := mustKey(t, base)
+
+	mutate := func(f func(e []model.Edge) []model.Edge) *model.TaskGraph {
+		cp := append([]model.Edge(nil), fpEdges...)
+		return fpGraph(t, nil, t1s, f(cp))
+	}
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"volume changed", Request{Graph: mutate(func(e []model.Edge) []model.Edge {
+			e[1].Volume *= 2
+			return e
+		}), Cluster: fpCluster()}},
+		{"edge dropped", Request{Graph: mutate(func(e []model.Edge) []model.Edge {
+			return e[:3]
+		}), Cluster: fpCluster()}},
+		{"edge rerouted", Request{Graph: mutate(func(e []model.Edge) []model.Edge {
+			e[2] = model.Edge{From: 0, To: 3, Volume: e[2].Volume}
+			return e
+		}), Cluster: fpCluster()}},
+		{"profile time changed", Request{Graph: fpGraph(t, nil, []float64{10, 21, 30, 40}, fpEdges), Cluster: fpCluster()}},
+		{"profiles swapped between tasks", Request{Graph: fpGraph(t, nil, []float64{20, 10, 30, 40}, fpEdges), Cluster: fpCluster()}},
+		{"cluster size", Request{Graph: base.Graph, Cluster: model.Cluster{P: 16, Bandwidth: 12.5e6, Overlap: true}}},
+		{"bandwidth", Request{Graph: base.Graph, Cluster: model.Cluster{P: 8, Bandwidth: 25e6, Overlap: true}}},
+		{"overlap", Request{Graph: base.Graph, Cluster: model.Cluster{P: 8, Bandwidth: 12.5e6, Overlap: false}}},
+		{"algorithm", Request{Graph: base.Graph, Cluster: fpCluster(), Options: Options{Algorithm: "CPR"}}},
+		{"dual", Request{Graph: base.Graph, Cluster: fpCluster(), Options: Options{Dual: true}}},
+		{"lookahead depth", Request{Graph: base.Graph, Cluster: fpCluster(), Options: Options{LookAheadDepth: 3}}},
+		{"top fraction", Request{Graph: base.Graph, Cluster: fpCluster(), Options: Options{TopFraction: 0.5}}},
+		{"block bytes", Request{Graph: base.Graph, Cluster: fpCluster(), Options: Options{BlockBytes: 4096}}},
+	}
+	seen := map[Key]string{want: "base"}
+	for _, tc := range cases {
+		k := mustKey(t, tc.req)
+		if k == want {
+			t.Errorf("%s: fingerprint did not change", tc.name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s", tc.name, prev)
+		}
+		seen[k] = tc.name
+	}
+}
+
+// TestFingerprintProfileEquivalence: profiles that agree on every point the
+// scheduler can consult (p = 1..P) share a key by design — the schedules
+// are necessarily identical, so caching across them is free coverage.
+func TestFingerprintProfileEquivalence(t *testing.T) {
+	downey := speedup.Downey{T1: 10, A: 8, Sigma: 1}
+	times := make([]float64, fpCluster().P)
+	for p := 1; p <= len(times); p++ {
+		times[p-1] = downey.Time(p)
+	}
+	table, err := speedup.NewTable(times)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	mk := func(prof speedup.Profile) *model.TaskGraph {
+		tg, err := model.NewTaskGraph(
+			[]model.Task{{Profile: prof}, {Profile: prof}},
+			[]model.Edge{{From: 0, To: 1, Volume: 1e6}})
+		if err != nil {
+			t.Fatalf("NewTaskGraph: %v", err)
+		}
+		return tg
+	}
+	if mustKey(t, Request{Graph: mk(downey), Cluster: fpCluster()}) !=
+		mustKey(t, Request{Graph: mk(table), Cluster: fpCluster()}) {
+		t.Error("pointwise-identical profiles should share a fingerprint")
+	}
+}
+
+func TestFingerprintRejectsInvalid(t *testing.T) {
+	if _, err := (Request{Cluster: fpCluster()}).Fingerprint(); err == nil {
+		t.Error("nil graph accepted")
+	}
+	tg := fpGraph(t, nil, []float64{1, 2, 3, 4}, fpEdges)
+	if _, err := (Request{Graph: tg, Cluster: model.Cluster{P: 0, Bandwidth: 1}}).Fingerprint(); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locmps/internal/core"
+	"locmps/internal/sched"
+	"locmps/internal/schedule"
+)
+
+// ErrOverloaded is returned when a request's shard queue is full: the
+// service applies backpressure instead of buffering unboundedly. Callers
+// decide whether to retry, shed or report.
+var ErrOverloaded = errors.New("serve: overloaded: shard queue full")
+
+// ErrClosed is returned by Schedule after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// Config sizes the service. The zero value selects sensible defaults.
+type Config struct {
+	// Shards is the number of independent shards. Each shard owns a segment
+	// of the result cache, its own in-flight (coalescing) table, a bounded
+	// queue and its own warm workers; requests are routed by fingerprint.
+	// Default: GOMAXPROCS, capped at 8.
+	Shards int
+	// WorkersPerShard is the number of warm worker goroutines draining each
+	// shard's queue. Every worker pins core scheduler scratch (pools, cost
+	// caches, sized buffers) for its whole lifetime, so consecutive runs on
+	// one worker start warm. Default 1.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's pending-request queue; an admission
+	// beyond it fails fast with ErrOverloaded. Default 64.
+	QueueDepth int
+	// CacheEntries bounds the total number of cached schedules across all
+	// shards (each shard holds CacheEntries/Shards, at least one). Default
+	// 1024.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.WorkersPerShard < 1 {
+		c.WorkersPerShard = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 1024
+	}
+	return c
+}
+
+// Service is a concurrent scheduling service over the LoC-MPS kernel and
+// the paper's baselines. Schedule is safe for arbitrary concurrent use; the
+// heavy lifting happens on per-shard warm workers with admission control,
+// identical concurrent requests coalesce into one run, and completed
+// results are served from a sharded content-addressed LRU cache as deep
+// copies bit-identical to a cold run.
+type Service struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+	start  time.Time
+	closed atomic.Bool
+
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	coalesced atomic.Uint64
+	scheduled atomic.Uint64
+	rejected  atomic.Uint64
+	failed    atomic.Uint64
+	evictions atomic.Uint64
+	completed atomic.Uint64
+	lat       latencyRing
+}
+
+type shard struct {
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[Key]*call
+	queue    chan *job
+	closed   bool
+}
+
+// call is one in-flight cold run: the leader enqueued it, followers block
+// on done. sched/err are written exactly once before done is closed.
+type call struct {
+	done  chan struct{}
+	sched *schedule.Schedule
+	err   error
+}
+
+type job struct {
+	req Request
+	key Key
+	c   *call
+}
+
+// New starts the service's worker goroutines and returns it. Call Close to
+// drain and stop them.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg, start: time.Now()}
+	perShard := cfg.CacheEntries / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			cache:    newLRU(perShard),
+			inflight: make(map[Key]*call),
+			queue:    make(chan *job, cfg.QueueDepth),
+		}
+		s.shards = append(s.shards, sh)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			s.wg.Add(1)
+			go s.worker(sh)
+		}
+	}
+	return s
+}
+
+// shardFor routes a fingerprint to its shard.
+func (s *Service) shardFor(k Key) *shard {
+	return s.shards[binary.LittleEndian.Uint64(k[:8])%uint64(len(s.shards))]
+}
+
+// Schedule resolves one request, blocking until the schedule is available:
+// served from the result cache (a deep copy, bit-identical to a cold run),
+// by joining an identical in-flight request, or by a cold run on one of the
+// shard's warm workers. It fails fast with ErrOverloaded when the shard's
+// queue is full and with ErrClosed after Close.
+func (s *Service) Schedule(req Request) (*schedule.Schedule, error) {
+	started := time.Now()
+	key, err := req.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	// Reject unknown algorithms at admission, not on the worker.
+	if _, err := sched.ByName(req.Options.normalized().Algorithm); err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	sh := s.shardFor(key)
+
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cached, ok := sh.cache.get(key); ok {
+		sh.mu.Unlock()
+		s.hits.Add(1)
+		return s.finish(cached, started)
+	}
+	if c, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		s.coalesced.Add(1)
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		return s.finish(c.sched, started)
+	}
+	c := &call{done: make(chan struct{})}
+	select {
+	case sh.queue <- &job{req: req, key: key, c: c}:
+		sh.inflight[key] = c
+		sh.mu.Unlock()
+	default:
+		sh.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	<-c.done
+	if c.err != nil {
+		return nil, c.err
+	}
+	return s.finish(c.sched, started)
+}
+
+// finish records a successful completion and returns the caller's private
+// deep copy of the schedule.
+func (s *Service) finish(res *schedule.Schedule, started time.Time) (*schedule.Schedule, error) {
+	s.completed.Add(1)
+	s.lat.record(time.Since(started))
+	return res.Clone(), nil
+}
+
+// worker drains one shard's queue on a pinned core scratch until the
+// service closes. Scheduler instances are cached per effective Options so a
+// request mix over few configurations never rebuilds them.
+func (s *Service) worker(sh *shard) {
+	defer s.wg.Done()
+	cw := core.NewWorker()
+	defer cw.Close()
+	algs := make(map[Options]schedule.Scheduler)
+	for jb := range sh.queue {
+		res, err := runJob(cw, algs, jb)
+		sh.mu.Lock()
+		delete(sh.inflight, jb.key)
+		if err == nil {
+			if sh.cache.add(jb.key, res) {
+				s.evictions.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			s.failed.Add(1)
+		} else {
+			s.scheduled.Add(1)
+		}
+		jb.c.sched, jb.c.err = res, err
+		close(jb.c.done)
+	}
+}
+
+// runJob executes one cold scheduling run. A panicking scheduler (or
+// profile implementation) must not take the whole service down, so panics
+// are converted into errors delivered to the leader and every coalesced
+// follower.
+func runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, jb *job) (res *schedule.Schedule, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fmt.Errorf("serve: scheduler panicked: %v\n%s", v, debug.Stack())
+		}
+	}()
+	o := jb.req.Options.normalized()
+	alg, ok := algs[o]
+	if !ok {
+		if alg, err = buildScheduler(o); err != nil {
+			return nil, err
+		}
+		algs[o] = alg
+	}
+	if lm, isLoCMPS := alg.(*core.LoCMPS); isLoCMPS {
+		if o.Dual {
+			// ScheduleDual runs two searches concurrently; they draw from
+			// the shared scratch pool rather than this worker's pin.
+			return lm.ScheduleDual(jb.req.Graph, jb.req.Cluster)
+		}
+		return cw.Schedule(lm, jb.req.Graph, jb.req.Cluster)
+	}
+	return alg.Schedule(jb.req.Graph, jb.req.Cluster)
+}
+
+// buildScheduler materializes the scheduler for normalized options.
+func buildScheduler(o Options) (schedule.Scheduler, error) {
+	alg, err := sched.ByName(o.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if lm, ok := alg.(*core.LoCMPS); ok {
+		lm.LookAheadDepth = o.LookAheadDepth
+		lm.TopFraction = o.TopFraction
+		lm.Engine.BlockBytes = o.BlockBytes
+	}
+	return alg, nil
+}
+
+// Close marks every shard closed, drains the queued work and waits for the
+// workers to exit. Pending leaders still receive their results; Schedule
+// calls arriving afterwards fail with ErrClosed. Close is idempotent.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		close(sh.queue)
+		sh.mu.Unlock()
+	}
+	s.wg.Wait()
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Requests counts Schedule admissions (fingerprint and algorithm
+	// already validated). Requests = CacheHits + Coalesced + cold leaders.
+	Requests uint64
+	// CacheHits counts requests answered from the result cache.
+	CacheHits uint64
+	// Coalesced counts requests that joined an identical in-flight run
+	// instead of triggering their own.
+	Coalesced uint64
+	// Scheduled counts cold runs executed by workers; Failed counts cold
+	// runs that returned an error (or panicked).
+	Scheduled uint64
+	Failed    uint64
+	// Rejected counts admissions refused with ErrOverloaded.
+	Rejected uint64
+	// Completed counts Schedule calls that returned a schedule.
+	Completed uint64
+	// Evictions counts LRU evictions; CacheEntries is the current total
+	// number of cached schedules.
+	Evictions    uint64
+	CacheEntries int
+	// Shards and Workers describe the running topology.
+	Shards, Workers int
+	// Uptime is the time since New; P50/P99 are request latency quantiles
+	// over a sliding window of recent completions.
+	Uptime   time.Duration
+	P50, P99 time.Duration
+}
+
+// Throughput reports completed schedules per second since the service
+// started.
+func (st Stats) Throughput() float64 {
+	if st.Uptime <= 0 {
+		return 0
+	}
+	return float64(st.Completed) / st.Uptime.Seconds()
+}
+
+// Stats snapshots the counters. Safe for concurrent use.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Requests:  s.requests.Load(),
+		CacheHits: s.hits.Load(),
+		Coalesced: s.coalesced.Load(),
+		Scheduled: s.scheduled.Load(),
+		Failed:    s.failed.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+		Evictions: s.evictions.Load(),
+		Shards:    len(s.shards),
+		Workers:   len(s.shards) * s.cfg.WorkersPerShard,
+		Uptime:    time.Since(s.start),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.CacheEntries += sh.cache.len()
+		sh.mu.Unlock()
+	}
+	st.P50, st.P99 = s.lat.quantiles()
+	return st
+}
+
+// latWindow bounds the latency reservoir: quantiles reflect the most recent
+// completions, which is what a load driver watching a phase change wants.
+const latWindow = 4096
+
+// latencyRing is a fixed-size sliding window of request latencies.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latWindow]int64 // nanoseconds
+	n   int
+}
+
+func (l *latencyRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%latWindow] = int64(d)
+	l.n++
+	l.mu.Unlock()
+}
+
+// quantiles reports the p50/p99 of the window (zeros when empty).
+func (l *latencyRing) quantiles() (p50, p99 time.Duration) {
+	l.mu.Lock()
+	m := l.n
+	if m > latWindow {
+		m = latWindow
+	}
+	cp := make([]int64, m)
+	copy(cp, l.buf[:m])
+	l.mu.Unlock()
+	if m == 0 {
+		return 0, 0
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return time.Duration(cp[(m-1)*50/100]), time.Duration(cp[(m-1)*99/100])
+}

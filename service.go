@@ -1,0 +1,38 @@
+package locmps
+
+import "locmps/internal/serve"
+
+// Service is a concurrent scheduling service over the LoC-MPS kernel and
+// the baselines: a sharded content-addressed result cache over canonical
+// request fingerprints, coalescing of identical in-flight requests, and
+// per-shard warm workers that keep scheduler scratch state alive across
+// runs. Construct with NewService; Schedule is safe for concurrent use.
+type Service = serve.Service
+
+// ServiceConfig sizes a Service (shards, workers per shard, queue depth,
+// cache entries). The zero value selects sensible defaults.
+type ServiceConfig = serve.Config
+
+// ServiceRequest is one unit of work: schedule Graph onto Cluster under
+// Options.
+type ServiceRequest = serve.Request
+
+// ServiceOptions select and parameterize the algorithm for a request; the
+// zero value means LoC-MPS with default knobs.
+type ServiceOptions = serve.Options
+
+// ServiceStats is a point-in-time snapshot of a Service's counters.
+type ServiceStats = serve.Stats
+
+// ServiceKey is the canonical content address of a ServiceRequest.
+type ServiceKey = serve.Key
+
+// ErrOverloaded is returned by Service.Schedule when the request's shard
+// queue is full; ErrClosed after Close.
+var (
+	ErrOverloaded = serve.ErrOverloaded
+	ErrClosed     = serve.ErrClosed
+)
+
+// NewService starts a scheduling service. Call Close to stop its workers.
+func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
