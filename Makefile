@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke
+.PHONY: check build vet test race race-core bench-smoke bench-gate bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke
 
 check: build vet race bench-smoke loadgen-smoke
 
@@ -21,6 +21,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrency-heavy packages (barrier window evaluation, shared
+# cross-request state, anytime cancellation) re-run fresh under the race
+# detector with four scheduler threads, so the interleavings exist even on
+# wide CI runners configured narrow or vice versa.
+race-core:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/core/... ./internal/serve/...
+
 # A single iteration of each mid-scale scheduler benchmark: catches gross
 # regressions and asserts the hot path still runs end to end.
 bench-smoke:
@@ -30,6 +37,14 @@ bench-smoke:
 # is preserved).
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Regression gate against the committed BENCH_locmps.json: re-measures every
+# case and fails when ns/op exceeds the committed current snapshot by more
+# than the threshold (default 1.6x, generous for shared CI runners) or when
+# any makespan changed — schedules are deterministic, so a changed makespan
+# is a behavior change, never noise. Writes no file.
+bench-gate:
+	$(GO) run ./cmd/benchjson -gate
 
 # Refresh the "current" snapshot in BENCH_serve.json: service-level
 # throughput and latency from the closed-loop load generator (baseline

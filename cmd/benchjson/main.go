@@ -29,10 +29,12 @@
 //	go run ./cmd/benchjson -o out.json
 //	go run ./cmd/benchjson -cpuprofile cpu.pprof
 //	go run ./cmd/benchjson -rebaseline BenchmarkLoCMPS100Tasks128Procs
+//	go run ./cmd/benchjson -gate      # fail if ns/op regressed vs the committed file
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +43,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"testing"
+	"time"
 
 	"locmps"
 )
@@ -68,6 +71,7 @@ type SearchSnapshot struct {
 	CacheHits        int     `json:"cache_hits"`
 	CacheMisses      int     `json:"cache_misses"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
+	WindowRuns       int     `json:"window_runs"`
 	SpeculativeRuns  int     `json:"speculative_runs"`
 	SpeculativeWaste int     `json:"speculative_waste"`
 	// Incremental-placement accounting: placement runs that resumed from a
@@ -87,6 +91,7 @@ func snapshot(m locmps.RunMetrics) *SearchSnapshot {
 		CacheHits:        m.CacheHits,
 		CacheMisses:      m.CacheMisses,
 		CacheHitRate:     m.CacheHitRate(),
+		WindowRuns:       m.WindowRuns,
 		SpeculativeRuns:  m.SpeculativeRuns,
 		SpeculativeWaste: m.SpeculativeWaste,
 		ResumedRuns:      m.ResumedRuns,
@@ -102,7 +107,31 @@ type File struct {
 	Baseline map[string]Result  `json:"baseline"`
 	Current  map[string]Result  `json:"current"`
 	SpeedupX map[string]Speedup `json:"speedup_vs_baseline"`
+	// AnytimeTradeoff is the makespan-vs-latency curve of the anytime
+	// search on each recorded case: one point per MaxIterations budget
+	// (0 = unbounded), refreshed every run like "current".
+	AnytimeTradeoff map[string][]TradeoffPoint `json:"anytime_tradeoff,omitempty"`
 }
+
+// TradeoffPoint is one budget point of the anytime makespan-vs-latency
+// curve: what schedule quality a MaxIterations budget buys and what it
+// costs in scheduling time.
+type TradeoffPoint struct {
+	// MaxIterations is the outer-round budget; 0 means unbounded (the
+	// full search, Truncated always false).
+	MaxIterations int     `json:"max_iterations"`
+	Ns            float64 `json:"ns"`
+	Makespan      float64 `json:"makespan"`
+	// QualityRatio is makespan over the instance's certified lower bound
+	// (>= 1; smaller is better).
+	QualityRatio float64 `json:"quality_ratio"`
+	Truncated    bool    `json:"truncated"`
+}
+
+// tradeoffBudgets are the MaxIterations points of the anytime curve, in
+// measurement order; 0 (unbounded) last so the curve ends at the full
+// search.
+var tradeoffBudgets = []int{4, 16, 64, 256, 0}
 
 // Speedup is baseline/current for the two tracked dimensions.
 type Speedup struct {
@@ -127,15 +156,64 @@ func main() {
 	reps := flag.Int("reps", 3, "benchmark repetitions per case; the fastest is recorded")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
+	gate := flag.Bool("gate", false, "regression gate: re-measure every case and fail if ns/op exceeds the committed current snapshot by more than -gate-threshold, or if any makespan changed; writes no file")
+	gateThreshold := flag.Float64("gate-threshold", 1.6, "allowed ns/op ratio over the committed snapshot before -gate fails")
 	flag.Parse()
 	if *reps < 1 {
 		fmt.Fprintln(os.Stderr, "benchjson: -reps must be at least 1")
 		os.Exit(1)
 	}
-	if err := profiled(*cpuprofile, *memprofile, func() error { return run(*path, *rebase, *reps) }); err != nil {
+	work := func() error { return run(*path, *rebase, *reps) }
+	if *gate {
+		work = func() error { return gateRun(*path, *reps, *gateThreshold) }
+	}
+	if err := profiled(*cpuprofile, *memprofile, work); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gateRun is the CI regression gate: it re-measures every case against the
+// committed BENCH_locmps.json and fails when timing regresses past the
+// threshold or when any makespan differs from the committed one (schedules
+// are deterministic — a changed makespan is a behavior change, not noise).
+func gateRun(path string, reps int, threshold float64) error {
+	prev, err := load(path)
+	if err != nil {
+		return err
+	}
+	if prev == nil || len(prev.Current) == 0 {
+		return fmt.Errorf("-gate: no committed snapshot in %s to gate against", path)
+	}
+	var failures []string
+	for _, cs := range cases {
+		committed, ok := prev.Current[cs.name]
+		if !ok {
+			fmt.Printf("%-34s not in committed snapshot; skipped\n", cs.name)
+			continue
+		}
+		r, err := measure(cs, reps, false)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cs.name, err)
+		}
+		ratio := r.NsPerOp / committed.NsPerOp
+		status := "ok"
+		if r.Makespan != committed.Makespan {
+			status = "FAIL (makespan changed)"
+			failures = append(failures, fmt.Sprintf("%s: makespan %.6g, committed %.6g — schedule changed",
+				cs.name, r.Makespan, committed.Makespan))
+		} else if ratio > threshold {
+			status = "FAIL (slower)"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op is %.2fx the committed %.0f ns/op (threshold %.2fx)",
+				cs.name, r.NsPerOp, ratio, committed.NsPerOp, threshold))
+		}
+		fmt.Printf("%-34s %14.0f ns/op  %5.2fx committed  %s\n", cs.name, r.NsPerOp, ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("bench gate passed")
+	return nil
 }
 
 // profiled wraps fn with optional CPU and heap profiling; the heap profile
@@ -209,13 +287,32 @@ func run(path, rebase string, reps int) error {
 		fmt.Printf("%-34s %14.0f ns/op %12.0f B/op %10.0f allocs/op  makespan %.6g (%.3fx CPR)\n",
 			cs.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Makespan, r.RatioVsCPR)
 		if s := r.Search; s != nil {
-			fmt.Printf("%-34s %14d locbs %12d hits %10d misses  %.1f%% hit rate, spec %d/%d wasted\n",
+			fmt.Printf("%-34s %14d locbs %12d hits %10d misses  %.1f%% hit rate, window %d, spec %d/%d wasted\n",
 				"", s.LoCBSRuns, s.CacheHits, s.CacheMisses, 100*s.CacheHitRate,
-				s.SpeculativeWaste, s.SpeculativeRuns)
+				s.WindowRuns, s.SpeculativeWaste, s.SpeculativeRuns)
 			if s.ResumedRuns > 0 {
 				fmt.Printf("%-34s %14d resumed %10d replayed %8d rolled back  %.1f%% replay\n",
 					"", s.ResumedRuns, s.ReplayedTasks, s.RollbackDepth, 100*s.ReplayRate)
 			}
+		}
+	}
+	// The anytime curve is recorded for the largest case only: small
+	// instances finish in a handful of rounds, so most budget points
+	// coincide with the full search and carry no information.
+	{
+		cs := cases[len(cases)-1]
+		curve, err := tradeoffCurve(cs)
+		if err != nil {
+			return fmt.Errorf("%s (anytime): %w", cs.name, err)
+		}
+		out.AnytimeTradeoff = map[string][]TradeoffPoint{cs.name: curve}
+		for _, pt := range curve {
+			budget := fmt.Sprintf("iters=%d", pt.MaxIterations)
+			if pt.MaxIterations == 0 {
+				budget = "unbounded"
+			}
+			fmt.Printf("%-34s anytime %-10s %12.0f ns  makespan %.6g  quality %.3fx bound  truncated=%v\n",
+				cs.name, budget, pt.Ns, pt.Makespan, pt.QualityRatio, pt.Truncated)
 		}
 	}
 	if out.Baseline == nil {
@@ -249,6 +346,40 @@ func run(path, rebase string, reps int) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// tradeoffCurve measures the anytime makespan-vs-latency curve on one
+// case: the schedule each MaxIterations budget buys (deterministic — no
+// wall clock in the stop rule) and the wall time it cost. Monotonicity of
+// the quality ratio across growing budgets is asserted by the core tests;
+// here the points are only recorded.
+func tradeoffCurve(cs benchCase) ([]TradeoffPoint, error) {
+	p := locmps.DefaultSynthParams()
+	p.Tasks = cs.tasks
+	p.CCR = 0.1
+	p.Seed = 7
+	tg, err := locmps.Synthetic(p)
+	if err != nil {
+		return nil, err
+	}
+	c := locmps.Cluster{P: cs.procs, Bandwidth: 12.5e6, Overlap: true}
+	ctx := context.Background()
+	curve := make([]TradeoffPoint, 0, len(tradeoffBudgets))
+	for _, iters := range tradeoffBudgets {
+		t0 := time.Now()
+		res, err := locmps.ScheduleAnytime(ctx, tg, c, locmps.Budget{MaxIterations: iters})
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, TradeoffPoint{
+			MaxIterations: iters,
+			Ns:            float64(time.Since(t0)),
+			Makespan:      res.Schedule.Makespan,
+			QualityRatio:  res.Ratio,
+			Truncated:     res.Truncated,
+		})
+	}
+	return curve, nil
 }
 
 // warnStale flags every case whose baseline and current snapshots are

@@ -24,10 +24,13 @@
 //	go run ./cmd/loadgen                # update BENCH_serve.json in place
 //	go run ./cmd/loadgen -o out.json
 //	go run ./cmd/loadgen -smoke         # reduced load, sanity checks, no file
+//	go run ./cmd/loadgen -workers 2     # drive a single worker count
+//	go run ./cmd/loadgen -deadline 5ms  # wall-clock budget for the anytime case
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,6 +60,17 @@ type Result struct {
 	ColdNs      float64 `json:"cold_ns,omitempty"`
 	WarmHitNs   float64 `json:"warm_hit_p50_ns,omitempty"`
 	HitSpeedupX float64 `json:"hit_speedup_x,omitempty"`
+	// Deadline case: one instance scheduled under a wall-clock anytime
+	// budget against the same instance's full run. QualityRatio is the
+	// anytime schedule's makespan over the instance's certified lower
+	// bound (>= 1 always); Truncated says whether the budget actually cut
+	// the search short on this host.
+	DeadlineNs      float64 `json:"deadline_ns,omitempty"`
+	AnytimeNs       float64 `json:"anytime_ns,omitempty"`
+	AnytimeMakespan float64 `json:"anytime_makespan,omitempty"`
+	FullMakespan    float64 `json:"full_makespan,omitempty"`
+	QualityRatio    float64 `json:"quality_ratio,omitempty"`
+	Truncated       bool    `json:"truncated,omitempty"`
 }
 
 // File is the on-disk layout of BENCH_serve.json.
@@ -86,6 +100,7 @@ type config struct {
 	hitTasks     int
 	hitProcs     int
 	hitReps      int
+	deadline     time.Duration
 }
 
 func fullConfig() config {
@@ -94,6 +109,7 @@ func fullConfig() config {
 		distinct:     24, tasks: 24, procs: 16,
 		warmRounds: 3,
 		hitTasks:   50, hitProcs: 64, hitReps: 32,
+		deadline: 5 * time.Millisecond,
 	}
 }
 
@@ -103,29 +119,38 @@ func smokeConfig() config {
 		distinct:     6, tasks: 12, procs: 8,
 		warmRounds: 2,
 		hitTasks:   20, hitProcs: 16, hitReps: 8,
+		deadline: 2 * time.Millisecond,
 	}
 }
 
 func main() {
 	path := flag.String("o", "BENCH_serve.json", "output file (baseline inside is preserved)")
 	smoke := flag.Bool("smoke", false, "reduced load for CI: run the phases, check invariants, write no file")
+	workers := flag.Int("workers", 0, "drive only this worker count instead of the default ladder")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the anytime deadline case (0 keeps the config default)")
 	flag.Parse()
-	if err := run(*path, *smoke); err != nil {
+	if err := run(*path, *smoke, *workers, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, smoke bool) error {
+func run(path string, smoke bool, workers int, deadline time.Duration) error {
 	cfg := fullConfig()
 	if smoke {
 		cfg = smokeConfig()
 	}
+	if workers > 0 {
+		cfg.workerCounts = []int{workers}
+	}
+	if deadline > 0 {
+		cfg.deadline = deadline
+	}
 	cpus := runtime.NumCPU()
-	if max := cfg.workerCounts[len(cfg.workerCounts)-1]; cpus < max {
+	if procs, max := runtime.GOMAXPROCS(0), cfg.workerCounts[len(cfg.workerCounts)-1]; max > procs {
 		fmt.Fprintf(os.Stderr,
-			"loadgen: note: host has %d CPU(s); cold throughput cannot scale to %d workers here\n",
-			cpus, max)
+			"loadgen: warning: %d workers exceed GOMAXPROCS=%d; they will time-slice, not parallelize — cold throughput and latency will not reflect %d-way hardware\n",
+			max, procs, max)
 	}
 
 	current := map[string]Result{}
@@ -149,12 +174,22 @@ func run(path string, smoke bool) error {
 	fmt.Printf("%-38s cold %v, cache hit %v: %.0fx\n",
 		hitName, time.Duration(hit.ColdNs), time.Duration(hit.WarmHitNs), hit.HitSpeedupX)
 
+	dl, err := deadlineCase(cfg)
+	if err != nil {
+		return err
+	}
+	dlName := "LoadgenDeadline"
+	current[dlName] = dl
+	fmt.Printf("%-38s budget %v: anytime %v (makespan %.3g, quality %.3fx bound, truncated=%v) vs full %.3g\n",
+		dlName, time.Duration(dl.DeadlineNs), time.Duration(dl.AnytimeNs),
+		dl.AnytimeMakespan, dl.QualityRatio, dl.Truncated, dl.FullMakespan)
+
 	if smoke {
-		return smokeChecks(current, hitName)
+		return smokeChecks(current, hitName, dlName)
 	}
 
 	out := File{
-		Note: "Scheduling-service load generation (closed loop): cold and cache-hit throughput and latency per worker count, plus the cache-hit speedup on one mid-scale instance. Baseline is preserved across runs; delete this file to re-baseline. Cold throughput is compute-bound and only scales with workers when the host has as many CPUs (see \"cpus\").",
+		Note:     "Scheduling-service load generation (closed loop): cold and cache-hit throughput and latency per worker count, plus the cache-hit speedup on one mid-scale instance. Baseline is preserved across runs; delete this file to re-baseline. Cold throughput is compute-bound and only scales with workers when the host has as many CPUs (see \"cpus\").",
 		CPUs:     cpus,
 		Current:  current,
 		SpeedupX: map[string]Speedup{},
@@ -209,10 +244,12 @@ func run(path string, smoke bool) error {
 }
 
 // smokeChecks validates the invariants a CI smoke run cares about: the
-// cache must actually serve hits, and hits must beat cold runs.
-func smokeChecks(current map[string]Result, hitName string) error {
+// cache must actually serve hits, hits must beat cold runs, and the
+// deadline-bounded anytime result must be a valid (bound-respecting,
+// no-better-than-full) schedule.
+func smokeChecks(current map[string]Result, hitName, dlName string) error {
 	for name, r := range current {
-		if name == hitName {
+		if name == hitName || name == dlName {
 			continue
 		}
 		if r.WarmSchedPerSec <= r.ColdSchedPerSec {
@@ -223,6 +260,13 @@ func smokeChecks(current map[string]Result, hitName string) error {
 	hit := current[hitName]
 	if hit.HitSpeedupX < 2 {
 		return fmt.Errorf("%s: cache hit only %.1fx faster than cold", hitName, hit.HitSpeedupX)
+	}
+	dl := current[dlName]
+	if dl.QualityRatio < 1 {
+		return fmt.Errorf("%s: quality ratio %.4f below 1 — schedule beats the certified lower bound", dlName, dl.QualityRatio)
+	}
+	if dl.AnytimeMakespan < dl.FullMakespan*(1-1e-9) {
+		return fmt.Errorf("%s: anytime makespan %.6g better than the full run's %.6g", dlName, dl.AnytimeMakespan, dl.FullMakespan)
 	}
 	fmt.Println("smoke checks passed")
 	return nil
@@ -367,6 +411,45 @@ func hitSpeedupCase(cfg config) (Result, error) {
 		ColdNs:      coldNs,
 		WarmHitNs:   warmNs,
 		HitSpeedupX: coldNs / warmNs,
+	}, nil
+}
+
+// deadlineCase schedules one mid-scale instance under a wall-clock anytime
+// budget and compares it against the full (unbudgeted) run of the same
+// instance: how much makespan the deadline costs, and how close the anytime
+// result stays to the certified lower bound. Deadline runs bypass the
+// result cache, so the anytime measurement is always a real run.
+func deadlineCase(cfg config) (Result, error) {
+	reqs, err := stream(1, cfg.hitTasks, cfg.hitProcs, 7000)
+	if err != nil {
+		return Result{}, err
+	}
+	req := reqs[0]
+	svc := locmps.NewService(locmps.ServiceConfig{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      8,
+		CacheEntries:    16,
+	})
+	defer svc.Close()
+	ctx := context.Background()
+
+	full, err := svc.ScheduleAnytime(ctx, req, locmps.Budget{})
+	if err != nil {
+		return Result{}, err
+	}
+	t0 := time.Now()
+	any, err := svc.ScheduleAnytime(ctx, req, locmps.Budget{Deadline: t0.Add(cfg.deadline)})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		DeadlineNs:      float64(cfg.deadline),
+		AnytimeNs:       float64(time.Since(t0)),
+		AnytimeMakespan: any.Schedule.Makespan,
+		FullMakespan:    full.Schedule.Makespan,
+		QualityRatio:    any.Ratio,
+		Truncated:       any.Truncated,
 	}, nil
 }
 

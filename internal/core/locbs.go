@@ -858,6 +858,15 @@ func (e *placer) edgeCost(par int, vol float64, procs []int, procsHash uint64) f
 	if c, ok := e.sc.costCache.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
 		return c
 	}
+	// L2: the read-only cross-worker snapshot installed by Worker.UseShared
+	// for this (graph, cluster) content. A hit is promoted into the live L1
+	// so repeats stay one probe.
+	if sh := e.sc.costShared; sh != nil {
+		if c, ok := sh.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
+			e.sc.costCache.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
+			return c
+		}
+	}
 	c := e.rm.FastCostBuf(vol, src, procs, e.sc.costBuf)
 	e.sc.costCache.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
 	return c

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -62,13 +63,16 @@ type LoCMPS struct {
 	// bit-identical either way; the switch exists for ablation, tests and
 	// the reference configuration benchmarks are baselined against.
 	DisableResume bool
-	// SpeculativeWorkers bounds the parallel speculative evaluation of the
-	// §III.C candidate window: every top-fraction candidate's vector is
-	// LoCBS-evaluated concurrently before the minimum-concurrency-ratio
-	// winner is chosen by the usual strict total order, warming the memo
-	// for later look-ahead steps. 0 selects one worker per CPU; values
-	// below 2 (including a single-CPU default) disable speculation, which
-	// never changes the schedule — only how the memo fills.
+	// SpeculativeWorkers bounds the concurrent evaluation of the §III.C
+	// candidate window: every top-fraction candidate's vector (the
+	// eventual winner's included) is LoCBS-evaluated concurrently on the
+	// shared bounded pool, and only after that barrier is the
+	// minimum-concurrency-ratio winner chosen by the usual strict total
+	// order — which never consults the evaluations, so schedules are
+	// bit-identical to the serial search. 0 selects one worker per CPU;
+	// values below 2 (including a single-CPU default) disable the
+	// concurrent evaluation, which changes only where LoCBS runs execute,
+	// never what is scheduled.
 	SpeculativeWorkers int
 
 	// mu guards stats, the only mutable state on the instance.
@@ -96,8 +100,14 @@ type SearchStats struct {
 	CacheHits int
 	// CacheMisses counts search-path memo lookups that had to run LoCBS.
 	CacheMisses int
-	// SpeculativeRuns counts placement runs launched for non-winning
-	// candidates of the top-fraction window.
+	// WindowRuns counts placement runs executed concurrently at the
+	// §III.C window barrier, the eventual winner's included. Zero when
+	// concurrent window evaluation is off (fewer than two workers, memo
+	// disabled, or single-candidate windows).
+	WindowRuns int
+	// SpeculativeRuns counts the subset of WindowRuns evaluated for
+	// non-winning candidates — the legacy speculative warms, useful only
+	// if a later look-ahead enters through an alternate candidate.
 	SpeculativeRuns int
 	// SpeculativeWaste counts speculative runs never reused by a later
 	// memo hit.
@@ -125,6 +135,7 @@ func (st SearchStats) Metrics() model.RunMetrics {
 		Marks:            st.Marks,
 		CacheHits:        st.CacheHits,
 		CacheMisses:      st.CacheMisses,
+		WindowRuns:       st.WindowRuns,
 		SpeculativeRuns:  st.SpeculativeRuns,
 		SpeculativeWaste: st.SpeculativeWaste,
 		ReplayedTasks:    st.ReplayedTasks,
@@ -242,7 +253,7 @@ func (s *LoCMPS) Schedule(tg *model.TaskGraph, cluster model.Cluster) (*schedule
 // on the partially busy, possibly heterogeneous-speed machine. This is the
 // re-planning entry point of the on-line runtime (internal/online).
 func (s *LoCMPS) ScheduleWithPreset(tg *model.TaskGraph, cluster model.Cluster, preset Preset) (*schedule.Schedule, error) {
-	sched, stats, err := s.runSearch(tg, cluster, preset, nil)
+	sched, stats, _, err := s.runSearch(context.Background(), tg, cluster, preset, nil, Budget{})
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +281,11 @@ type search struct {
 	// resume is disabled): every runLoCBS under the same key may resume
 	// from the trace its scratch recorded for the previous run.
 	resumeKey uint64
+	// ctx aborts the search cooperatively (checked every round and
+	// look-ahead step); budget truncates it gracefully, setting truncated.
+	ctx       context.Context
+	budget    Budget
+	truncated bool
 	// pbest/caps are the §III widening bounds; fixed tasks are frozen at
 	// their historical width.
 	pbest, caps []int
@@ -278,27 +294,32 @@ type search struct {
 // runSearch executes Algorithm 1, optionally from a non-default starting
 // allocation (ScheduleDual's saturated start), against a scratch drawn from
 // the shared pool for the duration of the run.
-func (s *LoCMPS) runSearch(tg *model.TaskGraph, cluster model.Cluster, preset Preset, initAlloc []int) (*schedule.Schedule, SearchStats, error) {
+func (s *LoCMPS) runSearch(ctx context.Context, tg *model.TaskGraph, cluster model.Cluster, preset Preset, initAlloc []int, budget Budget) (*schedule.Schedule, SearchStats, bool, error) {
 	sc := getScratch()
 	defer putScratch(sc)
-	return s.runSearchOn(sc, tg, cluster, preset, initAlloc)
+	return s.runSearchOn(ctx, sc, tg, cluster, preset, initAlloc, budget)
 }
 
 // runSearchOn is runSearch against caller-owned scratch. Warm workers
 // (Worker, used by internal/serve) pin one scratch across many runs so its
 // content-keyed cost cache and sized buffers survive between requests
-// instead of being surrendered to the pool after every schedule.
-func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster model.Cluster, preset Preset, initAlloc []int) (*schedule.Schedule, SearchStats, error) {
+// instead of being surrendered to the pool after every schedule. The third
+// result reports whether the budget truncated the search before natural
+// termination.
+func (s *LoCMPS) runSearchOn(ctx context.Context, sc *placerScratch, tg *model.TaskGraph, cluster model.Cluster, preset Preset, initAlloc []int, budget Budget) (*schedule.Schedule, SearchStats, bool, error) {
 	started := time.Now()
 	if err := cluster.Validate(); err != nil {
-		return nil, SearchStats{}, err
+		return nil, SearchStats{}, false, err
 	}
 	n := tg.N()
 	if n == 0 {
-		return nil, SearchStats{}, fmt.Errorf("core: empty task graph")
+		return nil, SearchStats{}, false, fmt.Errorf("core: empty task graph")
 	}
 	if err := preset.validate(tg, cluster); err != nil {
-		return nil, SearchStats{}, err
+		return nil, SearchStats{}, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, false, err
 	}
 	sc.prepareSearch(n, tg.M())
 	r := &search{
@@ -310,6 +331,8 @@ func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster mod
 		tb:          tg.Tables(cluster.P),
 		sc:          sc,
 		specWorkers: s.speculativeWorkers(),
+		ctx:         ctx,
+		budget:      budget,
 		pbest:       make([]int, n),
 		caps:        make([]int, n),
 	}
@@ -351,7 +374,7 @@ func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster mod
 	}
 	bestSched, err := r.runLoCBS(bestAlloc)
 	if err != nil {
-		return nil, r.stats, err
+		return nil, r.stats, false, err
 	}
 	bestSL := objective(bestSched)
 
@@ -360,7 +383,13 @@ func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster mod
 		maxOuter = 4 * n * cluster.P
 	}
 
+outerLoop:
 	for outer := 0; outer < maxOuter; outer++ {
+		if stop, err := r.checkpoint(outer); err != nil {
+			return nil, r.stats, false, err
+		} else if stop {
+			break
+		}
 		r.stats.OuterIterations++
 		// Steps 6-7: restart the look-ahead from the committed best.
 		np := sc.np
@@ -372,10 +401,19 @@ func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster mod
 		entryEdgeID := -1
 
 		for iter := 0; iter < s.depth(); iter++ {
+			// The deadline is re-checked per look-ahead step so an anytime
+			// stop overshoots by one placement run, not one whole round;
+			// best-so-far is already committed, so breaking out mid-round
+			// is always safe.
+			if stop, err := r.checkpoint(outer); err != nil {
+				return nil, r.stats, false, err
+			} else if stop {
+				break outerLoop
+			}
 			r.stats.LookAheadSteps++
 			cp, err := r.criticalPath(cur, np)
 			if err != nil {
-				return nil, r.stats, err
+				return nil, r.stats, false, err
 			}
 			tcomp, tcomm := r.pathCosts(cur, np, cp)
 
@@ -383,16 +421,18 @@ func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster mod
 			applied := false
 			for attempt := 0; attempt < 2 && !applied; attempt++ {
 				if kindTask {
-					t, window := r.bestCandidateTask(np, cp, iter == 0)
-					if t >= 0 {
+					// §III.C: every top-fraction candidate's one-wider
+					// vector is evaluated concurrently; the winner is
+					// selected only after that barrier, by the strict
+					// total order that never consults the evaluations —
+					// so the runLoCBS below is a memo hit and the
+					// schedule is bit-identical to the serial search.
+					window := r.candidateWindow(np, cp, iter == 0)
+					if len(window) > 0 {
+						t := r.evaluateWindow(np, window)
 						if iter == 0 {
 							entryTask, entryEdgeID = t, -1
 						}
-						// Every windowed candidate's vector will be wanted
-						// if the search later enters through it; evaluate
-						// them (winner included) concurrently before np is
-						// perturbed, so the runLoCBS below is a memo hit.
-						r.speculate(np, t, window)
 						np[t]++
 						applied = true
 					}
@@ -414,7 +454,7 @@ func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster mod
 
 			cur, err = r.runLoCBS(np)
 			if err != nil {
-				return nil, r.stats, err
+				return nil, r.stats, false, err
 			}
 			if curSL := objective(cur); curSL.better(bestSL) {
 				bestSL = curSL
@@ -452,7 +492,27 @@ func (s *LoCMPS) runSearchOn(sc *placerScratch, tg *model.TaskGraph, cluster mod
 	}
 	bestSched.Algorithm = s.Name()
 	bestSched.SchedulingTime = time.Since(started)
-	return bestSched, r.stats, nil
+	return bestSched, r.stats, r.truncated, nil
+}
+
+// checkpoint is the cooperative stop test the search runs at every round
+// and look-ahead step: a cancelled context aborts with its error, an
+// exhausted budget (outer-round cap reached or deadline passed) stops
+// gracefully with the best-so-far schedule and marks the run truncated.
+func (r *search) checkpoint(outer int) (stop bool, err error) {
+	if err := r.ctx.Err(); err != nil {
+		return false, err
+	}
+	b := r.budget
+	if b.MaxIterations > 0 && outer >= b.MaxIterations {
+		r.truncated = true
+		return true, nil
+	}
+	if !b.Deadline.IsZero() && !time.Now().Before(b.Deadline) {
+		r.truncated = true
+		return true, nil
+	}
+	return false, nil
 }
 
 // runLoCBS resolves the schedule for an allocation vector: a memo hit when
@@ -494,18 +554,18 @@ func (r *search) noteResume(ps placeStats) {
 	}
 }
 
-// speculate evaluates the §III.C candidate window concurrently: each
-// candidate's one-wider allocation vector gets a full LoCBS run on the
-// shared bounded worker pool (scratch drawn from the sync.Pool), and the
-// results land in the memo. The winner was already chosen by the strict
-// total order of bestCandidateTask — speculation never influences it, so
-// schedules stay bit-identical; the win is that the immediate runLoCBS on
-// the winner and any later look-ahead that enters through an alternate
-// candidate are memo hits. Runs that error are simply not cached: the main
-// path re-runs the vector and surfaces the error deterministically.
-func (r *search) speculate(np []int, winner int, window []taskCand) {
+// evaluateWindow resolves one §III.C widening step: when concurrent window
+// evaluation is enabled, every candidate's one-wider allocation vector gets
+// a full LoCBS run on the shared bounded worker pool, and only after that
+// barrier is the winner selected by selectWinner's strict total order. The
+// order never consults the evaluations, so schedules are bit-identical to
+// the serial search; the win is that the caller's immediate runLoCBS on the
+// winner — and any later look-ahead entering through an alternate candidate
+// — is a memo hit. Runs that error are simply not cached: the main path
+// re-runs the vector and surfaces the error deterministically.
+func (r *search) evaluateWindow(np []int, window []taskCand) int {
 	if r.memo == nil || r.specWorkers < 2 || len(window) < 2 {
-		return
+		return r.selectWinner(window)
 	}
 	// Snapshot the vectors to evaluate before touching np; skip the ones
 	// already cached so stats stay deterministic for a given machine shape.
@@ -520,31 +580,37 @@ func (r *search) speculate(np []int, winner int, window []taskCand) {
 		}
 	}
 	if len(vecs) == 0 {
-		return
+		return r.selectWinner(window)
 	}
 	scheds := make([]*schedule.Schedule, len(vecs))
 	resumes := make([]placeStats, len(vecs))
 	_ = par.For(r.specWorkers, len(vecs), func(i int) error {
 		// Each worker's pool scratch carries the trace of its own previous
-		// speculative run, so window candidates — which share all but two
-		// width entries with each other — resume from long prefixes too.
+		// window run, so window candidates — which share all but two width
+		// entries with each other — resume from long prefixes too.
 		s, ps, err := runPlacerPooled(r.tg, r.cluster, vecs[i], r.cfg, r.preset, r.resumeKey)
 		if err == nil {
 			scheds[i], resumes[i] = s, ps
 		}
 		return nil
 	})
+	// The barrier: every candidate evaluated, now pick the winner and fold
+	// in the accounting — barrier runs as WindowRuns, the non-winning
+	// subset additionally as the (speculative) warms they are.
+	winner := r.selectWinner(window)
 	for i, s := range scheds {
 		if s == nil {
 			continue
 		}
 		r.stats.LoCBSRuns++
+		r.stats.WindowRuns++
 		r.noteResume(resumes[i])
 		if tasks[i] != winner {
 			r.stats.SpeculativeRuns++
 		}
 		r.memo.insert(vecs[i], s, tasks[i] != winner)
 	}
+	return winner
 }
 
 // criticalPath returns CP(G') for the current schedule, deriving G' into
@@ -597,14 +663,14 @@ func (r *search) pathCosts(cur *schedule.Schedule, np, cp []int) (tcomp, tcomm f
 	return tcomp, tcomm
 }
 
-// bestCandidateTask implements §III.C: among unsaturated (and, at the entry
-// of a look-ahead, unmarked) critical-path tasks, rank by execution-time
-// improvement and take the minimum-concurrency-ratio task within the top
-// fraction. It returns the winner and the whole top-fraction window (which
-// aliases scratch and is valid until the next call) so the caller can
-// evaluate the runner-up vectors speculatively — the winner itself is
-// decided purely by the strict total order below, never by those runs.
-func (r *search) bestCandidateTask(np, cp []int, entry bool) (int, []taskCand) {
+// candidateWindow implements the candidate ranking of §III.C: among
+// unsaturated (and, at the entry of a look-ahead, unmarked) critical-path
+// tasks, rank by execution-time improvement and return the top-fraction
+// window (which aliases scratch and is valid until the next call). The
+// window is empty when nothing on the critical path can be refined. Winner
+// selection is deliberately separate (selectWinner) so the caller can
+// evaluate every windowed vector concurrently first.
+func (r *search) candidateWindow(np, cp []int, entry bool) []taskCand {
 	maxP := r.cluster.P
 	cands := r.sc.cands[:0]
 	for _, t := range cp {
@@ -623,7 +689,7 @@ func (r *search) bestCandidateTask(np, cp []int, entry bool) (int, []taskCand) {
 	}
 	r.sc.cands = cands
 	if len(cands) == 0 {
-		return -1, nil
+		return nil
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].gain != cands[j].gain {
@@ -635,14 +701,22 @@ func (r *search) bestCandidateTask(np, cp []int, entry bool) (int, []taskCand) {
 	if k < 1 {
 		k = 1
 	}
-	best := cands[0].t
-	for _, c := range cands[1:k] {
+	return cands[:k]
+}
+
+// selectWinner applies §III.C's strict total order to a non-empty window:
+// the minimum-concurrency-ratio task, ties broken by task id. It is a pure
+// function of the window — never of any LoCBS evaluation — which is what
+// keeps concurrent window evaluation bit-identical to the serial search.
+func (r *search) selectWinner(window []taskCand) int {
+	best := window[0].t
+	for _, c := range window[1:] {
 		if r.tb.ConcurrencyRatio(c.t) < r.tb.ConcurrencyRatio(best) ||
 			(r.tb.ConcurrencyRatio(c.t) == r.tb.ConcurrencyRatio(best) && c.t < best) {
 			best = c.t
 		}
 	}
-	return best, cands[:k]
+	return best
 }
 
 // heaviestEdge implements §III.D: the heaviest (by charged redistribution
@@ -792,9 +866,9 @@ func (s *LoCMPS) ScheduleDual(tg *model.TaskGraph, cluster model.Cluster) (*sche
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		fromData, dataStats, dataErr = s.runSearch(tg, cluster, Preset{}, wide)
+		fromData, dataStats, _, dataErr = s.runSearch(context.Background(), tg, cluster, Preset{}, wide, Budget{})
 	}()
-	fromTask, taskStats, taskErr := s.runSearch(tg, cluster, Preset{}, nil)
+	fromTask, taskStats, _, taskErr := s.runSearch(context.Background(), tg, cluster, Preset{}, nil, Budget{})
 	wg.Wait()
 	if taskErr != nil {
 		return nil, taskErr

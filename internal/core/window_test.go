@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// TestWindowRunCounters pins the accounting split introduced with the
+// barrier evaluation: WindowRuns counts every LoCBS run evaluated through
+// the concurrent §III.C window (winner included), SpeculativeRuns only its
+// non-winning subset, and a serial search reports no window runs at all.
+func TestWindowRunCounters(t *testing.T) {
+	tg, c := memoGraph(t), memoCluster()
+
+	spec := &LoCMPS{AlgorithmName: "LoC-MPS", Engine: DefaultConfig(),
+		TopFraction: 0.5, SpeculativeWorkers: 4}
+	if _, err := spec.Schedule(tg, c); err != nil {
+		t.Fatal(err)
+	}
+	st := spec.LastStats()
+	if st.WindowRuns == 0 {
+		t.Fatalf("barrier evaluation reported no window runs: %+v", st)
+	}
+	if st.SpeculativeRuns > st.WindowRuns {
+		t.Errorf("speculative runs %d exceed window runs %d — the winner subset went negative",
+			st.SpeculativeRuns, st.WindowRuns)
+	}
+	if st.WindowRuns > st.LoCBSRuns {
+		t.Errorf("window runs %d exceed total engine runs %d", st.WindowRuns, st.LoCBSRuns)
+	}
+
+	serial := &LoCMPS{AlgorithmName: "LoC-MPS", Engine: DefaultConfig(),
+		TopFraction: 0.5, SpeculativeWorkers: -1}
+	if _, err := serial.Schedule(tg, c); err != nil {
+		t.Fatal(err)
+	}
+	if sst := serial.LastStats(); sst.WindowRuns != 0 || sst.SpeculativeRuns != 0 {
+		t.Errorf("serial search counted window/speculative runs: %+v", sst)
+	}
+
+	// The exported metrics view carries the new counter verbatim.
+	if m := spec.LastRunMetrics(); m.WindowRuns != st.WindowRuns {
+		t.Errorf("RunMetrics.WindowRuns = %d, want %d", m.WindowRuns, st.WindowRuns)
+	}
+}

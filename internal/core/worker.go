@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"locmps/internal/model"
 	"locmps/internal/schedule"
 )
@@ -30,7 +32,15 @@ func NewWorker() *Worker { return &Worker{sc: getScratch()} }
 // buffers and never-stale caches, not decisions. alg's LastStats/
 // LastRunMetrics reflect this run afterwards, exactly as for Schedule.
 func (w *Worker) Schedule(alg *LoCMPS, tg *model.TaskGraph, cluster model.Cluster) (*schedule.Schedule, error) {
-	sched, stats, err := alg.runSearchOn(w.sc, tg, cluster, Preset{}, nil)
+	return w.ScheduleContext(context.Background(), alg, tg, cluster)
+}
+
+// ScheduleContext is Schedule with cooperative cancellation: the search
+// aborts with ctx.Err() at its next round or look-ahead step once ctx is
+// done, freeing the worker for its next run instead of completing a search
+// nobody is waiting for.
+func (w *Worker) ScheduleContext(ctx context.Context, alg *LoCMPS, tg *model.TaskGraph, cluster model.Cluster) (*schedule.Schedule, error) {
+	sched, stats, _, err := alg.runSearchOn(ctx, w.sc, tg, cluster, Preset{}, nil, Budget{})
 	if err != nil {
 		return nil, err
 	}
@@ -38,10 +48,60 @@ func (w *Worker) Schedule(alg *LoCMPS, tg *model.TaskGraph, cluster model.Cluste
 	return sched, nil
 }
 
+// ScheduleBudget runs the anytime search (see LoCMPS.ScheduleBudget) on
+// the worker's pinned scratch.
+func (w *Worker) ScheduleBudget(ctx context.Context, alg *LoCMPS, tg *model.TaskGraph, cluster model.Cluster, b Budget) (*AnytimeResult, error) {
+	return alg.scheduleBudgetOn(ctx, w.sc, tg, cluster, b)
+}
+
+// SharedState is read-only warm state for one (graph, cluster) content
+// pair, shareable across concurrent workers: the graph's immutable model
+// tables (execution times, Pbest prefixes, concurrency ratios) and a
+// snapshot of a warm worker's content-keyed redistribution-cost cache.
+// Both are never mutated after capture, so any number of workers may
+// consult one SharedState concurrently without synchronization.
+//
+// The caller is responsible for only applying a SharedState to graphs with
+// identical content — the serving layer guarantees this by keying shared
+// states with content fingerprints.
+type SharedState struct {
+	// Tables is the graph's immutable execution-time/Pbest/concurrency
+	// cache, built once and adopted by every content-identical graph.
+	Tables *model.Tables
+	costs  *costCache
+}
+
+// CaptureShared snapshots the worker's warm state after a run on (tg,
+// cluster): the graph's tables (already built by the run) and a deep copy
+// of the pinned scratch's redistribution-cost cache. The snapshot is
+// immutable and safe to hand to any number of concurrent workers.
+func (w *Worker) CaptureShared(tg *model.TaskGraph, cluster model.Cluster) *SharedState {
+	return &SharedState{
+		Tables: tg.Tables(cluster.P),
+		costs:  w.sc.costCache.snapshot(),
+	}
+}
+
+// UseShared prepares the worker's next run to start warm from st: the
+// tables are adopted by tg (so the run skips the O(V·P) profile evaluation
+// and O(V²) concurrency sweep), and the cost snapshot serves as a
+// read-only second level behind the scratch's own cost cache. Passing nil
+// clears any previously installed shared state. tg must be
+// content-identical to the graph st was captured from.
+func (w *Worker) UseShared(st *SharedState, tg *model.TaskGraph) {
+	if st == nil {
+		w.sc.costShared = nil
+		return
+	}
+	tg.AdoptTables(st.Tables)
+	w.sc.costShared = st.costs
+}
+
 // Close surrenders the pinned scratch back to the shared pool. Calling
 // Close twice is safe; Schedule after Close is not.
 func (w *Worker) Close() {
 	if w.sc != nil {
+		w.sc.costShared = nil
 		putScratch(w.sc)
 		w.sc = nil
 	}

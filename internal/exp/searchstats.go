@@ -54,6 +54,7 @@ func SearchStatsFigure(opt SuiteOptions) (Figure, error) {
 		{"locbs-runs", func(m model.RunMetrics) float64 { return float64(m.LoCBSRuns) }},
 		{"lookahead-steps", func(m model.RunMetrics) float64 { return float64(m.LookAheadSteps) }},
 		{"cache-hit-%", func(m model.RunMetrics) float64 { return 100 * m.CacheHitRate() }},
+		{"window-runs", func(m model.RunMetrics) float64 { return float64(m.WindowRuns) }},
 		{"spec-runs", func(m model.RunMetrics) float64 { return float64(m.SpeculativeRuns) }},
 		{"spec-waste", func(m model.RunMetrics) float64 { return float64(m.SpeculativeWaste) }},
 		{"resumed-runs", func(m model.RunMetrics) float64 { return float64(m.ResumedRuns) }},

@@ -11,7 +11,7 @@ func TestSearchStatsFigure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"locbs-runs", "lookahead-steps", "cache-hit-%", "spec-runs", "spec-waste",
+	want := []string{"locbs-runs", "lookahead-steps", "cache-hit-%", "window-runs", "spec-runs", "spec-waste",
 		"resumed-runs", "replayed-tasks", "rollback-depth", "replay-%"}
 	if len(f.Series) != len(want) {
 		t.Fatalf("stats: %d series, want %d", len(f.Series), len(want))

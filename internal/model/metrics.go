@@ -28,6 +28,11 @@ type RunMetrics struct {
 	CacheHits int
 	// CacheMisses counts search-path memo lookups that required a run.
 	CacheMisses int
+	// WindowRuns counts LoCBS runs evaluated through the concurrent
+	// §III.C window barrier, the winner's run included; it is zero when
+	// speculation is disabled and the window degenerates to the serial
+	// winner-only path.
+	WindowRuns int
 	// SpeculativeRuns counts LoCBS runs launched for non-winning
 	// candidates of the §III.C top-fraction window.
 	SpeculativeRuns int
@@ -81,6 +86,9 @@ func (m RunMetrics) String() string {
 	fmt.Fprintf(&b, "outer=%d lookahead=%d locbs=%d commits=%d marks=%d",
 		m.OuterIterations, m.LookAheadSteps, m.LoCBSRuns, m.Commits, m.Marks)
 	fmt.Fprintf(&b, " cache=%d/%d (%.1f%% hit)", m.CacheHits, m.CacheHits+m.CacheMisses, 100*m.CacheHitRate())
+	if m.WindowRuns > 0 {
+		fmt.Fprintf(&b, " window=%d", m.WindowRuns)
+	}
 	if m.SpeculativeRuns > 0 {
 		fmt.Fprintf(&b, " spec=%d (%.1f%% wasted)", m.SpeculativeRuns, 100*m.SpeculationWasteRate())
 	}

@@ -15,13 +15,17 @@ import (
 // The cache is not goroutine-safe — the owning shard's mutex guards it.
 type lruCache struct {
 	cap   int
-	ll    *list.List               // front = most recently used
-	byKey map[Key]*list.Element    // of *lruEnt
+	ll    *list.List            // front = most recently used
+	byKey map[Key]*list.Element // of *lruEnt
 }
 
 type lruEnt struct {
 	key   Key
 	sched *schedule.Schedule
+	// truncated records whether the cached result came from a
+	// budget-truncated anytime run (core.AnytimeResult.Truncated); always
+	// false for unbudgeted requests.
+	truncated bool
 }
 
 func newLRU(capacity int) *lruCache {
@@ -31,24 +35,27 @@ func newLRU(capacity int) *lruCache {
 	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[Key]*list.Element, capacity)}
 }
 
-// get returns the cached schedule for k, marking it most recently used.
-func (c *lruCache) get(k Key) (*schedule.Schedule, bool) {
+// get returns the cached schedule for k (and whether its run was budget
+// truncated), marking it most recently used.
+func (c *lruCache) get(k Key) (*schedule.Schedule, bool, bool) {
 	e, ok := c.byKey[k]
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	c.ll.MoveToFront(e)
-	return e.Value.(*lruEnt).sched, true
+	ent := e.Value.(*lruEnt)
+	return ent.sched, ent.truncated, true
 }
 
 // add caches s under k, evicting the least recently used entry when the
 // shard segment is full. It reports whether an eviction happened. Adding an
 // existing key refreshes its recency and replaces the schedule (the two are
 // bit-identical anyway — LoCBS is deterministic).
-func (c *lruCache) add(k Key, s *schedule.Schedule) (evicted bool) {
+func (c *lruCache) add(k Key, s *schedule.Schedule, truncated bool) (evicted bool) {
 	if e, ok := c.byKey[k]; ok {
 		c.ll.MoveToFront(e)
-		e.Value.(*lruEnt).sched = s
+		ent := e.Value.(*lruEnt)
+		ent.sched, ent.truncated = s, truncated
 		return false
 	}
 	if c.ll.Len() >= c.cap {
@@ -57,7 +64,7 @@ func (c *lruCache) add(k Key, s *schedule.Schedule) (evicted bool) {
 		delete(c.byKey, back.Value.(*lruEnt).key)
 		evicted = true
 	}
-	c.byKey[k] = c.ll.PushFront(&lruEnt{key: k, sched: s})
+	c.byKey[k] = c.ll.PushFront(&lruEnt{key: k, sched: s, truncated: truncated})
 	return evicted
 }
 

@@ -29,23 +29,23 @@ func TestLRUBoundAndEvictionOrder(t *testing.T) {
 	s := map[byte]*schedule.Schedule{}
 	for _, b := range []byte{1, 2, 3} {
 		s[b] = cacheSched(t, string('a'+rune(b)))
-		if c.add(key(b), s[b]) {
+		if c.add(key(b), s[b], false) {
 			t.Fatalf("add(%d) evicted below capacity", b)
 		}
 	}
 	// Touch 1 so 2 becomes the LRU entry.
-	if got, ok := c.get(key(1)); !ok || got != s[1] {
+	if got, _, ok := c.get(key(1)); !ok || got != s[1] {
 		t.Fatal("get(1) miss")
 	}
 	s[4] = cacheSched(t, "d")
-	if !c.add(key(4), s[4]) {
+	if !c.add(key(4), s[4], false) {
 		t.Fatal("add(4) at capacity did not evict")
 	}
-	if _, ok := c.get(key(2)); ok {
+	if _, _, ok := c.get(key(2)); ok {
 		t.Error("2 should have been evicted (LRU)")
 	}
 	for _, b := range []byte{1, 3, 4} {
-		if _, ok := c.get(key(b)); !ok {
+		if _, _, ok := c.get(key(b)); !ok {
 			t.Errorf("%d missing after eviction of 2", b)
 		}
 	}
@@ -57,18 +57,18 @@ func TestLRUBoundAndEvictionOrder(t *testing.T) {
 func TestLRUAddExistingRefreshes(t *testing.T) {
 	c := newLRU(2)
 	a, b2, repl := cacheSched(t, "a"), cacheSched(t, "b"), cacheSched(t, "a2")
-	c.add(key(1), a)
-	c.add(key(2), b2)
+	c.add(key(1), a, true)
+	c.add(key(2), b2, false)
 	// Re-adding key 1 must replace in place (no eviction) and refresh
 	// recency so key 2 is now the eviction victim.
-	if c.add(key(1), repl) {
+	if c.add(key(1), repl, false) {
 		t.Error("re-add evicted")
 	}
-	if got, _ := c.get(key(1)); got != repl {
-		t.Error("re-add did not replace the schedule")
+	if got, truncated, _ := c.get(key(1)); got != repl || truncated {
+		t.Error("re-add did not replace the schedule and truncation flag")
 	}
-	c.add(key(3), cacheSched(t, "c"))
-	if _, ok := c.get(key(2)); ok {
+	c.add(key(3), cacheSched(t, "c"), false)
+	if _, _, ok := c.get(key(2)); ok {
 		t.Error("2 should have been evicted after 1 was refreshed")
 	}
 	if c.len() != 2 {
@@ -78,12 +78,12 @@ func TestLRUAddExistingRefreshes(t *testing.T) {
 
 func TestLRUMinimumCapacity(t *testing.T) {
 	c := newLRU(0) // clamped to 1
-	c.add(key(1), cacheSched(t, "a"))
-	c.add(key(2), cacheSched(t, "b"))
+	c.add(key(1), cacheSched(t, "a"), false)
+	c.add(key(2), cacheSched(t, "b"), false)
 	if c.len() != 1 {
 		t.Errorf("len = %d, want 1", c.len())
 	}
-	if _, ok := c.get(key(2)); !ok {
+	if _, _, ok := c.get(key(2)); !ok {
 		t.Error("latest entry missing")
 	}
 }

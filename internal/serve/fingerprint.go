@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"math"
 
 	"locmps/internal/core"
@@ -34,6 +35,16 @@ type Options struct {
 	LookAheadDepth int
 	TopFraction    float64
 	BlockBytes     float64
+	// MaxIterations caps the outer repeat-until rounds of the anytime
+	// LoC-MPS search (core.Budget.MaxIterations); 0 means run to natural
+	// termination. A capped search is deterministic — same inputs, same
+	// budget, bit-identical schedule — so the cap is part of the
+	// fingerprint and capped results cache and coalesce like full runs.
+	// Wall-clock deadlines are NOT options: they are per-call state passed
+	// to ScheduleAnytime and never fingerprinted. LoC-MPS-family
+	// single-search requests only (ignored for baselines, rejected with
+	// Dual).
+	MaxIterations int
 }
 
 // locMPSFamily reports whether the named algorithm is a *core.LoCMPS
@@ -60,7 +71,11 @@ func (o Options) normalized() Options {
 		o.LookAheadDepth = 0
 		o.TopFraction = 0
 		o.BlockBytes = 0
+		o.MaxIterations = 0
 		return o
+	}
+	if o.MaxIterations < 0 {
+		o.MaxIterations = 0
 	}
 	if o.LookAheadDepth <= 0 {
 		o.LookAheadDepth = core.DefaultLookAheadDepth
@@ -109,68 +124,113 @@ func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
 // It validates the request and returns an error for an empty graph or an
 // invalid cluster.
 func (r Request) Fingerprint() (Key, error) {
-	if r.Graph == nil || r.Graph.N() == 0 {
-		return Key{}, fmt.Errorf("serve: request has an empty task graph")
-	}
-	if err := r.Cluster.Validate(); err != nil {
+	if err := r.validate(); err != nil {
 		return Key{}, err
 	}
-	h := sha256.New()
-	buf := make([]byte, 0, 256)
-	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	str := func(s string) {
-		u64(uint64(len(s)))
-		buf = append(buf, s...)
-	}
-	flush := func() {
-		h.Write(buf)
-		buf = buf[:0]
-	}
-
-	buf = append(buf, "locmps/serve/v1"...)
+	h := newKeyHasher()
+	h.raw("locmps/serve/v2")
 	o := r.Options.normalized()
-	str(o.Algorithm)
-	if o.Dual {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
-	u64(uint64(o.LookAheadDepth))
-	f64(o.TopFraction)
-	f64(o.BlockBytes)
+	h.str(o.Algorithm)
+	h.bit(o.Dual)
+	h.u64(uint64(o.LookAheadDepth))
+	h.f64(o.TopFraction)
+	h.f64(o.BlockBytes)
+	h.u64(uint64(o.MaxIterations))
+	h.instance(r.Graph, r.Cluster)
+	return h.sum(), nil
+}
 
-	u64(uint64(r.Cluster.P))
-	f64(r.Cluster.Bandwidth)
-	if r.Cluster.Overlap {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+// StateKey is the content address of the (graph, cluster) instance alone,
+// options excluded. Requests that share a StateKey consult identical
+// execution-time curves and move identical data volumes, so they can share
+// read-only warm state — model tables and redistribution-cost snapshots —
+// no matter which algorithm, knobs or budget each asked for. Equal
+// Fingerprints imply equal StateKeys, never the reverse.
+func (r Request) StateKey() (Key, error) {
+	if err := r.validate(); err != nil {
+		return Key{}, err
 	}
-	flush()
+	h := newKeyHasher()
+	h.raw("locmps/serve/state/v1")
+	h.instance(r.Graph, r.Cluster)
+	return h.sum(), nil
+}
 
-	tg, P := r.Graph, r.Cluster.P
-	u64(uint64(tg.N()))
-	flush()
+// validate rejects requests no key can be computed for.
+func (r Request) validate() error {
+	if r.Graph == nil || r.Graph.N() == 0 {
+		return fmt.Errorf("serve: request has an empty task graph")
+	}
+	return r.Cluster.Validate()
+}
+
+// keyHasher streams the canonical encoding of request components into a
+// SHA-256 digest; Fingerprint and StateKey share it so the instance part of
+// both keys is hashed by the same code.
+type keyHasher struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func newKeyHasher() *keyHasher {
+	return &keyHasher{h: sha256.New(), buf: make([]byte, 0, 256)}
+}
+
+func (k *keyHasher) raw(s string) { k.buf = append(k.buf, s...) }
+func (k *keyHasher) u64(v uint64) { k.buf = binary.LittleEndian.AppendUint64(k.buf, v) }
+func (k *keyHasher) f64(v float64) {
+	k.u64(math.Float64bits(v))
+}
+func (k *keyHasher) str(s string) {
+	k.u64(uint64(len(s)))
+	k.buf = append(k.buf, s...)
+}
+func (k *keyHasher) bit(b bool) {
+	if b {
+		k.buf = append(k.buf, 1)
+	} else {
+		k.buf = append(k.buf, 0)
+	}
+}
+func (k *keyHasher) flush() {
+	k.h.Write(k.buf)
+	k.buf = k.buf[:0]
+}
+
+// instance hashes everything the scheduler's output depends on apart from
+// its options: the cluster, the per-task execution-time curves up to P, and
+// the graph structure with data volumes in dense edge-id order.
+func (k *keyHasher) instance(tg *model.TaskGraph, c model.Cluster) {
+	k.u64(uint64(c.P))
+	k.f64(c.Bandwidth)
+	k.bit(c.Overlap)
+	k.flush()
+
+	P := c.P
+	k.u64(uint64(tg.N()))
+	k.flush()
 	for t := 0; t < tg.N(); t++ {
 		prof := tg.Tasks[t].Profile
 		for p := 1; p <= P; p++ {
-			f64(prof.Time(p))
+			k.f64(prof.Time(p))
 		}
-		flush()
+		k.flush()
 	}
 	// Edges() is dense-id order: sorted (From, To), independent of the
 	// order the caller inserted them.
 	edges := tg.Edges()
-	u64(uint64(len(edges)))
+	k.u64(uint64(len(edges)))
 	for _, e := range edges {
-		u64(uint64(e.From))
-		u64(uint64(e.To))
-		f64(e.Volume)
+		k.u64(uint64(e.From))
+		k.u64(uint64(e.To))
+		k.f64(e.Volume)
 	}
-	flush()
+	k.flush()
+}
 
-	var k Key
-	h.Sum(k[:0])
-	return k, nil
+func (k *keyHasher) sum() Key {
+	k.flush()
+	var out Key
+	k.h.Sum(out[:0])
+	return out
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -23,6 +24,11 @@ var ErrOverloaded = errors.New("serve: overloaded: shard queue full")
 
 // ErrClosed is returned by Schedule after Close.
 var ErrClosed = errors.New("serve: service closed")
+
+// ErrAnytimeUnsupported is returned by ScheduleAnytime for requests the
+// anytime search cannot serve: baselines have no iterative search to
+// truncate, and Dual runs two searches whose budget split is undefined.
+var ErrAnytimeUnsupported = errors.New("serve: anytime budgets require a LoC-MPS-family single search")
 
 // Config sizes the service. The zero value selects sensible defaults.
 type Config struct {
@@ -77,15 +83,20 @@ type Service struct {
 	start  time.Time
 	closed atomic.Bool
 
-	requests  atomic.Uint64
-	hits      atomic.Uint64
-	coalesced atomic.Uint64
-	scheduled atomic.Uint64
-	rejected  atomic.Uint64
-	failed    atomic.Uint64
-	evictions atomic.Uint64
-	completed atomic.Uint64
-	lat       latencyRing
+	states stateRegistry
+
+	requests     atomic.Uint64
+	hits         atomic.Uint64
+	coalesced    atomic.Uint64
+	scheduled    atomic.Uint64
+	rejected     atomic.Uint64
+	failed       atomic.Uint64
+	cancelled    atomic.Uint64
+	evictions    atomic.Uint64
+	completed    atomic.Uint64
+	sharedHits   atomic.Uint64
+	sharedMisses atomic.Uint64
+	lat          latencyRing
 }
 
 type shard struct {
@@ -97,17 +108,30 @@ type shard struct {
 }
 
 // call is one in-flight cold run: the leader enqueued it, followers block
-// on done. sched/err are written exactly once before done is closed.
+// on done. sched/truncated/err are written exactly once before done is
+// closed.
 type call struct {
-	done  chan struct{}
-	sched *schedule.Schedule
-	err   error
+	done      chan struct{}
+	sched     *schedule.Schedule
+	truncated bool
+	err       error
 }
 
 type job struct {
 	req Request
 	key Key
 	c   *call
+	// ctx is the leader's context: the worker aborts the run (or skips it
+	// entirely if still queued) once it is done, freeing the slot for work
+	// somebody still wants.
+	ctx context.Context
+	// deadline is the wall-clock anytime budget; zero means none. Deadline
+	// runs stop at a wall-clock-dependent round, so they are uncacheable
+	// and never coalesced (cacheable is false for them).
+	deadline time.Time
+	// cacheable says whether the result may enter the result cache and
+	// whether an inflight entry was registered under key.
+	cacheable bool
 }
 
 // New starts the service's worker goroutines and returns it. Call Close to
@@ -115,6 +139,7 @@ type job struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{cfg: cfg, start: time.Now()}
+	s.states.init(sharedStateCap)
 	perShard := cfg.CacheEntries / cfg.Shards
 	if perShard < 1 {
 		perShard = 1
@@ -143,54 +168,145 @@ func (s *Service) shardFor(k Key) *shard {
 // served from the result cache (a deep copy, bit-identical to a cold run),
 // by joining an identical in-flight request, or by a cold run on one of the
 // shard's warm workers. It fails fast with ErrOverloaded when the shard's
-// queue is full and with ErrClosed after Close.
+// queue is full and with ErrClosed after Close. Schedule is ScheduleContext
+// with a background context.
 func (s *Service) Schedule(req Request) (*schedule.Schedule, error) {
+	return s.ScheduleContext(context.Background(), req)
+}
+
+// ScheduleContext is Schedule with cooperative cancellation: once ctx is
+// done the caller returns ctx.Err() immediately, and the cold run it was
+// waiting on is aborted (or skipped, if still queued) so the worker slot
+// goes to a request somebody still wants. A caller coalesced onto another
+// request's run whose owner cancelled is transparently re-admitted as its
+// own leader.
+func (s *Service) ScheduleContext(ctx context.Context, req Request) (*schedule.Schedule, error) {
 	started := time.Now()
-	key, err := req.Fingerprint()
+	res, _, err := s.resolve(ctx, req, time.Time{})
 	if err != nil {
 		return nil, err
 	}
+	return s.finish(res, started)
+}
+
+// ScheduleAnytime resolves one request under an anytime budget (see
+// core.Budget), returning the best-so-far schedule with its certified
+// quality bound. MaxIterations budgets are deterministic: they are folded
+// into the request's fingerprinted options, so equal budgeted requests
+// cache and coalesce exactly like full runs. Deadline budgets depend on
+// wall clock: those runs keep queue admission (and its ErrOverloaded
+// backpressure) but bypass the cache and coalescing — every call pays for
+// its own run and no wall-clock-truncated result is ever replayed to a
+// later caller. Baselines and Dual requests fail with
+// ErrAnytimeUnsupported.
+func (s *Service) ScheduleAnytime(ctx context.Context, req Request, b core.Budget) (*core.AnytimeResult, error) {
+	o := req.Options.normalized()
+	if !locMPSFamily(o.Algorithm) || o.Dual {
+		return nil, ErrAnytimeUnsupported
+	}
+	if b.MaxIterations > 0 {
+		req.Options.MaxIterations = b.MaxIterations
+	}
+	started := time.Now()
+	res, truncated, err := s.resolve(ctx, req, b.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	// The bound is a property of the instance, cheap next to a search;
+	// recomputing it here serves cache hits without storing bounds.
+	lb, err := core.LowerBound(req.Graph, req.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	clone, err := s.finish(res, started)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnytimeResult(clone, lb, truncated), nil
+}
+
+// resolve admits one request and blocks until a result is available,
+// retrying admission when a run it coalesced onto was cancelled by its
+// owner while this caller's ctx is still live.
+func (s *Service) resolve(ctx context.Context, req Request, deadline time.Time) (*schedule.Schedule, bool, error) {
+	key, err := req.Fingerprint()
+	if err != nil {
+		return nil, false, err
+	}
 	// Reject unknown algorithms at admission, not on the worker.
 	if _, err := sched.ByName(req.Options.normalized().Algorithm); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.requests.Add(1)
 	sh := s.shardFor(key)
+	for {
+		res, truncated, err := s.attempt(ctx, sh, key, req, deadline)
+		if err != nil && isCtxErr(err) && ctx.Err() == nil {
+			// The leader whose run we joined is gone but this caller is
+			// not: run it again under our own leadership.
+			continue
+		}
+		return res, truncated, err
+	}
+}
 
+// attempt makes one pass through cache → coalescing → queue admission and
+// waits for the outcome.
+func (s *Service) attempt(ctx context.Context, sh *shard, key Key, req Request, deadline time.Time) (*schedule.Schedule, bool, error) {
+	cacheable := deadline.IsZero()
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
-	if cached, ok := sh.cache.get(key); ok {
-		sh.mu.Unlock()
-		s.hits.Add(1)
-		return s.finish(cached, started)
-	}
-	if c, ok := sh.inflight[key]; ok {
-		sh.mu.Unlock()
-		s.coalesced.Add(1)
-		<-c.done
-		if c.err != nil {
-			return nil, c.err
+	var c *call
+	if cacheable {
+		if cached, truncated, ok := sh.cache.get(key); ok {
+			sh.mu.Unlock()
+			s.hits.Add(1)
+			return cached, truncated, nil
 		}
-		return s.finish(c.sched, started)
+		if waiting, ok := sh.inflight[key]; ok {
+			sh.mu.Unlock()
+			s.coalesced.Add(1)
+			return s.await(ctx, waiting)
+		}
 	}
-	c := &call{done: make(chan struct{})}
+	c = &call{done: make(chan struct{})}
+	jb := &job{req: req, key: key, c: c, ctx: ctx, deadline: deadline, cacheable: cacheable}
 	select {
-	case sh.queue <- &job{req: req, key: key, c: c}:
-		sh.inflight[key] = c
+	case sh.queue <- jb:
+		if cacheable {
+			sh.inflight[key] = c
+		}
 		sh.mu.Unlock()
 	default:
 		sh.mu.Unlock()
 		s.rejected.Add(1)
-		return nil, ErrOverloaded
+		return nil, false, ErrOverloaded
 	}
-	<-c.done
+	return s.await(ctx, c)
+}
+
+// await blocks on a call until its run completes or the caller's ctx is
+// done, whichever is first. An abandoned run finishes (or is skipped) on
+// the worker; nobody waits for it.
+func (s *Service) await(ctx context.Context, c *call) (*schedule.Schedule, bool, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		s.cancelled.Add(1)
+		return nil, false, ctx.Err()
+	}
 	if c.err != nil {
-		return nil, c.err
+		return nil, false, c.err
 	}
-	return s.finish(c.sched, started)
+	return c.sched, c.truncated, nil
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // finish records a successful completion and returns the caller's private
@@ -210,21 +326,27 @@ func (s *Service) worker(sh *shard) {
 	defer cw.Close()
 	algs := make(map[Options]schedule.Scheduler)
 	for jb := range sh.queue {
-		res, err := runJob(cw, algs, jb)
+		res, truncated, err := s.runJob(cw, algs, jb)
 		sh.mu.Lock()
-		delete(sh.inflight, jb.key)
-		if err == nil {
-			if sh.cache.add(jb.key, res) {
-				s.evictions.Add(1)
+		if jb.cacheable {
+			delete(sh.inflight, jb.key)
+			if err == nil {
+				if sh.cache.add(jb.key, res, truncated) {
+					s.evictions.Add(1)
+				}
 			}
 		}
 		sh.mu.Unlock()
-		if err != nil {
-			s.failed.Add(1)
-		} else {
+		switch {
+		case err == nil:
 			s.scheduled.Add(1)
+		case isCtxErr(err):
+			// The request was abandoned, not failed; the waiting side
+			// already counted the cancellation.
+		default:
+			s.failed.Add(1)
 		}
-		jb.c.sched, jb.c.err = res, err
+		jb.c.sched, jb.c.truncated, jb.c.err = res, truncated, err
 		close(jb.c.done)
 	}
 }
@@ -233,29 +355,113 @@ func (s *Service) worker(sh *shard) {
 // profile implementation) must not take the whole service down, so panics
 // are converted into errors delivered to the leader and every coalesced
 // follower.
-func runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, jb *job) (res *schedule.Schedule, err error) {
+func (s *Service) runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, jb *job) (res *schedule.Schedule, truncated bool, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			res, err = nil, fmt.Errorf("serve: scheduler panicked: %v\n%s", v, debug.Stack())
+			res, truncated, err = nil, false, fmt.Errorf("serve: scheduler panicked: %v\n%s", v, debug.Stack())
 		}
 	}()
+	// Abandoned while queued: surrender the slot without running anything.
+	if err := jb.ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	o := jb.req.Options.normalized()
-	alg, ok := algs[o]
+	// The budget is per-run state, not a scheduler configuration: strip it
+	// from the instance-cache key so a budget sweep over one configuration
+	// reuses one scheduler.
+	cfg := o
+	cfg.MaxIterations = 0
+	alg, ok := algs[cfg]
 	if !ok {
-		if alg, err = buildScheduler(o); err != nil {
-			return nil, err
+		if alg, err = buildScheduler(cfg); err != nil {
+			return nil, false, err
 		}
-		algs[o] = alg
+		algs[cfg] = alg
 	}
-	if lm, isLoCMPS := alg.(*core.LoCMPS); isLoCMPS {
-		if o.Dual {
-			// ScheduleDual runs two searches concurrently; they draw from
-			// the shared scratch pool rather than this worker's pin.
-			return lm.ScheduleDual(jb.req.Graph, jb.req.Cluster)
+	lm, isLoCMPS := alg.(*core.LoCMPS)
+	if !isLoCMPS {
+		res, err = alg.Schedule(jb.req.Graph, jb.req.Cluster)
+		return res, false, err
+	}
+	if o.Dual {
+		// ScheduleDual runs two searches concurrently; they draw from
+		// the shared scratch pool rather than this worker's pin.
+		res, err = lm.ScheduleDual(jb.req.Graph, jb.req.Cluster)
+		return res, false, err
+	}
+	// Start warm from any shared state another worker captured for this
+	// (graph, cluster) content, and leave a (possibly warmer) snapshot
+	// behind for the next one.
+	skey, kerr := jb.req.StateKey()
+	if kerr == nil {
+		if st := s.states.get(skey); st != nil {
+			cw.UseShared(st, jb.req.Graph)
+			s.sharedHits.Add(1)
+		} else {
+			s.sharedMisses.Add(1)
 		}
-		return cw.Schedule(lm, jb.req.Graph, jb.req.Cluster)
+		defer cw.UseShared(nil, nil)
 	}
-	return alg.Schedule(jb.req.Graph, jb.req.Cluster)
+	b := core.Budget{MaxIterations: o.MaxIterations, Deadline: jb.deadline}
+	if b.MaxIterations > 0 || !b.Deadline.IsZero() {
+		ar, aerr := cw.ScheduleBudget(jb.ctx, lm, jb.req.Graph, jb.req.Cluster, b)
+		if aerr != nil {
+			return nil, false, aerr
+		}
+		if kerr == nil {
+			s.states.put(skey, cw.CaptureShared(jb.req.Graph, jb.req.Cluster))
+		}
+		return ar.Schedule, ar.Truncated, nil
+	}
+	res, err = cw.ScheduleContext(jb.ctx, lm, jb.req.Graph, jb.req.Cluster)
+	if err == nil && kerr == nil {
+		s.states.put(skey, cw.CaptureShared(jb.req.Graph, jb.req.Cluster))
+	}
+	return res, false, err
+}
+
+// sharedStateCap bounds the shared-state registry: each entry holds one
+// graph's tables plus one cost-cache snapshot, so the registry is a small
+// working set of recently scheduled instances, not a second result cache.
+const sharedStateCap = 64
+
+// stateRegistry shares read-only core.SharedState across all workers,
+// keyed by instance content (Request.StateKey). Entries are never stale —
+// the key covers every input the state depends on — so eviction is plain
+// FIFO over first insertion.
+type stateRegistry struct {
+	mu   sync.Mutex
+	max  int
+	m    map[Key]*core.SharedState
+	fifo []Key
+}
+
+func (r *stateRegistry) init(max int) {
+	r.max = max
+	r.m = make(map[Key]*core.SharedState, max)
+}
+
+func (r *stateRegistry) get(k Key) *core.SharedState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+// put installs (or refreshes — later snapshots are warmer) the state for k.
+func (r *stateRegistry) put(k Key, st *core.SharedState) {
+	if st == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[k]; !ok {
+		if len(r.fifo) >= r.max {
+			delete(r.m, r.fifo[0])
+			r.fifo = r.fifo[1:]
+		}
+		r.fifo = append(r.fifo, k)
+	}
+	r.m[k] = st
 }
 
 // buildScheduler materializes the scheduler for normalized options.
@@ -304,8 +510,16 @@ type Stats struct {
 	Failed    uint64
 	// Rejected counts admissions refused with ErrOverloaded.
 	Rejected uint64
+	// Cancelled counts callers that stopped waiting because their context
+	// was done; the runs they were waiting on were aborted or skipped.
+	Cancelled uint64
 	// Completed counts Schedule calls that returned a schedule.
 	Completed uint64
+	// SharedStateHits counts cold LoC-MPS runs that started warm from the
+	// cross-request shared-state registry (adopted model tables plus a
+	// read-only cost-cache snapshot); SharedStateMisses counts cold runs
+	// for instances no worker had seen yet.
+	SharedStateHits, SharedStateMisses uint64
 	// Evictions counts LRU evictions; CacheEntries is the current total
 	// number of cached schedules.
 	Evictions    uint64
@@ -336,11 +550,15 @@ func (s *Service) Stats() Stats {
 		Scheduled: s.scheduled.Load(),
 		Failed:    s.failed.Load(),
 		Rejected:  s.rejected.Load(),
+		Cancelled: s.cancelled.Load(),
 		Completed: s.completed.Load(),
 		Evictions: s.evictions.Load(),
-		Shards:    len(s.shards),
-		Workers:   len(s.shards) * s.cfg.WorkersPerShard,
-		Uptime:    time.Since(s.start),
+
+		SharedStateHits:   s.sharedHits.Load(),
+		SharedStateMisses: s.sharedMisses.Load(),
+		Shards:            len(s.shards),
+		Workers:           len(s.shards) * s.cfg.WorkersPerShard,
+		Uptime:            time.Since(s.start),
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()

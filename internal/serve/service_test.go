@@ -106,7 +106,7 @@ func TestServiceBitIdenticalColdAndHit(t *testing.T) {
 
 	reqs := []Request{
 		{Graph: testGraph(t, 20, 1), Cluster: testClusterP(16)},
-		{Graph: testGraph(t, 8, 2), Cluster: testClusterP(8)},  // shrink scratch
+		{Graph: testGraph(t, 8, 2), Cluster: testClusterP(8)},   // shrink scratch
 		{Graph: testGraph(t, 30, 3), Cluster: testClusterP(24)}, // regrow scratch
 		{Graph: testGraph(t, 20, 1), Cluster: testClusterP(16), Options: Options{Algorithm: "LoC-MPS-NoBF"}},
 		{Graph: testGraph(t, 20, 1), Cluster: testClusterP(16), Options: Options{Dual: true}},

@@ -22,6 +22,7 @@
 package locmps
 
 import (
+	"context"
 	"io"
 
 	"locmps/internal/core"
@@ -161,6 +162,34 @@ func NewMHEFT() Scheduler { return sched.MHEFT{} }
 // schedule (never worse than NewLoCMPS, at about twice the cost).
 func ScheduleDual(tg *TaskGraph, c Cluster) (*Schedule, error) {
 	return core.New().ScheduleDual(tg, c)
+}
+
+// Budget bounds an anytime LoC-MPS search: MaxIterations caps the outer
+// repeat-until rounds (deterministic — same budget, bit-identical
+// schedule), Deadline stops the search at the first check point past a
+// wall-clock instant. The zero value runs to natural termination.
+type Budget = core.Budget
+
+// AnytimeResult is a budget-bounded search outcome: the best complete
+// schedule committed within the budget, the instance's certified makespan
+// lower bound, the makespan/bound quality ratio and whether the budget
+// truncated the search.
+type AnytimeResult = core.AnytimeResult
+
+// ScheduleAnytime runs the anytime LoC-MPS search under a budget,
+// returning the best-so-far schedule with its quality bound. Budget
+// exhaustion is reported via AnytimeResult.Truncated, never as an error;
+// ctx cancellation aborts with ctx.Err(). A zero budget is exactly
+// NewLoCMPS().Schedule plus the quality bound.
+func ScheduleAnytime(ctx context.Context, tg *TaskGraph, c Cluster, b Budget) (*AnytimeResult, error) {
+	return core.New().ScheduleBudget(ctx, tg, c, b)
+}
+
+// MakespanLowerBound is the audit oracle's instance lower bound
+// max(CP@inf-P, area/P): no schedule of tg on c can have a smaller
+// makespan, so makespan divided by this bound certifies schedule quality.
+func MakespanLowerBound(tg *TaskGraph, c Cluster) (float64, error) {
+	return core.LowerBound(tg, c)
 }
 
 // AllSchedulers returns the six algorithms of the paper's evaluation.

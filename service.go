@@ -28,10 +28,13 @@ type ServiceStats = serve.Stats
 type ServiceKey = serve.Key
 
 // ErrOverloaded is returned by Service.Schedule when the request's shard
-// queue is full; ErrClosed after Close.
+// queue is full; ErrClosed after Close; ErrAnytimeUnsupported by
+// Service.ScheduleAnytime for baselines and Dual requests, which have no
+// single iterative search to truncate.
 var (
-	ErrOverloaded = serve.ErrOverloaded
-	ErrClosed     = serve.ErrClosed
+	ErrOverloaded         = serve.ErrOverloaded
+	ErrClosed             = serve.ErrClosed
+	ErrAnytimeUnsupported = serve.ErrAnytimeUnsupported
 )
 
 // NewService starts a scheduling service. Call Close to stop its workers.
