@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke bench-gate bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke
+.PHONY: check build vet test race race-core bench-smoke bench-gate bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke serve-smoke
 
-check: build vet race bench-smoke loadgen-smoke
+check: build vet race bench-smoke loadgen-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,13 @@ loadgen:
 # against the scheduling service, checks the invariants, writes no file.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -smoke
+
+# End-to-end smoke of the networked service: boots a two-node schedserved
+# fleet (race-enabled) with disk L2 caches, drives it over HTTP with
+# loadgen -addr, then restarts the fleet on the same ports and L2
+# directories and requires the replay to hit disk.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # Repeated runs of the mid-scale benchmarks in benchstat's input format:
 # `make bench-save OUT=old.txt`, change code, `make bench-save OUT=new.txt`,

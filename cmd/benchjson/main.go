@@ -41,6 +41,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -156,7 +157,7 @@ func main() {
 	reps := flag.Int("reps", 3, "benchmark repetitions per case; the fastest is recorded")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
-	gate := flag.Bool("gate", false, "regression gate: re-measure every case and fail if ns/op exceeds the committed current snapshot by more than -gate-threshold, or if any makespan changed; writes no file")
+	gate := flag.Bool("gate", false, "regression gate: re-measure every case and fail if ns/op exceeds the committed current snapshot by more than -gate-threshold, or if any makespan changed; also audits the committed BENCH_serve.json (current vs its baseline, no re-measurement); writes no file")
 	gateThreshold := flag.Float64("gate-threshold", 1.6, "allowed ns/op ratio over the committed snapshot before -gate fails")
 	flag.Parse()
 	if *reps < 1 {
@@ -209,11 +210,109 @@ func gateRun(path string, reps int, threshold float64) error {
 		}
 		fmt.Printf("%-34s %14.0f ns/op  %5.2fx committed  %s\n", cs.name, r.NsPerOp, ratio, status)
 	}
+	serveFailures, err := gateServe("BENCH_serve.json", threshold)
+	if err != nil {
+		return err
+	}
+	failures = append(failures, serveFailures...)
 	if len(failures) > 0 {
 		return fmt.Errorf("gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
 	fmt.Println("bench gate passed")
 	return nil
+}
+
+// serveGateMetrics are the per-case figures gated in BENCH_serve.json. The
+// serving benchmarks take minutes of wall clock, so unlike the scheduler
+// cases the gate does not re-measure: it audits the committed file itself —
+// current vs the baseline recorded alongside it — and fails when a commit
+// records a regression past the threshold. Tail latency gates upward
+// (current may not exceed threshold x baseline), speedups gate downward
+// (baseline may not exceed threshold x current).
+var serveGateMetrics = []struct {
+	field         string
+	lowerIsBetter bool
+}{
+	{"warm_p99_ns", true},
+	{"net_warm_p99_ns", true},
+	{"hedged_p99_ns", true},
+	{"hit_speedup_x", false},
+}
+
+// serveGateFloorNs exempts sub-millisecond latency figures from the serve
+// gate: a p99 that small is one preempted goroutine away from any ratio,
+// so gating it would only gate the host's scheduler.
+const serveGateFloorNs = 1e6
+
+// gateServe audits the committed serving-benchmark file. A missing file is
+// fine (the serving suite may not have run on this checkout); a malformed
+// one is not. Returns gate failure messages; stale baselines only warn.
+func gateServe(path string, threshold float64) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Printf("%-34s missing; serve gate skipped\n", path)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f struct {
+		Baseline map[string]map[string]json.RawMessage `json:"baseline"`
+		Current  map[string]map[string]json.RawMessage `json:"current"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	names := make([]string, 0, len(f.Current))
+	for name := range f.Current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		cur := f.Current[name]
+		base, ok := f.Baseline[name]
+		if !ok {
+			fmt.Printf("%-34s not in %s baseline; skipped\n", name, path)
+			continue
+		}
+		status := "ok"
+		for _, m := range serveGateMetrics {
+			b, okB := rawFloat(base[m.field])
+			c, okC := rawFloat(cur[m.field])
+			if !okB || !okC || b <= 0 || c <= 0 {
+				continue
+			}
+			if m.lowerIsBetter && b < serveGateFloorNs && c < serveGateFloorNs {
+				continue
+			}
+			ratio := c / b
+			if !m.lowerIsBetter {
+				ratio = b / c
+			}
+			if ratio > threshold {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %s %s %.4g vs baseline %.4g is %.2fx worse (threshold %.2fx)",
+					path, name, m.field, c, b, ratio, threshold))
+			}
+		}
+		fmt.Printf("%-34s serve gate %s\n", name, status)
+	}
+	warnStaleRaw(path)
+	return failures, nil
+}
+
+// rawFloat decodes a raw JSON value as a number; non-numbers (bools,
+// strings, absent fields) report false.
+func rawFloat(raw json.RawMessage) (float64, bool) {
+	if raw == nil {
+		return 0, false
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 // profiled wraps fn with optional CPU and heap profiling; the heap profile

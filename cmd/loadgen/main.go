@@ -19,6 +19,16 @@
 // is recorded too: cold throughput is compute-bound, so scaling with worker
 // count is only observable when the host has at least that many CPUs.
 //
+// Three network cases ride along, each against self-hosted HTTP nodes: warm
+// throughput over the wire vs in-process on the same mid-scale stream, the
+// hedged-retry p99 win against an artificially slow home node, and the
+// disk-L2 restart hit (cold search vs disk hit after a node restart).
+//
+// With -addr, loadgen instead drives already-running schedserved nodes over
+// HTTP (smoke-style, no file written) and reports the nodes' admission
+// counters; -expect-l2 asserts a minimum number of disk hits, for restart
+// smoke tests.
+//
 // Usage:
 //
 //	go run ./cmd/loadgen                # update BENCH_serve.json in place
@@ -26,6 +36,8 @@
 //	go run ./cmd/loadgen -smoke         # reduced load, sanity checks, no file
 //	go run ./cmd/loadgen -workers 2     # drive a single worker count
 //	go run ./cmd/loadgen -deadline 5ms  # wall-clock budget for the anytime case
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080,http://127.0.0.1:8081
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -expect-l2 1
 package main
 
 import (
@@ -34,9 +46,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -71,6 +86,33 @@ type Result struct {
 	FullMakespan    float64 `json:"full_makespan,omitempty"`
 	QualityRatio    float64 `json:"quality_ratio,omitempty"`
 	Truncated       bool    `json:"truncated,omitempty"`
+	// Network case: the same cold/warm phases driven over HTTP against
+	// self-hosted nodes, and the warm network throughput as a fraction of
+	// the in-process warm throughput on the same request set.
+	NetColdSchedPerSec    float64 `json:"net_cold_schedules_per_sec,omitempty"`
+	NetColdP50Ns          float64 `json:"net_cold_p50_ns,omitempty"`
+	NetColdP99Ns          float64 `json:"net_cold_p99_ns,omitempty"`
+	NetWarmSchedPerSec    float64 `json:"net_warm_schedules_per_sec,omitempty"`
+	NetWarmP50Ns          float64 `json:"net_warm_p50_ns,omitempty"`
+	NetWarmP99Ns          float64 `json:"net_warm_p99_ns,omitempty"`
+	InprocWarmSchedPerSec float64 `json:"inproc_warm_schedules_per_sec,omitempty"`
+	NetVsInprocWarmX      float64 `json:"net_vs_inproc_warm_x,omitempty"`
+	// Hedging case: warm p99 against a slow home node, with hedged retries
+	// off vs on; HedgeWinX = unhedged/hedged.
+	UnhedgedP99Ns float64 `json:"unhedged_p99_ns,omitempty"`
+	HedgedP99Ns   float64 `json:"hedged_p99_ns,omitempty"`
+	HedgeWinX     float64 `json:"hedge_win_x,omitempty"`
+	Hedges        uint64  `json:"hedges,omitempty"`
+	// Admission and disruption counters observed during the case, summed
+	// across nodes: Rejected (queue-full), Cancelled (client went away),
+	// Shed (HTTP admission control), and the shed fraction of all HTTP
+	// schedule attempts.
+	Rejected     uint64  `json:"rejected,omitempty"`
+	Cancelled    uint64  `json:"cancelled,omitempty"`
+	Shed         uint64  `json:"shed,omitempty"`
+	ShedFraction float64 `json:"shed_fraction,omitempty"`
+	// L2Hits counts second-level (disk) cache hits during the case.
+	L2Hits uint64 `json:"l2_hits,omitempty"`
 }
 
 // File is the on-disk layout of BENCH_serve.json.
@@ -101,6 +143,12 @@ type config struct {
 	hitProcs     int
 	hitReps      int
 	deadline     time.Duration
+	// Network cases: distinct requests and warm rounds driven over HTTP,
+	// the injected slow-node delay for the hedging case, and its reps.
+	netDistinct int
+	netRounds   int
+	hedgeDelay  time.Duration
+	hedgeReps   int
 }
 
 func fullConfig() config {
@@ -109,7 +157,9 @@ func fullConfig() config {
 		distinct:     24, tasks: 24, procs: 16,
 		warmRounds: 3,
 		hitTasks:   50, hitProcs: 64, hitReps: 32,
-		deadline: 5 * time.Millisecond,
+		deadline:    5 * time.Millisecond,
+		netDistinct: 6, netRounds: 6,
+		hedgeDelay: 30 * time.Millisecond, hedgeReps: 12,
 	}
 }
 
@@ -119,7 +169,9 @@ func smokeConfig() config {
 		distinct:     6, tasks: 12, procs: 8,
 		warmRounds: 2,
 		hitTasks:   20, hitProcs: 16, hitReps: 8,
-		deadline: 2 * time.Millisecond,
+		deadline:    2 * time.Millisecond,
+		netDistinct: 3, netRounds: 2,
+		hedgeDelay: 15 * time.Millisecond, hedgeReps: 6,
 	}
 }
 
@@ -128,7 +180,16 @@ func main() {
 	smoke := flag.Bool("smoke", false, "reduced load for CI: run the phases, check invariants, write no file")
 	workers := flag.Int("workers", 0, "drive only this worker count instead of the default ladder")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the anytime deadline case (0 keeps the config default)")
+	addr := flag.String("addr", "", "comma-separated node URLs: drive running schedserved nodes over HTTP instead of self-hosting (writes no file)")
+	expectL2 := flag.Int("expect-l2", 0, "with -addr: require at least this many L2 (disk) hits across the nodes after the run")
 	flag.Parse()
+	if *addr != "" {
+		if err := remote(*addr, *smoke, *expectL2); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*path, *smoke, *workers, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -184,8 +245,38 @@ func run(path string, smoke bool, workers int, deadline time.Duration) error {
 		dlName, time.Duration(dl.DeadlineNs), time.Duration(dl.AnytimeNs),
 		dl.AnytimeMakespan, dl.QualityRatio, dl.Truncated, dl.FullMakespan)
 
+	net, err := netCase(cfg)
+	if err != nil {
+		return err
+	}
+	netName := fmt.Sprintf("LoadgenNet%dTasks%dProcs", cfg.hitTasks, cfg.hitProcs)
+	current[netName] = net
+	fmt.Printf("%-38s net cold %7.2f sched/s (p99 %v)  net warm %9.0f sched/s (p50 %v, p99 %v) = %.0f%% of in-process warm  [rejected %d cancelled %d shed %.0f%%]\n",
+		netName, net.NetColdSchedPerSec, time.Duration(net.NetColdP99Ns),
+		net.NetWarmSchedPerSec, time.Duration(net.NetWarmP50Ns), time.Duration(net.NetWarmP99Ns),
+		100*net.NetVsInprocWarmX, net.Rejected, net.Cancelled, 100*net.ShedFraction)
+
+	hedge, err := hedgeCase(cfg)
+	if err != nil {
+		return err
+	}
+	hedgeName := "LoadgenNetHedge"
+	current[hedgeName] = hedge
+	fmt.Printf("%-38s slow home node (+%v): warm p99 unhedged %v vs hedged %v = %.1fx win (%d hedges)\n",
+		hedgeName, cfg.hedgeDelay, time.Duration(hedge.UnhedgedP99Ns), time.Duration(hedge.HedgedP99Ns),
+		hedge.HedgeWinX, hedge.Hedges)
+
+	l2r, err := l2RestartCase(cfg)
+	if err != nil {
+		return err
+	}
+	l2Name := "LoadgenNetL2Restart"
+	current[l2Name] = l2r
+	fmt.Printf("%-38s cold %v, disk hit after restart %v: %.0fx (l2 hits %d)\n",
+		l2Name, time.Duration(l2r.ColdNs), time.Duration(l2r.WarmHitNs), l2r.HitSpeedupX, l2r.L2Hits)
+
 	if smoke {
-		return smokeChecks(current, hitName, dlName)
+		return smokeChecks(current, hitName, dlName, netName, hedgeName, l2Name)
 	}
 
 	out := File{
@@ -244,12 +335,15 @@ func run(path string, smoke bool, workers int, deadline time.Duration) error {
 }
 
 // smokeChecks validates the invariants a CI smoke run cares about: the
-// cache must actually serve hits, hits must beat cold runs, and the
+// cache must actually serve hits, hits must beat cold runs, the
 // deadline-bounded anytime result must be a valid (bound-respecting,
-// no-better-than-full) schedule.
-func smokeChecks(current map[string]Result, hitName, dlName string) error {
+// no-better-than-full) schedule, and the network layer must show its three
+// wins — warm hits over HTTP, a hedging tail-latency cut, and a disk hit
+// after restart.
+func smokeChecks(current map[string]Result, hitName, dlName, netName, hedgeName, l2Name string) error {
+	special := map[string]bool{hitName: true, dlName: true, netName: true, hedgeName: true, l2Name: true}
 	for name, r := range current {
-		if name == hitName || name == dlName {
+		if special[name] {
 			continue
 		}
 		if r.WarmSchedPerSec <= r.ColdSchedPerSec {
@@ -267,6 +361,30 @@ func smokeChecks(current map[string]Result, hitName, dlName string) error {
 	}
 	if dl.AnytimeMakespan < dl.FullMakespan*(1-1e-9) {
 		return fmt.Errorf("%s: anytime makespan %.6g better than the full run's %.6g", dlName, dl.AnytimeMakespan, dl.FullMakespan)
+	}
+	net := current[netName]
+	if net.NetWarmSchedPerSec <= net.NetColdSchedPerSec {
+		return fmt.Errorf("%s: warm network throughput %.2f/s did not beat cold %.2f/s",
+			netName, net.NetWarmSchedPerSec, net.NetColdSchedPerSec)
+	}
+	if net.NetVsInprocWarmX <= 0.02 {
+		return fmt.Errorf("%s: warm network throughput is only %.1f%% of in-process",
+			netName, 100*net.NetVsInprocWarmX)
+	}
+	hedge := current[hedgeName]
+	if hedge.Hedges == 0 {
+		return fmt.Errorf("%s: no hedges fired against a slow home node", hedgeName)
+	}
+	if hedge.HedgedP99Ns >= hedge.UnhedgedP99Ns {
+		return fmt.Errorf("%s: hedged p99 %v no better than unhedged %v",
+			hedgeName, time.Duration(hedge.HedgedP99Ns), time.Duration(hedge.UnhedgedP99Ns))
+	}
+	l2r := current[l2Name]
+	if l2r.L2Hits == 0 {
+		return fmt.Errorf("%s: restarted node served no disk hits", l2Name)
+	}
+	if l2r.HitSpeedupX < 2 {
+		return fmt.Errorf("%s: disk hit only %.1fx faster than cold", l2Name, l2r.HitSpeedupX)
 	}
 	fmt.Println("smoke checks passed")
 	return nil
@@ -326,10 +444,22 @@ func drive(svc *locmps.Service, reqs []locmps.ServiceRequest, rounds, concurrenc
 	return elapsed, lats, nil
 }
 
+// quantile is the nearest-rank percentile of lats — the same rank rule as
+// internal/latring, so the driver-side and service-side quantiles agree.
 func quantile(lats []time.Duration, q int) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
 	cp := append([]time.Duration(nil), lats...)
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	return cp[(len(cp)-1)*q/100]
+	i := (len(cp)*q + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(cp) {
+		i = len(cp)
+	}
+	return cp[i-1]
 }
 
 // throughputCase measures one worker count: a cold pass over distinct
@@ -370,6 +500,8 @@ func throughputCase(workers int, cfg config) (Result, error) {
 		WarmSchedPerSec: float64(len(warmLats)) / warmWall.Seconds(),
 		WarmP50Ns:       float64(quantile(warmLats, 50)),
 		WarmP99Ns:       float64(quantile(warmLats, 99)),
+		Rejected:        st.Rejected,
+		Cancelled:       st.Cancelled,
 	}, nil
 }
 
@@ -471,6 +603,417 @@ func warnStale(f *File, justBaselined map[string]bool) {
 				name, "BENCH_serve.json")
 		}
 	}
+}
+
+// node is one self-hosted scheduling node: a Service behind the HTTP
+// transport on a loopback port.
+type node struct {
+	svc *locmps.Service
+	srv *locmps.HTTPServer
+	hs  *http.Server
+	url string
+}
+
+// startNode boots a node; wrap, when non-nil, interposes on the HTTP
+// handler (the hedging case uses it to slow one node down).
+func startNode(cfg locmps.ServiceConfig, wrap func(http.Handler) http.Handler) (*node, error) {
+	svc := locmps.NewService(cfg)
+	srv := locmps.NewHTTPServer(svc, locmps.HTTPServerConfig{})
+	h := http.Handler(srv.Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	n := &node{svc: svc, srv: srv, hs: &http.Server{Handler: h}, url: "http://" + ln.Addr().String()}
+	go n.hs.Serve(ln)
+	return n, nil
+}
+
+func (n *node) stop() {
+	n.hs.Close()
+	n.svc.Close()
+}
+
+// slowBy wraps a handler so /v1/schedule stalls for d before being served —
+// a deterministic slow backend for the hedging case.
+func slowBy(d time.Duration) func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/schedule") {
+				time.Sleep(d)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+}
+
+// driveClient is drive over HTTP: rounds×reqs closed-loop through a fleet
+// client.
+func driveClient(c *locmps.Client, reqs []locmps.ServiceRequest, rounds, concurrency int) (time.Duration, []time.Duration, error) {
+	total := rounds * len(reqs)
+	lats := make([]time.Duration, total)
+	sem := make(chan struct{}, concurrency)
+	errCh := make(chan error, total)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for i := 0; i < total; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			t0 := time.Now()
+			if _, err := c.Schedule(ctx, reqs[i%len(reqs)]); err != nil {
+				errCh <- err
+				return
+			}
+			lats[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	select {
+	case err := <-errCh:
+		return 0, nil, err
+	default:
+	}
+	return elapsed, lats, nil
+}
+
+// sumCounters folds the per-node admission and disruption counters into r.
+func sumCounters(r *Result, nodes ...*node) {
+	var served uint64
+	for _, n := range nodes {
+		st := n.srv.Stats()
+		r.Rejected += st.Rejected
+		r.Cancelled += st.Cancelled
+		r.Shed += st.Shed
+		r.L2Hits += st.L2Hits
+		served += st.Served
+	}
+	if total := served + r.Shed; total > 0 {
+		r.ShedFraction = float64(r.Shed) / float64(total)
+	}
+}
+
+// netCase drives the mid-scale instance set over HTTP against two
+// self-hosted nodes — cold, then warm out of the nodes' caches — and
+// measures the warm network throughput as a fraction of the in-process warm
+// throughput on the identical request set. The fraction is the cost of the
+// wire; the consistent-hash client keeps it bounded by routing repeat
+// requests to the node whose cache is warm for them.
+func netCase(cfg config) (Result, error) {
+	reqs, err := stream(cfg.netDistinct, cfg.hitTasks, cfg.hitProcs, 9000)
+	if err != nil {
+		return Result{}, err
+	}
+	svcCfg := locmps.ServiceConfig{Shards: 2, WorkersPerShard: 1, QueueDepth: 256, CacheEntries: 4096}
+
+	// In-process reference: warm throughput on the same stream.
+	ref := locmps.NewService(svcCfg)
+	defer ref.Close()
+	if _, _, err := drive(ref, reqs, 1, 4); err != nil {
+		return Result{}, err
+	}
+	inprocWall, _, err := drive(ref, reqs, cfg.netRounds, 4)
+	if err != nil {
+		return Result{}, err
+	}
+	inprocWarm := float64(cfg.netRounds*len(reqs)) / inprocWall.Seconds()
+
+	a, err := startNode(svcCfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	defer a.stop()
+	b, err := startNode(svcCfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	defer b.stop()
+	// Hedging off: this case measures steady-state throughput, and hedging
+	// cold multi-hundred-ms searches would only duplicate work.
+	client, err := locmps.NewClient(locmps.ClientConfig{Nodes: []string{a.url, b.url}, DisableHedging: true})
+	if err != nil {
+		return Result{}, err
+	}
+	defer client.Close()
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = client.WaitReady(waitCtx)
+	cancel()
+	if err != nil {
+		return Result{}, err
+	}
+
+	coldWall, coldLats, err := driveClient(client, reqs, 1, 4)
+	if err != nil {
+		return Result{}, err
+	}
+	warmWall, warmLats, err := driveClient(client, reqs, cfg.netRounds, 4)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		Distinct:              cfg.netDistinct,
+		NetColdSchedPerSec:    float64(len(coldLats)) / coldWall.Seconds(),
+		NetColdP50Ns:          float64(quantile(coldLats, 50)),
+		NetColdP99Ns:          float64(quantile(coldLats, 99)),
+		NetWarmSchedPerSec:    float64(len(warmLats)) / warmWall.Seconds(),
+		NetWarmP50Ns:          float64(quantile(warmLats, 50)),
+		NetWarmP99Ns:          float64(quantile(warmLats, 99)),
+		InprocWarmSchedPerSec: inprocWarm,
+	}
+	if inprocWarm > 0 {
+		r.NetVsInprocWarmX = r.NetWarmSchedPerSec / inprocWarm
+	}
+	sumCounters(&r, a, b)
+	return r, nil
+}
+
+// hedgeCase measures the hedging win: one node is made artificially slow,
+// a request homed there is driven warm with hedging off (p99 eats the full
+// injected delay every time) and then with hedging on (the replica answers
+// after the hedge delay instead).
+func hedgeCase(cfg config) (Result, error) {
+	svcCfg := locmps.ServiceConfig{Shards: 1, WorkersPerShard: 1, QueueDepth: 64, CacheEntries: 256}
+	slow, err := startNode(svcCfg, slowBy(cfg.hedgeDelay))
+	if err != nil {
+		return Result{}, err
+	}
+	defer slow.stop()
+	fast, err := startNode(svcCfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	defer fast.stop()
+
+	hedged, err := locmps.NewClient(locmps.ClientConfig{
+		Nodes:      []string{slow.url, fast.url},
+		HedgeFloor: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer hedged.Close()
+	unhedged, err := locmps.NewClient(locmps.ClientConfig{
+		Nodes:          []string{slow.url, fast.url},
+		DisableHedging: true,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer unhedged.Close()
+
+	// Find a request whose consistent-hash home is the slow node, and warm
+	// both nodes for it directly (no HTTP) so every measured request is a
+	// cache hit.
+	var req locmps.ServiceRequest
+	found := false
+	for seed := int64(11000); seed < 11128; seed++ {
+		reqs, err := stream(1, cfg.tasks, cfg.procs, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		key, err := reqs[0].Fingerprint()
+		if err != nil {
+			return Result{}, err
+		}
+		if primary, _ := hedged.Route(key); primary == slow.url {
+			req, found = reqs[0], true
+			break
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("hedge case: no request homed at the slow node in 128 seeds")
+	}
+	if _, err := slow.svc.Schedule(req); err != nil {
+		return Result{}, err
+	}
+	if _, err := fast.svc.Schedule(req); err != nil {
+		return Result{}, err
+	}
+
+	measure := func(c *locmps.Client) ([]time.Duration, error) {
+		lats := make([]time.Duration, cfg.hedgeReps)
+		ctx := context.Background()
+		for i := range lats {
+			t0 := time.Now()
+			if _, err := c.Schedule(ctx, req); err != nil {
+				return nil, err
+			}
+			lats[i] = time.Since(t0)
+		}
+		return lats, nil
+	}
+	slowLats, err := measure(unhedged)
+	if err != nil {
+		return Result{}, err
+	}
+	fastLats, err := measure(hedged)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		UnhedgedP99Ns: float64(quantile(slowLats, 99)),
+		HedgedP99Ns:   float64(quantile(fastLats, 99)),
+		Hedges:        hedged.Stats().Hedges,
+	}
+	if r.HedgedP99Ns > 0 {
+		r.HedgeWinX = r.UnhedgedP99Ns / r.HedgedP99Ns
+	}
+	sumCounters(&r, slow, fast)
+	return r, nil
+}
+
+// l2RestartCase runs one mid-scale instance cold on a node backed by a disk
+// L2, tears the node down, boots a fresh node (empty L1) over the same
+// directory, and times the same request again — now a disk hit served over
+// HTTP, no search.
+func l2RestartCase(cfg config) (Result, error) {
+	dir, err := os.MkdirTemp("", "loadgen-l2-*")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	reqs, err := stream(1, cfg.hitTasks, cfg.hitProcs, 13000)
+	if err != nil {
+		return Result{}, err
+	}
+	req := reqs[0]
+	ctx := context.Background()
+
+	boot := func() (*node, *locmps.Client, error) {
+		dc, err := locmps.OpenDiskCache(dir, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, err := startNode(locmps.ServiceConfig{Shards: 1, WorkersPerShard: 1, QueueDepth: 8, CacheEntries: 16, L2: dc}, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := locmps.NewClient(locmps.ClientConfig{Nodes: []string{n.url}})
+		if err != nil {
+			n.stop()
+			return nil, nil, err
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err = c.WaitReady(waitCtx)
+		cancel()
+		if err != nil {
+			c.Close()
+			n.stop()
+			return nil, nil, err
+		}
+		return n, c, nil
+	}
+
+	n1, c1, err := boot()
+	if err != nil {
+		return Result{}, err
+	}
+	t0 := time.Now()
+	_, err = c1.Schedule(ctx, req)
+	coldNs := float64(time.Since(t0))
+	c1.Close()
+	n1.stop()
+	if err != nil {
+		return Result{}, err
+	}
+
+	n2, c2, err := boot()
+	if err != nil {
+		return Result{}, err
+	}
+	defer n2.stop()
+	defer c2.Close()
+	t0 = time.Now()
+	_, err = c2.Schedule(ctx, req)
+	hitNs := float64(time.Since(t0))
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{ColdNs: coldNs, WarmHitNs: hitNs, HitSpeedupX: coldNs / hitNs}
+	sumCounters(&r, n2)
+	return r, nil
+}
+
+// remote drives already-running schedserved nodes (-addr): wait for health,
+// push the smoke stream cold and warm, and report throughput plus the
+// nodes' admission counters. It never writes BENCH_serve.json — remote
+// numbers depend on whatever the nodes are, and on their cache history.
+func remote(addr string, smoke bool, expectL2 int) error {
+	cfg := fullConfig()
+	if smoke {
+		cfg = smokeConfig()
+	}
+	nodes := strings.Split(addr, ",")
+	client, err := locmps.NewClient(locmps.ClientConfig{Nodes: nodes})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	ctx := context.Background()
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = client.WaitReady(waitCtx)
+	cancel()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d node(s) ready: %s\n", len(nodes), strings.Join(client.Nodes(), " "))
+
+	reqs, err := stream(cfg.distinct, cfg.tasks, cfg.procs, 1000)
+	if err != nil {
+		return err
+	}
+	coldWall, coldLats, err := driveClient(client, reqs, 1, 4)
+	if err != nil {
+		return err
+	}
+	warmWall, warmLats, err := driveClient(client, reqs, cfg.warmRounds, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("first pass %8.2f sched/s (p50 %v, p99 %v)   replay %9.0f sched/s (p50 %v, p99 %v)\n",
+		float64(len(coldLats))/coldWall.Seconds(), quantile(coldLats, 50), quantile(coldLats, 99),
+		float64(len(warmLats))/warmWall.Seconds(), quantile(warmLats, 50), quantile(warmLats, 99))
+
+	stats, err := client.NodeStats(ctx)
+	if err != nil {
+		return err
+	}
+	var rejected, cancelled, shed, served, failed, l2hits uint64
+	for _, n := range client.Nodes() {
+		st := stats[n]
+		rejected += st.Rejected
+		cancelled += st.Cancelled
+		shed += st.Shed
+		served += st.Served
+		failed += st.Failed
+		l2hits += st.L2Hits
+		fmt.Printf("%-28s requests %5d  cache hits %5d  l2 hits %4d  rejected %3d  cancelled %3d  shed %3d\n",
+			n, st.Requests, st.CacheHits, st.L2Hits, st.Rejected, st.Cancelled, st.Shed)
+	}
+	var shedFrac float64
+	if total := served + shed; total > 0 {
+		shedFrac = float64(shed) / float64(total)
+	}
+	fmt.Printf("totals: rejected %d, cancelled %d, shed %d (%.1f%% of attempts), l2 hits %d\n",
+		rejected, cancelled, shed, 100*shedFrac, l2hits)
+	if failed != 0 {
+		return fmt.Errorf("nodes report %d failed runs", failed)
+	}
+	if cs := client.Stats(); cs.Hedges+cs.Failovers > 0 {
+		fmt.Printf("client: %d hedges (%d wins), %d failovers\n", cs.Hedges, cs.HedgeWins, cs.Failovers)
+	}
+	if expectL2 > 0 && l2hits < uint64(expectL2) {
+		return fmt.Errorf("expected >= %d L2 hits across nodes, saw %d", expectL2, l2hits)
+	}
+	fmt.Println("remote drive passed")
+	return nil
 }
 
 func load(path string) (*File, error) {

@@ -1,0 +1,98 @@
+// Command schedserved runs one scheduling-service node: a serve.Service
+// behind the HTTP/JSON transport, optionally backed by a disk L2 cache so
+// warm results survive restarts.
+//
+//	schedserved -addr 127.0.0.1:8080 -l2 /var/cache/locmps
+//
+// The node serves POST /v1/schedule, GET /v1/stats and GET /healthz and
+// shuts down gracefully on SIGINT/SIGTERM, printing a final stats line.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locmps/internal/serve"
+	"locmps/internal/serve/httpserve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		shards      = flag.Int("shards", 0, "service shards (0 = auto)")
+		workers     = flag.Int("workers-per-shard", 0, "warm workers per shard (0 = default)")
+		queue       = flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+		cacheEnts   = flag.Int("cache-entries", 0, "L1 result-cache entries (0 = default)")
+		l2dir       = flag.String("l2", "", "disk L2 cache directory (empty = no L2)")
+		l2max       = flag.Int64("l2-max-bytes", 0, "disk L2 size bound in bytes (0 = default)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently handled requests before shedding (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEnts,
+	}
+	var dc *serve.DiskCache
+	if *l2dir != "" {
+		var err error
+		if dc, err = serve.OpenDiskCache(*l2dir, *l2max); err != nil {
+			return err
+		}
+		cfg.L2 = dc
+	}
+	svc := serve.New(cfg)
+	defer svc.Close()
+	node := httpserve.NewServer(svc, httpserve.ServerConfig{MaxInflight: *maxInflight})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: node.Handler()}
+	fmt.Printf("schedserved listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+
+	st := node.Stats()
+	out, _ := json.Marshal(&st)
+	fmt.Printf("schedserved final stats: %s\n", out)
+	if dc != nil {
+		l2 := dc.Stats()
+		fmt.Printf("schedserved L2: entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d corrupt=%d\n",
+			l2.Entries, l2.Bytes, l2.Hits, l2.Misses, l2.Puts, l2.Evictions, l2.Corrupt)
+	}
+	return nil
+}

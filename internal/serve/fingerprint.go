@@ -97,6 +97,14 @@ type Request struct {
 	Options Options
 }
 
+// FingerprintVersion names the canonical fingerprint scheme. It is hashed
+// into every Key, so bumping it invalidates every cache tier at once (L1,
+// L2 files on disk, cross-node routing). Any change to what Fingerprint
+// hashes or how MUST bump this string — the golden fixtures in
+// testdata/fingerprints.json fail loudly if the scheme drifts without a
+// bump, because nodes disagreeing on keys silently partition the cache.
+const FingerprintVersion = "locmps/serve/v2"
+
 // Key is the content address of a request: a SHA-256 digest of everything
 // the scheduler's output depends on.
 type Key [sha256.Size]byte
@@ -128,7 +136,7 @@ func (r Request) Fingerprint() (Key, error) {
 		return Key{}, err
 	}
 	h := newKeyHasher()
-	h.raw("locmps/serve/v2")
+	h.raw(FingerprintVersion)
 	o := r.Options.normalized()
 	h.str(o.Algorithm)
 	h.bit(o.Dual)

@@ -7,12 +7,12 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"locmps/internal/core"
+	"locmps/internal/latring"
 	"locmps/internal/sched"
 	"locmps/internal/schedule"
 )
@@ -49,6 +49,23 @@ type Config struct {
 	// shards (each shard holds CacheEntries/Shards, at least one). Default
 	// 1024.
 	CacheEntries int
+	// L2 is an optional second-level result cache (typically a DiskCache)
+	// consulted by the workers after an L1 miss, before running a search,
+	// and populated after every successful cacheable run. Warm state in an
+	// L2 survives process restarts; a nil L2 disables the tier.
+	L2 SecondLevel
+}
+
+// SecondLevel is the second-level result cache consulted between the
+// in-memory L1 and a cold search. Get returns the schedule stored under the
+// fingerprint (decoded against the request's graph), its truncation flag
+// and whether the entry existed; Put stores a freshly computed result.
+// Implementations must be safe for concurrent use and must treat their own
+// failures (corruption, IO errors) as misses — the worker falls back to a
+// cold run, never to an error.
+type SecondLevel interface {
+	Get(key Key, req Request) (s *schedule.Schedule, truncated bool, ok bool)
+	Put(key Key, req Request, s *schedule.Schedule, truncated bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -96,7 +113,10 @@ type Service struct {
 	completed    atomic.Uint64
 	sharedHits   atomic.Uint64
 	sharedMisses atomic.Uint64
-	lat          latencyRing
+	l2Hits       atomic.Uint64
+	l2Misses     atomic.Uint64
+	l2Writes     atomic.Uint64
+	lat          *latring.Ring
 }
 
 type shard struct {
@@ -138,7 +158,7 @@ type job struct {
 // drain and stop them.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	s := &Service{cfg: cfg, start: time.Now()}
+	s := &Service{cfg: cfg, start: time.Now(), lat: latring.New(latWindow)}
 	s.states.init(sharedStateCap)
 	perShard := cfg.CacheEntries / cfg.Shards
 	if perShard < 1 {
@@ -313,7 +333,7 @@ func isCtxErr(err error) bool {
 // deep copy of the schedule.
 func (s *Service) finish(res *schedule.Schedule, started time.Time) (*schedule.Schedule, error) {
 	s.completed.Add(1)
-	s.lat.record(time.Since(started))
+	s.lat.Record(time.Since(started))
 	return res.Clone(), nil
 }
 
@@ -364,6 +384,24 @@ func (s *Service) runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, j
 	// Abandoned while queued: surrender the slot without running anything.
 	if err := jb.ctx.Err(); err != nil {
 		return nil, false, err
+	}
+	// Between the L1 miss and a cold search sits the optional second-level
+	// cache: a disk hit decodes a previously computed schedule instead of
+	// re-running the search, which is what lets warm state survive a
+	// restart. Deadline (uncacheable) jobs skip the tier entirely, and a
+	// served L2 entry is not written back.
+	if jb.cacheable && s.cfg.L2 != nil {
+		if cached, truncated, ok := s.cfg.L2.Get(jb.key, jb.req); ok {
+			s.l2Hits.Add(1)
+			return cached, truncated, nil
+		}
+		s.l2Misses.Add(1)
+		defer func() {
+			if err == nil && res != nil {
+				s.cfg.L2.Put(jb.key, jb.req, res, truncated)
+				s.l2Writes.Add(1)
+			}
+		}()
 	}
 	o := jb.req.Options.normalized()
 	// The budget is per-run state, not a scheduler configuration: strip it
@@ -520,6 +558,11 @@ type Stats struct {
 	// read-only cost-cache snapshot); SharedStateMisses counts cold runs
 	// for instances no worker had seen yet.
 	SharedStateHits, SharedStateMisses uint64
+	// L2Hits counts cacheable cold jobs answered from the second-level
+	// cache instead of a search; L2Misses counts the probes that fell
+	// through to a real run; L2Writes counts results written back. All
+	// zero when no L2 is configured.
+	L2Hits, L2Misses, L2Writes uint64
 	// Evictions counts LRU evictions; CacheEntries is the current total
 	// number of cached schedules.
 	Evictions    uint64
@@ -556,6 +599,9 @@ func (s *Service) Stats() Stats {
 
 		SharedStateHits:   s.sharedHits.Load(),
 		SharedStateMisses: s.sharedMisses.Load(),
+		L2Hits:            s.l2Hits.Load(),
+		L2Misses:          s.l2Misses.Load(),
+		L2Writes:          s.l2Writes.Load(),
 		Shards:            len(s.shards),
 		Workers:           len(s.shards) * s.cfg.WorkersPerShard,
 		Uptime:            time.Since(s.start),
@@ -565,41 +611,10 @@ func (s *Service) Stats() Stats {
 		st.CacheEntries += sh.cache.len()
 		sh.mu.Unlock()
 	}
-	st.P50, st.P99 = s.lat.quantiles()
+	st.P50, st.P99 = s.lat.Quantiles()
 	return st
 }
 
 // latWindow bounds the latency reservoir: quantiles reflect the most recent
 // completions, which is what a load driver watching a phase change wants.
 const latWindow = 4096
-
-// latencyRing is a fixed-size sliding window of request latencies.
-type latencyRing struct {
-	mu  sync.Mutex
-	buf [latWindow]int64 // nanoseconds
-	n   int
-}
-
-func (l *latencyRing) record(d time.Duration) {
-	l.mu.Lock()
-	l.buf[l.n%latWindow] = int64(d)
-	l.n++
-	l.mu.Unlock()
-}
-
-// quantiles reports the p50/p99 of the window (zeros when empty).
-func (l *latencyRing) quantiles() (p50, p99 time.Duration) {
-	l.mu.Lock()
-	m := l.n
-	if m > latWindow {
-		m = latWindow
-	}
-	cp := make([]int64, m)
-	copy(cp, l.buf[:m])
-	l.mu.Unlock()
-	if m == 0 {
-		return 0, 0
-	}
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	return time.Duration(cp[(m-1)*50/100]), time.Duration(cp[(m-1)*99/100])
-}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the networked scheduling service: build schedserved
+# (race-enabled) and loadgen, boot a two-node fleet with disk L2 caches,
+# drive it over HTTP, then restart the fleet on the same ports and L2
+# directories and require the replay to be served from disk (-expect-l2).
+# Everything lives under a mktemp dir and is torn down on exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+cleanup() {
+    local f
+    for f in "$workdir"/*.log.pid; do
+        [ -e "$f" ] || continue
+        kill "$(cat "$f")" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+mkdir -p "$workdir/bin" "$workdir/l2a" "$workdir/l2b"
+$GO build -race -o "$workdir/bin/schedserved" ./cmd/schedserved
+$GO build -race -o "$workdir/bin/loadgen" ./cmd/loadgen
+
+# start_node <listen-addr> <l2-dir> <log> -> prints the bound address.
+# Runs in a command substitution, so the pid is handed to the parent via a
+# pidfile next to the log — a subshell's $! would be lost otherwise.
+start_node() {
+    "$workdir/bin/schedserved" -addr "$1" -l2 "$2" >"$3" 2>&1 &
+    echo $! >"$3.pid"
+    local addr="" i
+    for i in $(seq 1 100); do
+        addr=$(sed -n 's/^schedserved listening on //p' "$3")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "serve_smoke: node failed to start:" >&2
+        cat "$3" >&2
+        exit 1
+    fi
+    echo "$addr"
+}
+
+stop_nodes() {
+    local f p
+    for f in "$workdir"/*.log.pid; do
+        [ -e "$f" ] || continue
+        p=$(cat "$f")
+        kill "$p" 2>/dev/null || true
+        # Graceful shutdown: wait for the process to release its port.
+        while kill -0 "$p" 2>/dev/null; do sleep 0.1; done
+        rm -f "$f"
+    done
+}
+
+echo "== boot fleet (cold L2)"
+a=$(start_node 127.0.0.1:0 "$workdir/l2a" "$workdir/a.log")
+b=$(start_node 127.0.0.1:0 "$workdir/l2b" "$workdir/b.log")
+"$workdir/bin/loadgen" -smoke -addr "http://$a,http://$b"
+
+echo "== restart fleet on the same ports and L2 directories"
+stop_nodes
+# Same ports keep the consistent-hash routing stable, so every key lands on
+# the node whose disk cache already holds its result.
+a=$(start_node "$a" "$workdir/l2a" "$workdir/a2.log")
+b=$(start_node "$b" "$workdir/l2b" "$workdir/b2.log")
+"$workdir/bin/loadgen" -smoke -addr "http://$a,http://$b" -expect-l2 1
+
+echo "serve_smoke: passed"

@@ -1,6 +1,9 @@
 package locmps
 
-import "locmps/internal/serve"
+import (
+	"locmps/internal/serve"
+	"locmps/internal/serve/httpserve"
+)
 
 // Service is a concurrent scheduling service over the LoC-MPS kernel and
 // the baselines: a sharded content-addressed result cache over canonical
@@ -39,3 +42,44 @@ var (
 
 // NewService starts a scheduling service. Call Close to stop its workers.
 func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
+
+// DiskCache is a disk-backed second-level result cache: one atomic file
+// per fingerprint, size-bounded LRU eviction, corruption-tolerant loads.
+// Set it as ServiceConfig.L2 so warm results survive process restarts.
+type DiskCache = serve.DiskCache
+
+// OpenDiskCache opens (creating if needed) a DiskCache rooted at dir,
+// bounded to maxBytes of entries (<= 0 selects the default bound).
+func OpenDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	return serve.OpenDiskCache(dir, maxBytes)
+}
+
+// HTTPServer exposes a Service over HTTP/JSON (POST /v1/schedule,
+// GET /v1/stats, GET /healthz) with admission control and load shedding.
+type HTTPServer = httpserve.Server
+
+// HTTPServerConfig tunes an HTTPServer; the zero value selects defaults.
+type HTTPServerConfig = httpserve.ServerConfig
+
+// NewHTTPServer wraps svc in an HTTP node. The caller keeps ownership of
+// svc and serves node.Handler() however it likes.
+func NewHTTPServer(svc *Service, cfg HTTPServerConfig) *HTTPServer {
+	return httpserve.NewServer(svc, cfg)
+}
+
+// Client talks to a fleet of HTTPServer nodes: consistent-hash routing on
+// request fingerprints, hedged retries against a second replica, failover,
+// and connection reuse.
+type Client = httpserve.Client
+
+// ClientConfig configures a Client; Nodes is required.
+type ClientConfig = httpserve.ClientConfig
+
+// ClientStats exposes a Client's hedging and failover counters.
+type ClientStats = httpserve.ClientStats
+
+// NodeStats is one node's GET /v1/stats payload.
+type NodeStats = httpserve.NodeStats
+
+// NewClient builds a fleet client. Close it to release pooled connections.
+func NewClient(cfg ClientConfig) (*Client, error) { return httpserve.NewClient(cfg) }
