@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke bench-gate bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke serve-smoke
+.PHONY: check build vet test race race-core bench-smoke bench-gate bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke serve-smoke portfolio-smoke
 
-check: build vet race bench-smoke loadgen-smoke serve-smoke
+check: build vet race bench-smoke loadgen-smoke portfolio-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,13 @@ loadgen:
 # against the scheduling service, checks the invariants, writes no file.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -smoke
+
+# Portfolio smoke, race-enabled: one cold race of the full engine set
+# through the service, then warm deadline repeats that must hit the winner
+# cache and stay within the routing-overhead bound. -race shakes the
+# concurrent racers themselves.
+portfolio-smoke:
+	$(GO) run -race ./cmd/loadgen -portfolio-smoke
 
 # End-to-end smoke of the networked service: boots a two-node schedserved
 # fleet (race-enabled) with disk L2 caches, drives it over HTTP with

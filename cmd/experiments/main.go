@@ -28,13 +28,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 
 	"locmps"
 )
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate (4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 stats ablation or all)")
+		fig        = flag.String("fig", "all", "figure to regenerate (4a 4b 5a 5b 6 7 8a 8b 9a 9b 10a 10b 11 portfolio stats ablation or all)")
+		portfolio  = flag.Bool("portfolio", false, "shorthand for -fig portfolio: race the engine portfolio against every single engine and tally per-instance winners")
 		full       = flag.Bool("full", false, "paper-scale parameters (slow) instead of quick ones")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		out        = flag.String("out", "", "also write each figure as <id>.csv into this directory")
@@ -44,6 +46,9 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+	if *portfolio {
+		*fig = "portfolio"
+	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "experiments: -workers must be at least 1 (got %d); omit the flag to use one worker per CPU (GOMAXPROCS, currently %d)\n",
 			*workers, runtime.GOMAXPROCS(0))
@@ -122,7 +127,7 @@ func run(fig string, full, csv bool, outDir string, workers int, useServe bool) 
 
 	ids := []string{fig}
 	if fig == "all" {
-		ids = []string{"4a", "4b", "5a", "5b", "6", "7", "8a", "8b", "9a", "9b", "10a", "10b", "11", "extended", "stats", "ablation"}
+		ids = []string{"4a", "4b", "5a", "5b", "6", "7", "8a", "8b", "9a", "9b", "10a", "10b", "11", "extended", "portfolio", "stats", "ablation"}
 	}
 	for _, id := range ids {
 		if err := runOne(id, suite, app, csv, outDir); err != nil {
@@ -223,6 +228,27 @@ func runOne(id string, suite locmps.SuiteOptions, app locmps.AppOptions, csv boo
 			return err
 		}
 		emit(f)
+	case "portfolio":
+		s := suite
+		s.CCR = 0.1
+		f, err := locmps.PortfolioFig(s)
+		if err != nil {
+			return err
+		}
+		emit(f)
+		tally, err := locmps.PortfolioWinners(s)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(tally))
+		for n := range tally {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("// portfolio winners by (graph, P) cell:")
+		for _, n := range names {
+			fmt.Printf("//   %-12s %d\n", n, tally[n])
+		}
 	case "stats":
 		s := suite
 		s.CCR = 0.1

@@ -1,0 +1,15 @@
+package core
+
+import "locmps/internal/schedule"
+
+// Capabilities implements schedule.Engine. Every LoC-MPS configuration
+// (full, no-backfill, iCASLB, reference) shares the same machinery: the
+// search is budget-truncatable with a best-so-far result (ScheduleBudget),
+// reuses warm per-instance state across runs (memo tables, prefix
+// checkpoints, cost caches), and a single value is safe for concurrent
+// Schedule/ScheduleContext calls (scratch comes from a pool).
+func (s *LoCMPS) Capabilities() schedule.Capabilities {
+	return schedule.Capabilities{Anytime: true, Incremental: true, ConcurrentSafe: true}
+}
+
+var _ schedule.Engine = (*LoCMPS)(nil)

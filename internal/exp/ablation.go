@@ -44,7 +44,7 @@ func (o AblationOptions) validate() error {
 // reports the geometric-mean makespan ratio relative to the reference
 // configuration (the first X value), plus a mean scheduling-time series.
 func (o AblationOptions) sweep(id, title, xlabel string, xs []float64,
-	mk func(x float64) schedule.Scheduler) (perf, times Figure, err error) {
+	mk func(x float64) schedule.Engine) (perf, times Figure, err error) {
 
 	if err := o.validate(); err != nil {
 		return Figure{}, Figure{}, err
@@ -102,7 +102,7 @@ func AblateLookAhead(o AblationOptions, depths []int) (perf, times Figure, err e
 		xs[i] = float64(d)
 	}
 	return o.sweep("ablation-lookahead", "look-ahead depth sweep", "depth", xs,
-		func(x float64) schedule.Scheduler {
+		func(x float64) schedule.Engine {
 			alg := core.New()
 			alg.LookAheadDepth = int(x)
 			return alg
@@ -118,7 +118,7 @@ func AblateCandidateWindow(o AblationOptions, fractions []float64) (perf, times 
 		fractions = []float64{0.01, 0.1, 0.25, 0.5, 1.0}
 	}
 	return o.sweep("ablation-window", "best-candidate window sweep", "top fraction", fractions,
-		func(x float64) schedule.Scheduler {
+		func(x float64) schedule.Engine {
 			alg := core.New()
 			alg.TopFraction = x
 			return alg
@@ -140,10 +140,10 @@ func AblateMechanisms(o AblationOptions) (Figure, error) {
 
 	variants := []struct {
 		name string
-		alg  schedule.Scheduler
+		alg  schedule.Engine
 	}{
 		{"full", core.New()},
-		{"no-locality", func() schedule.Scheduler {
+		{"no-locality", func() schedule.Engine {
 			a := core.New()
 			a.AlgorithmName = "MPS-NoLoc"
 			a.Engine.Locality = false
@@ -190,7 +190,7 @@ func AblateBlockSize(o AblationOptions, blockBytes []float64) (perf, times Figur
 		blockBytes = []float64{4 << 10, 64 << 10, 1 << 20, 16 << 20}
 	}
 	return o.sweep("ablation-block", "block size sweep", "block bytes", blockBytes,
-		func(x float64) schedule.Scheduler {
+		func(x float64) schedule.Engine {
 			alg := core.New()
 			alg.Engine.BlockBytes = x
 			return alg

@@ -197,7 +197,7 @@ func Fig11(o AppOptions) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
-	measure := func(alg schedule.Scheduler, g *model.TaskGraph, c model.Cluster) (float64, error) {
+	measure := func(alg schedule.Engine, g *model.TaskGraph, c model.Cluster) (float64, error) {
 		s, err := scheduleVia(o.Service, alg, g, c)
 		if err != nil {
 			return 0, err

@@ -22,4 +22,4 @@ func Extended(opt SuiteOptions) (Figure, error) {
 	return relativePerformance("extended", title, graphs, algs, opt.Procs, opt.cluster, opt.measure(), opt.Workers)
 }
 
-var _ schedule.Scheduler = sched.MHEFT{}
+var _ schedule.Engine = sched.MHEFT{}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"locmps/internal/portfolio"
+	"locmps/internal/stats"
+)
+
+// PortfolioFig compares the full engine portfolio against every single
+// engine: for each machine size, the geometric mean over the suite's graphs
+// of makespan(portfolio)/makespan(engine). The portfolio series is
+// identically 1; every engine's series is <= 1 (the race's winner is never
+// worse than any completed candidate — internal/portfolio enforces it), and
+// the gap to 1 is what racing buys over committing to that engine.
+//
+// The figure races in-process (not through the service): it needs every
+// candidate's makespan, not just the winner's, and a single undeadlined race
+// per cell yields all of them in one pass.
+func PortfolioFig(opt SuiteOptions) (Figure, error) {
+	if err := opt.validate(); err != nil {
+		return Figure{}, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return Figure{}, err
+	}
+	names := portfolio.Default()
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+
+	// spans is cell-major: slot 0 is the portfolio winner's makespan, slots
+	// 1..len(names) the candidates in Options.Engines order. Each cell runs
+	// one race; with no deadline every candidate completes, so the race
+	// yields all per-engine makespans as a side effect.
+	width := len(names) + 1
+	nP, nG := len(opt.Procs), len(graphs)
+	spans := make([]float64, nP*nG*width)
+	err = parallelFor(opt.Workers, nP*nG, func(idx int) error {
+		pi, gi := idx/nG, idx%nG
+		res, err := portfolio.Race(context.Background(), graphs[gi], opt.cluster(opt.Procs[pi]),
+			portfolio.Options{Engines: names})
+		if err != nil {
+			return fmt.Errorf("exp: portfolio graph %d P=%d: %w", gi, opt.Procs[pi], err)
+		}
+		spans[idx*width] = res.Schedule.Makespan
+		for _, cand := range res.Candidates {
+			if cand.Err != nil {
+				return fmt.Errorf("exp: portfolio graph %d P=%d: engine %s: %w",
+					gi, opt.Procs[pi], cand.Engine, cand.Err)
+			}
+			spans[idx*width+1+index[cand.Engine]] = cand.Schedule.Makespan
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
+	fig := Figure{
+		ID:     "portfolio",
+		Title:  fmt.Sprintf("portfolio vs single engines, CCR=%g Amax=%g sigma=%g", opt.CCR, opt.AMax, opt.Sigma),
+		XLabel: "procs", YLabel: "relative performance (portfolio/engine)",
+	}
+	series := make([]Series, width)
+	series[0].Name = "portfolio"
+	for i, n := range names {
+		series[1+i].Name = n
+	}
+	for k := 0; k < width; k++ {
+		for pi, p := range opt.Procs {
+			ratios := make([]float64, 0, nG)
+			for gi := 0; gi < nG; gi++ {
+				cell := (pi*nG + gi) * width
+				ratios = append(ratios, spans[cell]/spans[cell+k])
+			}
+			g, err := stats.GeoMean(ratios)
+			if err != nil {
+				return Figure{}, err
+			}
+			series[k].Points = append(series[k].Points, Point{X: float64(p), Y: g})
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// PortfolioWinners tallies which engine won each (graph, P) race of the
+// suite — the per-instance diversity that justifies racing at all.
+func PortfolioWinners(opt SuiteOptions) (map[string]int, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return nil, err
+	}
+	names := portfolio.Default()
+	nG := len(graphs)
+	winners := make([]string, len(opt.Procs)*nG)
+	err = parallelFor(opt.Workers, len(winners), func(idx int) error {
+		pi, gi := idx/nG, idx%nG
+		res, err := portfolio.Race(context.Background(), graphs[gi], opt.cluster(opt.Procs[pi]),
+			portfolio.Options{Engines: names})
+		if err != nil {
+			return err
+		}
+		winners[idx] = res.Winner
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tally := make(map[string]int)
+	for _, w := range winners {
+		tally[w]++
+	}
+	return tally, nil
+}

@@ -93,10 +93,10 @@ func (o SuiteOptions) cluster(p int) model.Cluster {
 // Measure maps one (algorithm, graph, cluster) cell to the metric being
 // plotted — the scheduled makespan by default, the simulated makespan for
 // Figure 11.
-type Measure func(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (float64, error)
+type Measure func(alg schedule.Engine, tg *model.TaskGraph, c model.Cluster) (float64, error)
 
 // ScheduledMakespan is the default Measure.
-func ScheduledMakespan(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (float64, error) {
+func ScheduledMakespan(alg schedule.Engine, tg *model.TaskGraph, c model.Cluster) (float64, error) {
 	s, err := alg.Schedule(tg, c)
 	if err != nil {
 		return 0, err
@@ -108,7 +108,7 @@ func ScheduledMakespan(alg schedule.Scheduler, tg *model.TaskGraph, c model.Clus
 // the request through it by algorithm name, picking up result caching,
 // coalescing and warm-worker scratch reuse. The two paths are bit-identical
 // (the service's differential tests enforce it), so callers may mix them.
-func scheduleVia(svc *serve.Service, alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, error) {
+func scheduleVia(svc *serve.Service, alg schedule.Engine, tg *model.TaskGraph, c model.Cluster) (*schedule.Schedule, error) {
 	if svc == nil {
 		return alg.Schedule(tg, c)
 	}
@@ -121,7 +121,7 @@ func scheduleVia(svc *serve.Service, alg schedule.Scheduler, tg *model.TaskGraph
 
 // serviceMeasure is ScheduledMakespan routed through scheduleVia.
 func serviceMeasure(svc *serve.Service) Measure {
-	return func(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster) (float64, error) {
+	return func(alg schedule.Engine, tg *model.TaskGraph, c model.Cluster) (float64, error) {
 		s, err := scheduleVia(svc, alg, tg, c)
 		if err != nil {
 			return 0, err
@@ -144,7 +144,7 @@ func (o SuiteOptions) measure() Measure { return serviceMeasure(o.Service) }
 // pool. Each cell writes only its own slot of spans, and the figure is
 // assembled serially afterwards, so the output is bit-identical for any
 // worker count.
-func relativePerformance(id, title string, graphs []*model.TaskGraph, algs []schedule.Scheduler,
+func relativePerformance(id, title string, graphs []*model.TaskGraph, algs []schedule.Engine,
 	procs []int, cluster func(int) model.Cluster, measure Measure, workers int) (Figure, error) {
 
 	fig := Figure{
@@ -247,7 +247,7 @@ func Fig6(opt SuiteOptions) (perf, times Figure, err error) {
 	if err != nil {
 		return Figure{}, Figure{}, err
 	}
-	algs := []schedule.Scheduler{core.New(), core.NewNoBackfill()}
+	algs := []schedule.Engine{core.New(), core.NewNoBackfill()}
 	perf = Figure{
 		ID: "fig6a", Title: "backfill vs no-backfill, CCR=0.1 Amax=48 sigma=2",
 		XLabel: "procs", YLabel: "relative performance (backfill/variant)",

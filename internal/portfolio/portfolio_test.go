@@ -1,0 +1,202 @@
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"locmps/internal/model"
+	"locmps/internal/schedule"
+	"locmps/internal/synth"
+)
+
+func testGraph(t *testing.T, tasks int, seed int64) *model.TaskGraph {
+	t.Helper()
+	p := synth.DefaultParams()
+	p.Tasks = tasks
+	p.CCR = 0.25
+	p.Seed = seed
+	tg, err := synth.Generate(p)
+	if err != nil {
+		t.Fatalf("synth.Generate: %v", err)
+	}
+	return tg
+}
+
+func testCluster(p int) model.Cluster {
+	return model.Cluster{P: p, Bandwidth: 12.5e6, Overlap: true}
+}
+
+func diffSchedules(a, b *schedule.Schedule) string {
+	if a.Algorithm != b.Algorithm {
+		return fmt.Sprintf("Algorithm %q != %q", a.Algorithm, b.Algorithm)
+	}
+	if a.Makespan != b.Makespan {
+		return fmt.Sprintf("Makespan %v != %v", a.Makespan, b.Makespan)
+	}
+	if len(a.Placements) != len(b.Placements) {
+		return "placement count differs"
+	}
+	for t := range a.Placements {
+		pa, pb := a.Placements[t], b.Placements[t]
+		if pa.Start != pb.Start || pa.Finish != pb.Finish || len(pa.Procs) != len(pb.Procs) {
+			return fmt.Sprintf("task %d placement differs", t)
+		}
+		for i := range pa.Procs {
+			if pa.Procs[i] != pb.Procs[i] {
+				return fmt.Sprintf("task %d procs differ", t)
+			}
+		}
+	}
+	return ""
+}
+
+// Two identical no-deadline races must commit the same winner and a
+// bit-identical schedule — the property the serving layer's winner cache
+// and result cache both rely on. Run under -race in CI.
+func TestRaceDeterminism(t *testing.T) {
+	tg := testGraph(t, 20, 42)
+	c := testCluster(8)
+	first, err := Race(context.Background(), tg, c, Options{})
+	if err != nil {
+		t.Fatalf("Race: %v", err)
+	}
+	if first.Winner == "" || first.Schedule == nil {
+		t.Fatalf("no winner committed: %+v", first)
+	}
+	if first.Truncated {
+		t.Fatalf("no-deadline race reported Truncated")
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Race(context.Background(), tg, c, Options{})
+		if err != nil {
+			t.Fatalf("Race rerun %d: %v", i, err)
+		}
+		if again.Winner != first.Winner {
+			t.Fatalf("rerun %d: winner %q != %q", i, again.Winner, first.Winner)
+		}
+		if d := diffSchedules(first.Schedule, again.Schedule); d != "" {
+			t.Fatalf("rerun %d: schedules differ: %s", i, d)
+		}
+	}
+}
+
+// The winner must carry the minimum makespan over all completed candidates,
+// and every candidate of the default set must complete on a small instance.
+func TestRaceWinnerIsMinimum(t *testing.T) {
+	tg := testGraph(t, 16, 7)
+	c := testCluster(8)
+	res, err := Race(context.Background(), tg, c, Options{})
+	if err != nil {
+		t.Fatalf("Race: %v", err)
+	}
+	if got, want := len(res.Candidates), len(Default()); got != want {
+		t.Fatalf("candidate count %d, want %d", got, want)
+	}
+	for _, cand := range res.Candidates {
+		if cand.Err != nil {
+			t.Fatalf("engine %s failed: %v", cand.Engine, cand.Err)
+		}
+		if cand.Schedule.Makespan < res.Schedule.Makespan {
+			t.Fatalf("winner %s (%v) beaten by %s (%v)",
+				res.Winner, res.Schedule.Makespan, cand.Engine, cand.Schedule.Makespan)
+		}
+	}
+}
+
+// Makespan ties break on engine-list order, never finish time: on one
+// processor TASK and DATA serialize to the identical makespan, so whichever
+// is listed first must win — in both orders.
+func TestRaceTieBreaksOnEngineOrder(t *testing.T) {
+	tg := testGraph(t, 8, 3)
+	c := testCluster(1)
+	for _, engines := range [][]string{{"TASK", "DATA"}, {"DATA", "TASK"}} {
+		res, err := Race(context.Background(), tg, c, Options{Engines: engines})
+		if err != nil {
+			t.Fatalf("Race(%v): %v", engines, err)
+		}
+		a, b := res.Candidates[0], res.Candidates[1]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("candidate failed: %v / %v", a.Err, b.Err)
+		}
+		if a.Schedule.Makespan != b.Schedule.Makespan {
+			t.Fatalf("expected a tie on P=1, got %v vs %v", a.Schedule.Makespan, b.Schedule.Makespan)
+		}
+		if res.Winner != engines[0] {
+			t.Fatalf("Race(%v): tie went to %q, want first-listed %q", engines, res.Winner, engines[0])
+		}
+	}
+}
+
+// A deadline that has already passed still yields a complete schedule:
+// first-done wins when no margin remains.
+func TestRaceExpiredDeadlineStillCommits(t *testing.T) {
+	tg := testGraph(t, 20, 11)
+	c := testCluster(8)
+	res, err := Race(context.Background(), tg, c, Options{
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if err != nil {
+		t.Fatalf("Race: %v", err)
+	}
+	if res.Schedule == nil || res.Winner == "" {
+		t.Fatalf("no schedule committed under expired deadline")
+	}
+	completed := 0
+	for _, cand := range res.Candidates {
+		if cand.Err == nil {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatalf("no candidate completed")
+	}
+}
+
+// A generous deadline behaves like no deadline: everything completes and
+// the winner matches the unbounded race.
+func TestRaceGenerousDeadlineMatchesUnbounded(t *testing.T) {
+	tg := testGraph(t, 16, 21)
+	c := testCluster(8)
+	unbounded, err := Race(context.Background(), tg, c, Options{})
+	if err != nil {
+		t.Fatalf("Race: %v", err)
+	}
+	bounded, err := Race(context.Background(), tg, c, Options{
+		Deadline: time.Now().Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatalf("Race(deadline): %v", err)
+	}
+	if bounded.Winner != unbounded.Winner {
+		t.Fatalf("winner %q != unbounded %q", bounded.Winner, unbounded.Winner)
+	}
+	if d := diffSchedules(unbounded.Schedule, bounded.Schedule); d != "" {
+		t.Fatalf("schedules differ: %s", d)
+	}
+}
+
+func TestRaceRejectsBadEngineLists(t *testing.T) {
+	tg := testGraph(t, 8, 5)
+	c := testCluster(4)
+	if _, err := Race(context.Background(), tg, c, Options{Engines: []string{"NOPE"}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("unknown engine: err = %v", err)
+	}
+	if _, err := Race(context.Background(), tg, c, Options{Engines: []string{"CPR", "CPR"}}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate engine: err = %v", err)
+	}
+}
+
+func TestRaceCancelledContext(t *testing.T) {
+	tg := testGraph(t, 16, 9)
+	c := testCluster(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Race(ctx, tg, c, Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -2,55 +2,120 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"locmps/internal/schedule"
 )
 
+// The engine registry maps display names to factories producing fresh
+// schedule.Engine values. Registration happens in init below; MustRegister
+// panics on a duplicate name so a second registration can never silently
+// shadow the first — an engine's name is its wire identity (fingerprints,
+// winner cache, portfolio requests), so shadowing one would corrupt every
+// cache keyed on it.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]func() schedule.Engine)
+	regOrder []string
+)
+
+// MustRegister adds an engine factory under its display name. It panics on
+// an empty name, a nil factory, or a name that is already registered.
+func MustRegister(name string, factory func() schedule.Engine) {
+	if name == "" {
+		panic("sched: MustRegister with empty engine name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("sched: MustRegister(%q) with nil factory", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate engine registration %q", name))
+	}
+	registry[name] = factory
+	regOrder = append(regOrder, name)
+}
+
+func init() {
+	// Paper figure order first (the order All returns), then the
+	// extensions. This order is load-bearing: portfolio tie-breaking and
+	// the default portfolio set both follow it.
+	MustRegister("LoC-MPS", func() schedule.Engine { return LoCMPS() })
+	MustRegister("iCASLB", func() schedule.Engine { return ICASLB() })
+	MustRegister("CPR", func() schedule.Engine { return CPR{} })
+	MustRegister("CPA", func() schedule.Engine { return CPA{} })
+	MustRegister("TASK", func() schedule.Engine { return Task{} })
+	MustRegister("DATA", func() schedule.Engine { return Data{} })
+	MustRegister("M-HEFT", func() schedule.Engine { return MHEFT{} })
+	MustRegister("LoC-MPS-NoBF", func() schedule.Engine { return LoCMPSNoBackfill() })
+	MustRegister("OPT", func() schedule.Engine { return Optimal{} })
+}
+
+// paperNames is the subset and order of All: the six algorithms the paper's
+// figures evaluate.
+var paperNames = [...]string{"LoC-MPS", "iCASLB", "CPR", "CPA", "TASK", "DATA"}
+
+func mustByName(name string) schedule.Engine {
+	e, err := ByName(name)
+	if err != nil {
+		panic(err) // unreachable: every name below is registered in init
+	}
+	return e
+}
+
+func engines(names []string) []schedule.Engine {
+	out := make([]schedule.Engine, len(names))
+	for i, n := range names {
+		out[i] = mustByName(n)
+	}
+	return out
+}
+
 // All returns fresh instances of the six algorithms evaluated in the paper,
 // in the order they appear in its figures: LoC-MPS, iCASLB, CPR, CPA, TASK,
 // DATA.
-func All() []schedule.Scheduler {
-	return []schedule.Scheduler{
-		LoCMPS(), ICASLB(), CPR{}, CPA{}, Task{}, Data{},
-	}
+func All() []schedule.Engine {
+	return engines(paperNames[:])
 }
 
 // Extended returns All plus the extra baselines implemented beyond the
 // paper's evaluation (currently M-HEFT). OPT is excluded: its exhaustive
 // search is exponential and only viable on toy graphs.
-func Extended() []schedule.Scheduler {
-	return append(All(), MHEFT{})
+func Extended() []schedule.Engine {
+	return append(All(), mustByName("M-HEFT"))
 }
 
 // Baselines returns every algorithm except LoC-MPS itself.
-func Baselines() []schedule.Scheduler {
-	return []schedule.Scheduler{ICASLB(), CPR{}, CPA{}, Task{}, Data{}}
+func Baselines() []schedule.Engine {
+	return engines(paperNames[1:])
 }
 
-// ByName looks an algorithm up by its display name (case sensitive).
-// Recognized names: LoC-MPS, LoC-MPS-NoBF, iCASLB, CPR, CPA, TASK, DATA,
-// plus the extensions M-HEFT and OPT.
-func ByName(name string) (schedule.Scheduler, error) {
-	switch name {
-	case "M-HEFT":
-		return MHEFT{}, nil
-	case "OPT":
-		return Optimal{}, nil
-	case "LoC-MPS":
-		return LoCMPS(), nil
-	case "LoC-MPS-NoBF":
-		return LoCMPSNoBackfill(), nil
-	case "iCASLB":
-		return ICASLB(), nil
-	case "CPR":
-		return CPR{}, nil
-	case "CPA":
-		return CPA{}, nil
-	case "TASK":
-		return Task{}, nil
-	case "DATA":
-		return Data{}, nil
-	default:
+// Names returns every registered engine name in registration order (paper
+// figure order first, then the extensions).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// Known reports whether name is a registered engine, without building one.
+func Known(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// ByName looks an algorithm up by its display name (case sensitive) and
+// returns a fresh instance. Recognized names: LoC-MPS, LoC-MPS-NoBF,
+// iCASLB, CPR, CPA, TASK, DATA, plus the extensions M-HEFT and OPT.
+func ByName(name string) (schedule.Engine, error) {
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
 		return nil, fmt.Errorf("sched: unknown algorithm %q", name)
 	}
+	return factory(), nil
 }

@@ -3,7 +3,8 @@
 // and pure data-parallel (DATA), plus constructors re-exporting the
 // LoC-MPS variants from internal/core (iCASLB, no-backfill).
 //
-// All types implement schedule.Scheduler.
+// All types implement schedule.Engine (and therefore schedule.Scheduler);
+// the registry in registry.go hands out fresh instances by display name.
 package sched
 
 import (
@@ -16,13 +17,13 @@ import (
 )
 
 // LoCMPS returns the paper's full algorithm.
-func LoCMPS() schedule.Scheduler { return core.New() }
+func LoCMPS() schedule.Engine { return core.New() }
 
 // LoCMPSNoBackfill returns the Figure 6 frontier-only variant.
-func LoCMPSNoBackfill() schedule.Scheduler { return core.NewNoBackfill() }
+func LoCMPSNoBackfill() schedule.Engine { return core.NewNoBackfill() }
 
 // ICASLB returns the authors' earlier communication-blind algorithm.
-func ICASLB() schedule.Scheduler { return core.NewICASLB() }
+func ICASLB() schedule.Engine { return core.NewICASLB() }
 
 // listConfig is the placement engine CPR and CPA use: priority list
 // scheduling, communication-aware timing, but neither locality nor

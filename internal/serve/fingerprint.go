@@ -15,6 +15,7 @@ import (
 
 	"locmps/internal/core"
 	"locmps/internal/model"
+	"locmps/internal/sched"
 )
 
 // Options select and parameterize the scheduling algorithm for a request.
@@ -90,12 +91,25 @@ func (o Options) normalized() Options {
 }
 
 // Request is one unit of work for the service: schedule Graph onto Cluster
-// under Options.
+// under Options — or, when Portfolio is set, race a portfolio of engines
+// and return the winner.
 type Request struct {
 	Graph   *model.TaskGraph
 	Cluster model.Cluster
 	Options Options
+	// Portfolio, when non-empty, selects portfolio mode: the named engines
+	// (sched registry names, no duplicates) race on the instance and the
+	// minimum-makespan schedule wins, ties broken toward the earliest name
+	// — the list's ORDER is part of the request's identity and its
+	// fingerprint. Each engine runs at its default knobs; Options must be
+	// the zero value. Repeat traffic for the same fingerprint routes
+	// straight to the recorded winning engine (see Stats.WinnerHits)
+	// instead of re-racing.
+	Portfolio []string
 }
+
+// portfolio reports whether the request is in portfolio mode.
+func (r Request) portfolio() bool { return len(r.Portfolio) > 0 }
 
 // FingerprintVersion names the canonical fingerprint scheme. It is hashed
 // into every Key, so bumping it invalidates every cache tier at once (L1,
@@ -103,7 +117,7 @@ type Request struct {
 // hashes or how MUST bump this string — the golden fixtures in
 // testdata/fingerprints.json fail loudly if the scheme drifts without a
 // bump, because nodes disagreeing on keys silently partition the cache.
-const FingerprintVersion = "locmps/serve/v2"
+const FingerprintVersion = "locmps/serve/v3"
 
 // Key is the content address of a request: a SHA-256 digest of everything
 // the scheduler's output depends on.
@@ -127,7 +141,9 @@ func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
 //   - the cluster (P, bandwidth, overlap), which also covers the
 //     redistribution model's aggregate-bandwidth inputs;
 //   - the normalized scheduler options, including the redistribution
-//     block size.
+//     block size;
+//   - the portfolio engine list, in order — the order is semantic (it is
+//     the deterministic tie-break), so permutations are distinct requests.
 //
 // It validates the request and returns an error for an empty graph or an
 // invalid cluster.
@@ -144,6 +160,10 @@ func (r Request) Fingerprint() (Key, error) {
 	h.f64(o.TopFraction)
 	h.f64(o.BlockBytes)
 	h.u64(uint64(o.MaxIterations))
+	h.u64(uint64(len(r.Portfolio)))
+	for _, name := range r.Portfolio {
+		h.str(name)
+	}
 	h.instance(r.Graph, r.Cluster)
 	return h.sum(), nil
 }
@@ -168,6 +188,21 @@ func (r Request) StateKey() (Key, error) {
 func (r Request) validate() error {
 	if r.Graph == nil || r.Graph.N() == 0 {
 		return fmt.Errorf("serve: request has an empty task graph")
+	}
+	if r.portfolio() {
+		if r.Options != (Options{}) {
+			return fmt.Errorf("serve: portfolio requests take no options (engines run at their defaults)")
+		}
+		seen := make(map[string]bool, len(r.Portfolio))
+		for _, name := range r.Portfolio {
+			if !sched.Known(name) {
+				return fmt.Errorf("serve: portfolio: unknown algorithm %q", name)
+			}
+			if seen[name] {
+				return fmt.Errorf("serve: portfolio: duplicate engine %q", name)
+			}
+			seen[name] = true
+		}
 	}
 	return r.Cluster.Validate()
 }

@@ -488,7 +488,7 @@ func (c *Client) roundTrip(ctx context.Context, node, method, url string, body [
 	if err := json.Unmarshal(data, &wr); err != nil {
 		return nil, &nodeError{node: node, err: err, retryable: false}
 	}
-	if wr.Schema != serve.WireVersion {
+	if !serve.WireSchemaOK(wr.Schema) {
 		return nil, &nodeError{node: node, err: fmt.Errorf("response schema %q, want %q", wr.Schema, serve.WireVersion), retryable: false}
 	}
 	return &wireResult{wr: &wr, etag: resp.Header.Get("ETag")}, nil

@@ -135,7 +135,7 @@ func (c *DiskCache) Get(key Key, req Request) (*schedule.Schedule, bool, bool) {
 		if err := json.Unmarshal(data, &wr); err != nil {
 			return nil, err
 		}
-		if wr.Schema != WireVersion {
+		if !WireSchemaOK(wr.Schema) {
 			return nil, fmt.Errorf("schema %q", wr.Schema)
 		}
 		return wr.Schedule.ToSchedule(req.Graph)
@@ -192,6 +192,72 @@ func (c *DiskCache) Put(key Key, req Request, s *schedule.Schedule, truncated bo
 	}
 	c.evictLocked()
 	c.mu.Unlock()
+}
+
+// winnerSuffix names portfolio winner records: <64-hex-fingerprint>
+// .winner.json. The suffix differs from l2Suffix, so the startup scan and
+// the byte-bound LRU ignore these files entirely — each holds ~100 bytes
+// (a schema tag and an engine name), a routing record rather than a cached
+// result. Deleting them is always safe: a missing record is a miss and the
+// portfolio simply races again.
+const winnerSuffix = ".winner.json"
+
+// winnerSchema versions the winner record payload.
+const winnerSchema = "locmps/winner/v1"
+
+// wireWinner is the on-disk winner record.
+type wireWinner struct {
+	Schema string `json:"schema"`
+	Engine string `json:"engine"`
+}
+
+func (c *DiskCache) winnerPath(hex string) string {
+	return filepath.Join(c.dir, hex+winnerSuffix)
+}
+
+// GetWinner implements WinnerStore: it loads the engine name recorded for a
+// portfolio fingerprint. Every failure mode — absent, unreadable, torn or
+// drifted record — is a miss; corrupt records are deleted.
+func (c *DiskCache) GetWinner(key Key) (string, bool) {
+	path := c.winnerPath(HexKey(key))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", false
+	}
+	var w wireWinner
+	if err := json.Unmarshal(data, &w); err != nil || w.Schema != winnerSchema || w.Engine == "" {
+		os.Remove(path)
+		c.corrupt.Add(1)
+		return "", false
+	}
+	return w.Engine, true
+}
+
+// PutWinner implements WinnerStore: it records a race's winning engine
+// atomically (temp file + rename). Errors are swallowed — a store that
+// cannot write degrades to re-racing, never to a failed request.
+func (c *DiskCache) PutWinner(key Key, engine string) {
+	if engine == "" {
+		return
+	}
+	data, err := json.Marshal(&wireWinner{Schema: winnerSchema, Engine: engine})
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.winnerPath(HexKey(key))); err != nil {
+		os.Remove(tmp.Name())
+	}
 }
 
 // drop removes one entry from the index and disk (after a read failure or

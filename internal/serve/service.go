@@ -13,6 +13,7 @@ import (
 
 	"locmps/internal/core"
 	"locmps/internal/latring"
+	"locmps/internal/portfolio"
 	"locmps/internal/sched"
 	"locmps/internal/schedule"
 )
@@ -26,8 +27,12 @@ var ErrOverloaded = errors.New("serve: overloaded: shard queue full")
 var ErrClosed = errors.New("serve: service closed")
 
 // ErrAnytimeUnsupported is returned by ScheduleAnytime for requests the
-// anytime search cannot serve: baselines have no iterative search to
-// truncate, and Dual runs two searches whose budget split is undefined.
+// anytime search cannot serve: MaxIterations budgets count outer rounds of
+// the LoC-MPS search, so they require a LoC-MPS-family single-engine
+// request (baselines have no iterative search to truncate; a portfolio
+// races engines with different round semantics), and Dual runs two
+// searches whose budget split is undefined. Wall-clock Deadline budgets
+// are accepted for every request kind.
 var ErrAnytimeUnsupported = errors.New("serve: anytime budgets require a LoC-MPS-family single search")
 
 // Config sizes the service. The zero value selects sensible defaults.
@@ -100,9 +105,13 @@ type Service struct {
 	start  time.Time
 	closed atomic.Bool
 
-	states stateRegistry
+	states  stateRegistry
+	winners winnerRegistry
 
-	requests     atomic.Uint64
+	requests       atomic.Uint64
+	portfolioRaces atomic.Uint64
+	winnerHits     atomic.Uint64
+	winnerMisses   atomic.Uint64
 	hits         atomic.Uint64
 	coalesced    atomic.Uint64
 	scheduled    atomic.Uint64
@@ -160,6 +169,7 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{cfg: cfg, start: time.Now(), lat: latring.New(latWindow)}
 	s.states.init(sharedStateCap)
+	s.winners.init(winnerCap)
 	perShard := cfg.CacheEntries / cfg.Shards
 	if perShard < 1 {
 		perShard = 1
@@ -213,19 +223,26 @@ func (s *Service) ScheduleContext(ctx context.Context, req Request) (*schedule.S
 // core.Budget), returning the best-so-far schedule with its certified
 // quality bound. MaxIterations budgets are deterministic: they are folded
 // into the request's fingerprinted options, so equal budgeted requests
-// cache and coalesce exactly like full runs. Deadline budgets depend on
-// wall clock: those runs keep queue admission (and its ErrOverloaded
-// backpressure) but bypass the cache and coalescing — every call pays for
-// its own run and no wall-clock-truncated result is ever replayed to a
-// later caller. Baselines and Dual requests fail with
-// ErrAnytimeUnsupported.
+// cache and coalesce exactly like full runs; they require a LoC-MPS-family
+// single-engine request (Dual and portfolio requests, and the baselines,
+// fail with ErrAnytimeUnsupported). Deadline budgets depend on wall clock:
+// those runs keep queue admission (and its ErrOverloaded backpressure) but
+// bypass the cache and coalescing — every call pays for its own run and no
+// wall-clock-truncated result is ever replayed to a later caller. Any
+// request kind accepts a Deadline: LoC-MPS-family searches and portfolio
+// races truncate to best-so-far at the deadline, while a one-shot baseline
+// simply runs fresh and uncached (the deadline does not cut it short) —
+// which is exactly what a load driver measuring true cold latency wants.
 func (s *Service) ScheduleAnytime(ctx context.Context, req Request, b core.Budget) (*core.AnytimeResult, error) {
 	o := req.Options.normalized()
-	if !locMPSFamily(o.Algorithm) || o.Dual {
-		return nil, ErrAnytimeUnsupported
-	}
 	if b.MaxIterations > 0 {
+		if !locMPSFamily(o.Algorithm) || o.Dual || req.portfolio() {
+			return nil, ErrAnytimeUnsupported
+		}
 		req.Options.MaxIterations = b.MaxIterations
+	}
+	if o.Dual {
+		return nil, ErrAnytimeUnsupported
 	}
 	started := time.Now()
 	res, truncated, err := s.resolve(ctx, req, b.Deadline)
@@ -253,9 +270,12 @@ func (s *Service) resolve(ctx context.Context, req Request, deadline time.Time) 
 	if err != nil {
 		return nil, false, err
 	}
-	// Reject unknown algorithms at admission, not on the worker.
-	if _, err := sched.ByName(req.Options.normalized().Algorithm); err != nil {
-		return nil, false, err
+	// Reject unknown algorithms at admission, not on the worker. Portfolio
+	// engine lists were already validated by Fingerprint.
+	if !req.portfolio() {
+		if _, err := sched.ByName(req.Options.normalized().Algorithm); err != nil {
+			return nil, false, err
+		}
 	}
 	s.requests.Add(1)
 	sh := s.shardFor(key)
@@ -344,7 +364,7 @@ func (s *Service) worker(sh *shard) {
 	defer s.wg.Done()
 	cw := core.NewWorker()
 	defer cw.Close()
-	algs := make(map[Options]schedule.Scheduler)
+	algs := make(map[Options]schedule.Engine)
 	for jb := range sh.queue {
 		res, truncated, err := s.runJob(cw, algs, jb)
 		sh.mu.Lock()
@@ -375,7 +395,7 @@ func (s *Service) worker(sh *shard) {
 // profile implementation) must not take the whole service down, so panics
 // are converted into errors delivered to the leader and every coalesced
 // follower.
-func (s *Service) runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, jb *job) (res *schedule.Schedule, truncated bool, err error) {
+func (s *Service) runJob(cw *core.Worker, algs map[Options]schedule.Engine, jb *job) (res *schedule.Schedule, truncated bool, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res, truncated, err = nil, false, fmt.Errorf("serve: scheduler panicked: %v\n%s", v, debug.Stack())
@@ -403,6 +423,9 @@ func (s *Service) runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, j
 			}
 		}()
 	}
+	if jb.req.portfolio() {
+		return s.runPortfolio(cw, jb)
+	}
 	o := jb.req.Options.normalized()
 	// The budget is per-run state, not a scheduler configuration: strip it
 	// from the instance-cache key so a budget sweep over one configuration
@@ -418,7 +441,7 @@ func (s *Service) runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, j
 	}
 	lm, isLoCMPS := alg.(*core.LoCMPS)
 	if !isLoCMPS {
-		res, err = alg.Schedule(jb.req.Graph, jb.req.Cluster)
+		res, err = alg.ScheduleContext(jb.ctx, jb.req.Graph, jb.req.Cluster)
 		return res, false, err
 	}
 	if o.Dual {
@@ -456,6 +479,159 @@ func (s *Service) runJob(cw *core.Worker, algs map[Options]schedule.Scheduler, j
 		s.states.put(skey, cw.CaptureShared(jb.req.Graph, jb.req.Cluster))
 	}
 	return res, false, err
+}
+
+// runPortfolio serves one portfolio job. The first time a fingerprint is
+// seen the whole engine set races (internal/portfolio) and the winning
+// engine's name is committed to the winner cache — in memory and, when the
+// L2 implements WinnerStore, on disk, so the routing survives restarts.
+// Repeat traffic for the fingerprint runs ONLY the winning engine: one
+// search instead of N, with the usual warm shared state when the winner is
+// LoC-MPS-family.
+//
+// Only untruncated races commit a winner. A deadline-shaped race can crown
+// whichever engine happened to finish in time, and replaying that accident
+// to later (cacheable, L2-shared) traffic would make a fingerprint's
+// content depend on one node's history — the winner cache must only ever
+// hold the deterministic winner.
+func (s *Service) runPortfolio(cw *core.Worker, jb *job) (*schedule.Schedule, bool, error) {
+	if winner, ok := s.lookupWinner(jb.key); ok {
+		s.winnerHits.Add(1)
+		return s.runWinner(cw, jb, winner)
+	}
+	s.winnerMisses.Add(1)
+	s.portfolioRaces.Add(1)
+	res, err := portfolio.Race(jb.ctx, jb.req.Graph, jb.req.Cluster, portfolio.Options{
+		Engines:  jb.req.Portfolio,
+		Deadline: jb.deadline,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !res.Truncated {
+		s.storeWinner(jb.key, res.Winner)
+	}
+	return res.Schedule, res.Truncated, nil
+}
+
+// runWinner runs the recorded winning engine alone for a portfolio job.
+// LoC-MPS-family winners go through the worker's warm scratch and the
+// shared-state registry exactly like single-engine requests; one-shot
+// engines run fresh. The deadline still truncates an anytime winner.
+func (s *Service) runWinner(cw *core.Worker, jb *job, winner string) (*schedule.Schedule, bool, error) {
+	alg, err := sched.ByName(winner)
+	if err != nil {
+		return nil, false, err // unreachable: lookupWinner validates names
+	}
+	lm, isLoCMPS := alg.(*core.LoCMPS)
+	if !isLoCMPS {
+		res, err := alg.ScheduleContext(jb.ctx, jb.req.Graph, jb.req.Cluster)
+		return res, false, err
+	}
+	skey, kerr := jb.req.StateKey()
+	if kerr == nil {
+		if st := s.states.get(skey); st != nil {
+			cw.UseShared(st, jb.req.Graph)
+			s.sharedHits.Add(1)
+		} else {
+			s.sharedMisses.Add(1)
+		}
+		defer cw.UseShared(nil, nil)
+	}
+	if !jb.deadline.IsZero() {
+		ar, err := cw.ScheduleBudget(jb.ctx, lm, jb.req.Graph, jb.req.Cluster, core.Budget{Deadline: jb.deadline})
+		if err != nil {
+			return nil, false, err
+		}
+		if kerr == nil {
+			s.states.put(skey, cw.CaptureShared(jb.req.Graph, jb.req.Cluster))
+		}
+		return ar.Schedule, ar.Truncated, nil
+	}
+	res, err := cw.ScheduleContext(jb.ctx, lm, jb.req.Graph, jb.req.Cluster)
+	if err == nil && kerr == nil {
+		s.states.put(skey, cw.CaptureShared(jb.req.Graph, jb.req.Cluster))
+	}
+	return res, false, err
+}
+
+// WinnerStore is the optional persistence hook for the portfolio winner
+// cache: an L2 implementation (DiskCache) that also records which engine
+// won a fingerprint's race lets winner routing survive restarts the same
+// way cached schedules do. Implementations must be safe for concurrent use
+// and must treat their own failures as misses.
+type WinnerStore interface {
+	GetWinner(key Key) (engine string, ok bool)
+	PutWinner(key Key, engine string)
+}
+
+// lookupWinner consults the in-memory winner cache, falling back to the L2
+// winner store (and re-warming memory on a disk hit). A recorded name that
+// no longer resolves — a foreign or stale disk record — is a miss, never an
+// error: the race simply runs again.
+func (s *Service) lookupWinner(k Key) (string, bool) {
+	if name, ok := s.winners.get(k); ok {
+		return name, true
+	}
+	if ws, ok := s.cfg.L2.(WinnerStore); ok {
+		if name, ok := ws.GetWinner(k); ok && sched.Known(name) {
+			s.winners.put(k, name)
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// storeWinner records a race's deterministic winner in memory and, when
+// available, in the L2 winner store.
+func (s *Service) storeWinner(k Key, name string) {
+	s.winners.put(k, name)
+	if ws, ok := s.cfg.L2.(WinnerStore); ok {
+		ws.PutWinner(k, name)
+	}
+}
+
+// winnerCap bounds the in-memory winner cache. Entries are a Key and an
+// engine name, so this is purely a routing table, not a result cache;
+// evicted fingerprints fall back to the L2 winner store or to a re-race.
+const winnerCap = 1024
+
+// winnerRegistry maps portfolio fingerprints to winning engine names.
+// Entries are never stale — the fingerprint covers the engine list and the
+// instance, and races are deterministic — so eviction is plain FIFO.
+type winnerRegistry struct {
+	mu   sync.Mutex
+	max  int
+	m    map[Key]string
+	fifo []Key
+}
+
+func (r *winnerRegistry) init(max int) {
+	r.max = max
+	r.m = make(map[Key]string, max)
+}
+
+func (r *winnerRegistry) get(k Key) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name, ok := r.m[k]
+	return name, ok
+}
+
+func (r *winnerRegistry) put(k Key, name string) {
+	if name == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[k]; !ok {
+		if len(r.fifo) >= r.max {
+			delete(r.m, r.fifo[0])
+			r.fifo = r.fifo[1:]
+		}
+		r.fifo = append(r.fifo, k)
+	}
+	r.m[k] = name
 }
 
 // sharedStateCap bounds the shared-state registry: each entry holds one
@@ -503,7 +679,7 @@ func (r *stateRegistry) put(k Key, st *core.SharedState) {
 }
 
 // buildScheduler materializes the scheduler for normalized options.
-func buildScheduler(o Options) (schedule.Scheduler, error) {
+func buildScheduler(o Options) (schedule.Engine, error) {
 	alg, err := sched.ByName(o.Algorithm)
 	if err != nil {
 		return nil, err
@@ -553,6 +729,11 @@ type Stats struct {
 	Cancelled uint64
 	// Completed counts Schedule calls that returned a schedule.
 	Completed uint64
+	// PortfolioRaces counts full engine races run for portfolio requests
+	// whose fingerprint had no recorded winner. WinnerHits counts portfolio
+	// jobs routed straight to the cached winning engine (one search instead
+	// of N); WinnerMisses counts portfolio jobs that had to race.
+	PortfolioRaces, WinnerHits, WinnerMisses uint64
 	// SharedStateHits counts cold LoC-MPS runs that started warm from the
 	// cross-request shared-state registry (adopted model tables plus a
 	// read-only cost-cache snapshot); SharedStateMisses counts cold runs
@@ -597,6 +778,9 @@ func (s *Service) Stats() Stats {
 		Completed: s.completed.Load(),
 		Evictions: s.evictions.Load(),
 
+		PortfolioRaces:    s.portfolioRaces.Load(),
+		WinnerHits:        s.winnerHits.Load(),
+		WinnerMisses:      s.winnerMisses.Load(),
 		SharedStateHits:   s.sharedHits.Load(),
 		SharedStateMisses: s.sharedMisses.Load(),
 		L2Hits:            s.l2Hits.Load(),

@@ -13,10 +13,23 @@ import (
 
 // WireVersion names the network/disk encoding of requests and schedules.
 // Every wire message carries it in its "schema" field and decoders reject
-// anything else, so two nodes can never half-understand each other. Bump it
-// whenever a field changes meaning; adding optional fields is
-// backward-compatible and needs no bump.
-const WireVersion = "locmps/wire/v1"
+// anything they do not speak, so two nodes can never half-understand each
+// other. Bump it whenever a field changes meaning; adding optional fields
+// is backward-compatible and needs no bump.
+//
+// v2 added the optional portfolio engine list to WireRequest. v1 payloads
+// are a strict subset (no portfolio field existed), so decoders accept
+// both; encoders always emit v2.
+const WireVersion = "locmps/wire/v2"
+
+// wireVersionV1 is the previous schema, still accepted on decode.
+const wireVersionV1 = "locmps/wire/v1"
+
+// WireSchemaOK reports whether this node can decode the given schema
+// (the current version or the previous one).
+func WireSchemaOK(schema string) bool {
+	return schema == WireVersion || schema == wireVersionV1
+}
 
 // WireRequest is the versioned network form of a Request plus an optional
 // anytime budget. It is derived from exactly the canonical fingerprint
@@ -33,6 +46,11 @@ type WireRequest struct {
 	Cluster WireCluster  `json:"cluster"`
 	Options *WireOptions `json:"options,omitempty"`
 	Budget  *WireBudget  `json:"budget,omitempty"`
+	// Portfolio selects portfolio mode (wire/v2): the named engines race
+	// and the winner is returned. Order is semantic — it is the
+	// deterministic tie-break and part of the fingerprint. Mutually
+	// exclusive with Options.
+	Portfolio []string `json:"portfolio,omitempty"`
 }
 
 // WireTask carries one task: a cosmetic name and the execution-time curve
@@ -111,6 +129,9 @@ func WireFromRequest(r Request, b core.Budget) (*WireRequest, error) {
 			MaxIterations:  o.MaxIterations,
 		}
 	}
+	if r.portfolio() {
+		w.Portfolio = append([]string(nil), r.Portfolio...)
+	}
 	if b.MaxIterations > 0 || !b.Deadline.IsZero() {
 		wb := &WireBudget{MaxIterations: b.MaxIterations}
 		if !b.Deadline.IsZero() {
@@ -131,7 +152,7 @@ func WireFromRequest(r Request, b core.Budget) (*WireRequest, error) {
 // the cluster; a request that decodes successfully always fingerprints.
 func (w *WireRequest) ToRequest() (Request, core.Budget, error) {
 	var b core.Budget
-	if w.Schema != WireVersion {
+	if !WireSchemaOK(w.Schema) {
 		return Request{}, b, fmt.Errorf("serve: wire schema %q not supported (this node speaks %q)", w.Schema, WireVersion)
 	}
 	tasks := make([]model.Task, len(w.Tasks))
@@ -163,6 +184,9 @@ func (w *WireRequest) ToRequest() (Request, core.Budget, error) {
 			BlockBytes:     o.BlockBytes,
 			MaxIterations:  o.MaxIterations,
 		}
+	}
+	if len(w.Portfolio) > 0 {
+		req.Portfolio = append([]string(nil), w.Portfolio...)
 	}
 	if err := req.validate(); err != nil {
 		return Request{}, b, err

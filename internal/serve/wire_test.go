@@ -69,6 +69,7 @@ func fixtureRequests(t *testing.T) map[string]Request {
 		"locmps-budgeted": {Graph: tg, Cluster: c, Options: Options{MaxIterations: 8}},
 		"cpr-baseline":    {Graph: tg, Cluster: c, Options: Options{Algorithm: "CPR"}},
 		"no-edges":        {Graph: twoTasks, Cluster: model.Cluster{P: 2, Bandwidth: 1e6}},
+		"portfolio":       {Graph: tg, Cluster: c, Portfolio: []string{"LoC-MPS", "CPR", "M-HEFT"}},
 	}
 }
 
@@ -359,6 +360,83 @@ func TestWireVersionRejected(t *testing.T) {
 	w.Schema = "locmps/wire/v999"
 	if _, _, err := w.ToRequest(); err == nil {
 		t.Fatal("unknown wire schema accepted")
+	}
+}
+
+// TestWireV1StillAccepted: wire/v2 only added the optional portfolio field,
+// so payloads from v1 senders must keep decoding — a rolling fleet upgrade
+// cannot require both sides to flip at once.
+func TestWireV1StillAccepted(t *testing.T) {
+	tg := wireGraph(t)
+	req := Request{Graph: tg, Cluster: model.Cluster{P: 4, Bandwidth: 1e6}}
+	w, err := WireFromRequest(req, core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Schema = "locmps/wire/v1"
+	got, _, err := w.ToRequest()
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	k1, err := req.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := got.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("v1-decoded request fingerprints differently: %s != %s", k1, k2)
+	}
+}
+
+// TestPortfolioFingerprint: the engine list is part of the request's
+// identity — its order included (it is the tie-break) — portfolio and
+// single-engine requests never collide, and invalid lists fail validation.
+func TestPortfolioFingerprint(t *testing.T) {
+	tg := wireGraph(t)
+	c := model.Cluster{P: 4, Bandwidth: 12.5e6, Overlap: true}
+	key := func(r Request) Key {
+		t.Helper()
+		k, err := r.Fingerprint()
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return k
+	}
+	ab := key(Request{Graph: tg, Cluster: c, Portfolio: []string{"CPR", "CPA"}})
+	ba := key(Request{Graph: tg, Cluster: c, Portfolio: []string{"CPA", "CPR"}})
+	if ab == ba {
+		t.Fatal("permuted portfolio lists share a fingerprint; the order is the tie-break and must be keyed")
+	}
+	single := key(Request{Graph: tg, Cluster: c})
+	one := key(Request{Graph: tg, Cluster: c, Portfolio: []string{"LoC-MPS"}})
+	if single == one {
+		t.Fatal("a one-engine portfolio collides with the plain single-engine request")
+	}
+	if _, err := (Request{Graph: tg, Cluster: c, Portfolio: []string{"NOPE"}}).Fingerprint(); err == nil {
+		t.Fatal("unknown portfolio engine accepted")
+	}
+	if _, err := (Request{Graph: tg, Cluster: c, Portfolio: []string{"CPR", "CPR"}}).Fingerprint(); err == nil {
+		t.Fatal("duplicate portfolio engine accepted")
+	}
+	if _, err := (Request{Graph: tg, Cluster: c,
+		Portfolio: []string{"CPR"}, Options: Options{Algorithm: "CPA"}}).Fingerprint(); err == nil {
+		t.Fatal("portfolio request with options accepted")
+	}
+	// StateKey is instance-only: portfolio and single requests share warm
+	// state for the same (graph, cluster).
+	sk1, err := (Request{Graph: tg, Cluster: c}).StateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := (Request{Graph: tg, Cluster: c, Portfolio: []string{"CPR", "CPA"}}).StateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk1 != sk2 {
+		t.Fatal("StateKey depends on the portfolio list; it must be instance-only")
 	}
 }
 

@@ -72,6 +72,13 @@ type (
 	Placement = schedule.Placement
 	// Scheduler is implemented by every algorithm in this module.
 	Scheduler = schedule.Scheduler
+	// Engine is the full algorithm interface: Scheduler plus cooperative
+	// cancellation (ScheduleContext) and capability flags. Every algorithm
+	// in this module implements it.
+	Engine = schedule.Engine
+	// EngineCapabilities are an Engine's static capability flags
+	// (anytime, incremental, concurrent-safe).
+	EngineCapabilities = schedule.Capabilities
 )
 
 // Simulator types.
@@ -193,11 +200,29 @@ func MakespanLowerBound(tg *TaskGraph, c Cluster) (float64, error) {
 }
 
 // AllSchedulers returns the six algorithms of the paper's evaluation.
-func AllSchedulers() []Scheduler { return sched.All() }
+func AllSchedulers() []Scheduler {
+	engines := sched.All()
+	out := make([]Scheduler, len(engines))
+	for i, e := range engines {
+		out[i] = e
+	}
+	return out
+}
+
+// AllEngines returns the six algorithms of the paper's evaluation under
+// the full Engine interface.
+func AllEngines() []Engine { return sched.All() }
+
+// EngineNames returns every registered engine name, paper figure order
+// first, then the extensions (M-HEFT, LoC-MPS-NoBF, OPT).
+func EngineNames() []string { return sched.Names() }
 
 // SchedulerByName resolves "LoC-MPS", "LoC-MPS-NoBF", "iCASLB", "CPR",
 // "CPA", "TASK" or "DATA".
 func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// EngineByName is SchedulerByName under the full Engine interface.
+func EngineByName(name string) (Engine, error) { return sched.ByName(name) }
 
 // Execute runs a computed schedule through the discrete-event cluster
 // simulator with exact single-port transfer accounting.

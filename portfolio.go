@@ -1,0 +1,49 @@
+package locmps
+
+import (
+	"context"
+
+	"locmps/internal/exp"
+	"locmps/internal/portfolio"
+)
+
+// Algorithm-portfolio racing: run a set of engines concurrently on one
+// instance and keep the best schedule. No single scheduler wins everywhere;
+// the portfolio pays N searches once and — through the service's winner
+// cache — one search on every repeat.
+
+type (
+	// PortfolioOptions configure one race: the ordered engine list (order
+	// breaks makespan ties, so results are deterministic and cacheable), an
+	// optional wall-clock deadline, and a worker bound.
+	PortfolioOptions = portfolio.Options
+	// PortfolioResult is a completed race: the winning engine's name and
+	// schedule plus every candidate's outcome.
+	PortfolioResult = portfolio.Result
+	// PortfolioCandidate is one engine's outcome within a race.
+	PortfolioCandidate = portfolio.Candidate
+)
+
+// DefaultPortfolio returns the default racing set: the paper's six
+// algorithms plus M-HEFT (OPT is excluded — exponential).
+func DefaultPortfolio() []string { return portfolio.Default() }
+
+// RacePortfolio races the engine set on one instance and returns the
+// minimum-makespan schedule. With a zero deadline every engine runs to
+// completion and the result is deterministic; with a deadline the race
+// returns best-so-far (at least one candidate always completes). Every
+// candidate is audited before it may win. For repeat traffic prefer a
+// Service with ServiceRequest.Portfolio: it caches the race's winner per
+// fingerprint and routes repeats to that single engine.
+func RacePortfolio(ctx context.Context, tg *TaskGraph, c Cluster, opt PortfolioOptions) (*PortfolioResult, error) {
+	return portfolio.Race(ctx, tg, c, opt)
+}
+
+// PortfolioFig compares the portfolio against every single engine across
+// the suite: geometric-mean makespan(portfolio)/makespan(engine) per
+// machine size (portfolio = 1, engines <= 1).
+func PortfolioFig(o SuiteOptions) (Figure, error) { return exp.PortfolioFig(o) }
+
+// PortfolioWinners tallies which engine won each (graph, P) race of the
+// suite — the per-instance winner diversity that justifies racing.
+func PortfolioWinners(o SuiteOptions) (map[string]int, error) { return exp.PortfolioWinners(o) }
