@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke bench-gate bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke serve-smoke portfolio-smoke
+.PHONY: check build vet test race race-core bench-smoke bench-gate bench-json bench-save bench-diff profile golden stress fuzz-smoke loadgen loadgen-smoke serve-smoke portfolio-smoke stream-smoke streamgen
 
-check: build vet race bench-smoke loadgen-smoke portfolio-smoke serve-smoke
+check: build vet race bench-smoke loadgen-smoke portfolio-smoke serve-smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,20 @@ portfolio-smoke:
 # directories and requires the replay to hit disk.
 serve-smoke:
 	scripts/serve_smoke.sh
+
+# Streaming smoke, race-enabled: a short Poisson stream with failures and
+# a shrink, plus an SWF trace replay, through the open-loop rolling-horizon
+# rescheduler. Asserts the replay-rate floor, audit-clean end states,
+# bit-identical incremental-vs-scratch plans and t=0 batch equivalence;
+# writes no file.
+stream-smoke:
+	$(GO) run -race ./cmd/streamgen -smoke
+
+# Refresh the "current" snapshot in BENCH_stream.json: replay-rate and
+# reschedule-latency SLOs of the streaming scheduler (baseline inside is
+# preserved; delete the file to re-baseline).
+streamgen:
+	$(GO) run ./cmd/streamgen
 
 # Repeated runs of the mid-scale benchmarks in benchstat's input format:
 # `make bench-save OUT=old.txt`, change code, `make bench-save OUT=new.txt`,

@@ -348,6 +348,11 @@ func gateRun(path string, reps int, threshold float64) error {
 		return err
 	}
 	failures = append(failures, serveFailures...)
+	streamFailures, err := gateStream("BENCH_stream.json", threshold)
+	if err != nil {
+		return err
+	}
+	failures = append(failures, streamFailures...)
 	if len(failures) > 0 {
 		return fmt.Errorf("gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
@@ -464,6 +469,127 @@ func gateServe(path string, threshold float64) ([]string, error) {
 	}
 	warnStaleRaw(path)
 	return failures, nil
+}
+
+// streamGateSpeedupMin is the absolute floor on the streaming steady
+// case's incremental-vs-scratch speedup: the rolling-horizon reuse
+// machinery must beat full scratch rescheduling at least 2x (at
+// bit-identical end states — cmd/streamgen refuses to record a speedup
+// otherwise).
+const streamGateSpeedupMin = 2.0
+
+// streamGateMetrics are the per-case figures gated against the baseline
+// in BENCH_stream.json, same conventions as serveGateMetrics: the gate
+// audits the committed file rather than re-replaying (a full replay
+// costs tens of seconds), latency gates upward, rates gate downward.
+var streamGateMetrics = []struct {
+	field         string
+	lowerIsBetter bool
+	nsFloor       bool
+}{
+	{field: "resched_p50_ns", lowerIsBetter: true, nsFloor: true},
+	{field: "resched_p99_ns", lowerIsBetter: true, nsFloor: true},
+	{field: "incremental_search_ns", lowerIsBetter: true},
+	{field: "replay_rate_eps"},
+}
+
+// streamGateRequired names the invariant flags each streaming case must
+// carry: cmd/streamgen only writes them true, so an absent or false flag
+// means the committed file was edited or produced by a broken run.
+var streamGateRequired = map[string]string{
+	"StreamSteadyPoisson": "end_bit_identical",
+	"StreamT0Batch":       "t0_match",
+	"StreamChurnFailures": "audit_clean",
+}
+
+// gateStream audits the committed streaming-benchmark file. A missing
+// file is fine (the streaming suite may not have run on this checkout);
+// a malformed one is not. Returns gate failure messages; stale baselines
+// only warn.
+func gateStream(path string, threshold float64) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Printf("%-34s missing; stream gate skipped\n", path)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f struct {
+		Baseline map[string]map[string]json.RawMessage `json:"baseline"`
+		Current  map[string]map[string]json.RawMessage `json:"current"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	names := make([]string, 0, len(f.Current))
+	for name := range f.Current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		cur := f.Current[name]
+		status := "ok"
+		// Absolute checks first — they gate current alone, baseline or not.
+		if flag, ok := streamGateRequired[name]; ok && !rawBool(cur[flag]) {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %s %s is not true — invariant broken or file edited",
+				path, name, flag))
+		}
+		if sx, ok := rawFloat(cur["speedup_x"]); ok && sx < streamGateSpeedupMin {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %s speedup_x %.2f below the absolute floor %.1fx",
+				path, name, sx, streamGateSpeedupMin))
+		}
+		if p50, ok := rawFloat(cur["resched_p50_ns"]); ok {
+			if p99, ok := rawFloat(cur["resched_p99_ns"]); ok && p50 > p99 {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %s resched_p50_ns %.4g exceeds resched_p99_ns %.4g",
+					path, name, p50, p99))
+			}
+		}
+		base, ok := f.Baseline[name]
+		if !ok {
+			fmt.Printf("%-34s not in %s baseline; %s (absolute checks only)\n", name, path, status)
+			continue
+		}
+		for _, m := range streamGateMetrics {
+			b, okB := rawFloat(base[m.field])
+			c, okC := rawFloat(cur[m.field])
+			if !okB || !okC || b <= 0 || c <= 0 {
+				continue
+			}
+			if m.nsFloor && b < serveGateFloorNs && c < serveGateFloorNs {
+				continue
+			}
+			ratio := c / b
+			if !m.lowerIsBetter {
+				ratio = b / c
+			}
+			if ratio > threshold {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %s %s %.4g vs baseline %.4g is %.2fx worse (threshold %.2fx)",
+					path, name, m.field, c, b, ratio, threshold))
+			}
+		}
+		fmt.Printf("%-34s stream gate %s\n", name, status)
+	}
+	warnStaleRaw(path)
+	return failures, nil
+}
+
+// rawBool decodes a raw JSON value as a bool; non-bools and absent
+// fields report false.
+func rawBool(raw json.RawMessage) bool {
+	if raw == nil {
+		return false
+	}
+	var v bool
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return false
+	}
+	return v
 }
 
 // rawFloat decodes a raw JSON value as a number; non-numbers (bools,
@@ -613,6 +739,7 @@ func run(path, rebase string, reps int) error {
 	}
 	warnStale(&out)
 	warnStaleRaw("BENCH_serve.json")
+	warnStaleRaw("BENCH_stream.json")
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

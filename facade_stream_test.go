@@ -1,0 +1,51 @@
+package locmps
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeSimulateStream drives the streaming facade end to end: a
+// small Poisson stream plus an SWF replay, both of which must drain with
+// audited end states.
+func TestFacadeSimulateStream(t *testing.T) {
+	jobs, err := PoissonStream(PoissonOpts{Jobs: 3, Rate: 0.05, MinTasks: 3, MaxTasks: 5, Seed: 2})
+	if err != nil {
+		t.Fatalf("PoissonStream: %v", err)
+	}
+	res, err := SimulateStream(StreamConfig{
+		Cluster: Cluster{P: 4, Bandwidth: 12.5e6},
+		Jobs:    jobs,
+	})
+	if err != nil {
+		t.Fatalf("SimulateStream: %v", err)
+	}
+	if res.End == nil || len(res.Events) == 0 || res.Searches == 0 {
+		t.Fatalf("degenerate stream result: %+v", res)
+	}
+	for i, c := range res.JobCompletion {
+		if c <= jobs[i].Arrival {
+			t.Errorf("job %d completed at %v, arrived %v", i, c, jobs[i].Arrival)
+		}
+	}
+}
+
+const facadeSWF = `; two-job trace
+1 0  0 60 2 -1 -1 2 60 -1 1 1 1 1 1 -1 -1 -1
+2 20 0 90 4 -1 -1 4 90 -1 1 1 1 1 1 -1 -1 -1
+`
+
+func TestFacadeSWFStream(t *testing.T) {
+	jobs, err := SWFStream(strings.NewReader(facadeSWF), 4, SWFStreamOpts{
+		MinTasks: 3, MaxTasks: 5, TimeScale: 0.25, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("SWFStream: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("parsed %d jobs, want 2", len(jobs))
+	}
+	if _, err := SimulateStream(StreamConfig{Cluster: Cluster{P: 4, Bandwidth: 12.5e6}, Jobs: jobs}); err != nil {
+		t.Fatalf("SimulateStream(SWF): %v", err)
+	}
+}

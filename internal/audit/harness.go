@@ -193,10 +193,14 @@ func DiffSchedules(tg *model.TaskGraph, a, b *schedule.Schedule) string {
 // exact scaled original and the search makes identical decisions.
 const scaleFactor = 8
 
-// tableize freezes a graph's execution times into Table profiles sampled
-// at 1..P processors, each multiplied by k. With k=1 this is the identity
-// workload as far as any scheduler limited to P processors can observe.
-func tableize(tg *model.TaskGraph, P int, k float64) (*model.TaskGraph, error) {
+// TimeScaled freezes a graph's execution times into Table profiles
+// sampled at 1..P processors, each multiplied by k. With k=1 this is the
+// identity workload as far as any scheduler limited to P processors can
+// observe. The metamorphic harness pairs a k=1 graph against a
+// power-of-two-scaled one (with bandwidth divided by the same factor) to
+// assert exact time covariance; the streaming simulator's x8 test reuses
+// it to scale whole arrival traces.
+func TimeScaled(tg *model.TaskGraph, P int, k float64) (*model.TaskGraph, error) {
 	tasks := make([]model.Task, tg.N())
 	for t := range tasks {
 		times := make([]float64, P)
@@ -218,11 +222,11 @@ func tableize(tg *model.TaskGraph, P int, k float64) (*model.TaskGraph, error) {
 // must scale the makespan by exactly that factor, up to float dust from
 // the scheduler's absolute epsilons.
 func checkScaling(c Case, tg *model.TaskGraph, cl model.Cluster) *Failure {
-	base, err := tableize(tg, cl.P, 1)
+	base, err := TimeScaled(tg, cl.P, 1)
 	if err != nil {
 		return &Failure{c, "scale:build", err.Error()}
 	}
-	scaled, err := tableize(tg, cl.P, scaleFactor)
+	scaled, err := TimeScaled(tg, cl.P, scaleFactor)
 	if err != nil {
 		return &Failure{c, "scale:build", err.Error()}
 	}

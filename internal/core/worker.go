@@ -48,6 +48,24 @@ func (w *Worker) ScheduleContext(ctx context.Context, alg *LoCMPS, tg *model.Tas
 	return sched, nil
 }
 
+// ScheduleWithPreset runs alg's full LoC-MPS search with preset
+// constraints (fixed placements, processor horizons, node factors) on the
+// worker's pinned scratch. Results are bit-identical to
+// alg.ScheduleWithPreset; the scratch only carries buffers and
+// never-stale caches, not decisions. This is the rolling-horizon
+// rescheduling entry point: the streaming simulator keeps one Worker and
+// replays the preset of each event's frontier through it, so the
+// content-keyed redistribution-cost cache and the memo storage stay warm
+// across consecutive horizons.
+func (w *Worker) ScheduleWithPreset(alg *LoCMPS, tg *model.TaskGraph, cluster model.Cluster, preset Preset) (*schedule.Schedule, error) {
+	sched, stats, _, err := alg.runSearchOn(context.Background(), w.sc, tg, cluster, preset, nil, Budget{})
+	if err != nil {
+		return nil, err
+	}
+	alg.setStats(stats)
+	return sched, nil
+}
+
 // ScheduleBudget runs the anytime search (see LoCMPS.ScheduleBudget) on
 // the worker's pinned scratch.
 func (w *Worker) ScheduleBudget(ctx context.Context, alg *LoCMPS, tg *model.TaskGraph, cluster model.Cluster, b Budget) (*AnytimeResult, error) {

@@ -82,15 +82,8 @@ func Simulate(jobs []Job, p int, strat Strategy) (Result, error) {
 		return Result{}, fmt.Errorf("jobsched: need at least 1 processor, got %d", p)
 	}
 	for i, j := range jobs {
-		switch {
-		case j.Procs < 1 || j.Procs > p:
-			return Result{}, fmt.Errorf("jobsched: job %d needs %d of %d processors", i, j.Procs, p)
-		case j.Runtime <= 0 || math.IsNaN(j.Runtime) || math.IsInf(j.Runtime, 0):
-			return Result{}, fmt.Errorf("jobsched: job %d has invalid runtime %v", i, j.Runtime)
-		case j.Estimate < j.Runtime:
-			return Result{}, fmt.Errorf("jobsched: job %d runtime %v exceeds estimate %v", i, j.Runtime, j.Estimate)
-		case j.Arrival < 0:
-			return Result{}, fmt.Errorf("jobsched: job %d has negative arrival %v", i, j.Arrival)
+		if err := validateJob(i, j, p); err != nil {
+			return Result{}, err
 		}
 	}
 	s := &simulator{jobs: jobs, p: p, strat: strat}
@@ -114,57 +107,85 @@ type simulator struct {
 	queue   []int // indices in arrival order
 	active  []running
 	started []bool
+	order   []int // job indices sorted stably by arrival
+	next    int   // next arrival index in order
+	done    int   // completed jobs
 	res     Result
 }
 
-func (s *simulator) run() (Result, error) {
+// prepare initializes the event loop's state for the submitted job set.
+func (s *simulator) prepare() {
 	n := len(s.jobs)
 	s.res.Start = make([]float64, n)
 	s.res.Finish = make([]float64, n)
 	s.started = make([]bool, n)
 	s.free = s.p
-
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return s.jobs[order[a]].Arrival < s.jobs[order[b]].Arrival
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return s.jobs[s.order[a]].Arrival < s.jobs[s.order[b]].Arrival
 	})
+}
 
-	next := 0 // next arrival index in order
-	for done := 0; done < n; {
-		// Advance to the next event: an arrival or a completion.
-		t := math.Inf(1)
-		if next < n {
-			t = s.jobs[order[next]].Arrival
+// nextEvent finds the next arrival or completion time; ok is false when
+// neither is pending.
+func (s *simulator) nextEvent() (float64, bool) {
+	t := math.Inf(1)
+	if s.next < len(s.jobs) {
+		t = s.jobs[s.order[s.next]].Arrival
+	}
+	for _, r := range s.active {
+		if r.finish < t {
+			t = r.finish
 		}
-		for _, r := range s.active {
-			if r.finish < t {
-				t = r.finish
-			}
+	}
+	return t, !math.IsInf(t, 1)
+}
+
+// step processes one event instant: arrivals at t, completions at t, then
+// a dispatch round. It reports false once every job has completed.
+func (s *simulator) step() (bool, error) {
+	n := len(s.jobs)
+	if s.done >= n {
+		return false, nil
+	}
+	t, ok := s.nextEvent()
+	if !ok {
+		return false, fmt.Errorf("jobsched: stalled with %d of %d jobs done", s.done, n)
+	}
+	s.now = t
+	// Process arrivals at t.
+	for s.next < n && s.jobs[s.order[s.next]].Arrival <= s.now {
+		s.queue = append(s.queue, s.order[s.next])
+		s.next++
+	}
+	// Process completions at t.
+	kept := s.active[:0]
+	for _, r := range s.active {
+		if r.finish <= s.now {
+			s.free += r.procs
+			s.done++
+		} else {
+			kept = append(kept, r)
 		}
-		if math.IsInf(t, 1) {
-			return Result{}, fmt.Errorf("jobsched: stalled with %d of %d jobs done", done, n)
+	}
+	s.active = kept
+	s.dispatch()
+	return true, nil
+}
+
+func (s *simulator) run() (Result, error) {
+	s.prepare()
+	for {
+		ok, err := s.step()
+		if err != nil {
+			return Result{}, err
 		}
-		s.now = t
-		// Process arrivals at t.
-		for next < n && s.jobs[order[next]].Arrival <= s.now {
-			s.queue = append(s.queue, order[next])
-			next++
+		if !ok {
+			break
 		}
-		// Process completions at t.
-		kept := s.active[:0]
-		for _, r := range s.active {
-			if r.finish <= s.now {
-				s.free += r.procs
-				done++
-			} else {
-				kept = append(kept, r)
-			}
-		}
-		s.active = kept
-		s.dispatch()
 	}
 	return s.finalize(), nil
 }

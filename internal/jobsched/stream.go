@@ -1,0 +1,97 @@
+package jobsched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stream is the stepped form of Simulate: jobs are submitted up front,
+// then the caller advances the event loop one arrival/completion instant
+// at a time, observing queue depth and utilization as the replay
+// unfolds. Simulate and a fully drained Stream produce identical
+// Results — both drive the same event core — which the differential
+// test pins.
+type Stream struct {
+	s        *simulator
+	prepared bool
+}
+
+// NewStream creates an empty stepped simulation on p processors.
+func NewStream(p int, strat Strategy) (*Stream, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("jobsched: need at least 1 processor, got %d", p)
+	}
+	return &Stream{s: &simulator{p: p, strat: strat}}, nil
+}
+
+// Submit adds a job before the replay starts, returning its index.
+func (st *Stream) Submit(j Job) (int, error) {
+	if st.prepared {
+		return 0, fmt.Errorf("jobsched: submit after the stream started")
+	}
+	i := len(st.s.jobs)
+	if err := validateJob(i, j, st.s.p); err != nil {
+		return 0, err
+	}
+	st.s.jobs = append(st.s.jobs, j)
+	return i, nil
+}
+
+func (st *Stream) ensure() {
+	if !st.prepared {
+		st.s.prepare()
+		st.prepared = true
+	}
+}
+
+// Next peeks the next event time without advancing; ok is false when the
+// replay has drained.
+func (st *Stream) Next() (float64, bool) {
+	st.ensure()
+	if st.s.done >= len(st.s.jobs) {
+		return 0, false
+	}
+	t, ok := st.s.nextEvent()
+	if !ok {
+		return 0, false
+	}
+	return t, true
+}
+
+// Advance processes one event instant; it reports false once every job
+// has completed.
+func (st *Stream) Advance() (bool, error) {
+	st.ensure()
+	return st.s.step()
+}
+
+// Now reports the current simulated time.
+func (st *Stream) Now() float64 { return st.s.now }
+
+// Queued reports the current backlog depth.
+func (st *Stream) Queued() int { return len(st.s.queue) }
+
+// Running reports the number of jobs currently executing.
+func (st *Stream) Running() int { return len(st.s.active) }
+
+// Result finalizes the metrics over the jobs completed so far. After
+// Advance has returned false it equals Simulate's Result exactly.
+func (st *Stream) Result() Result {
+	st.ensure()
+	return st.s.finalize()
+}
+
+// validateJob applies Simulate's per-job admission checks.
+func validateJob(i int, j Job, p int) error {
+	switch {
+	case j.Procs < 1 || j.Procs > p:
+		return fmt.Errorf("jobsched: job %d needs %d of %d processors", i, j.Procs, p)
+	case j.Runtime <= 0 || math.IsNaN(j.Runtime) || math.IsInf(j.Runtime, 0):
+		return fmt.Errorf("jobsched: job %d has invalid runtime %v", i, j.Runtime)
+	case j.Estimate < j.Runtime:
+		return fmt.Errorf("jobsched: job %d runtime %v exceeds estimate %v", i, j.Runtime, j.Estimate)
+	case j.Arrival < 0:
+		return fmt.Errorf("jobsched: job %d has negative arrival %v", i, j.Arrival)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package jobsched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMatchesSimulate: draining a Stream step by step must produce
+// exactly Simulate's result — same event core, same metrics — across all
+// three strategies on a randomized workload.
+func TestStreamMatchesSimulate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const p = 16
+	jobs := make([]Job, 60)
+	arr := 0.0
+	for i := range jobs {
+		arr += r.Float64() * 5
+		run := 1 + r.Float64()*30
+		jobs[i] = Job{
+			Arrival:  arr,
+			Procs:    1 + r.Intn(p),
+			Runtime:  run,
+			Estimate: run * (1 + r.Float64()),
+		}
+	}
+	for _, strat := range []Strategy{FCFS, EASY, Conservative} {
+		want, err := Simulate(jobs, p, strat)
+		if err != nil {
+			t.Fatalf("%v: Simulate: %v", strat, err)
+		}
+		st, err := NewStream(p, strat)
+		if err != nil {
+			t.Fatalf("%v: NewStream: %v", strat, err)
+		}
+		for i, j := range jobs {
+			id, err := st.Submit(j)
+			if err != nil {
+				t.Fatalf("%v: Submit(%d): %v", strat, i, err)
+			}
+			if id != i {
+				t.Fatalf("%v: Submit returned id %d, want %d", strat, id, i)
+			}
+		}
+		steps := 0
+		for {
+			next, pending := st.Next()
+			ok, err := st.Advance()
+			if err != nil {
+				t.Fatalf("%v: Advance: %v", strat, err)
+			}
+			if !ok {
+				if pending {
+					t.Fatalf("%v: Next promised an event at %v but Advance drained", strat, next)
+				}
+				break
+			}
+			if !pending {
+				t.Fatalf("%v: Advance processed an event Next did not see", strat)
+			}
+			if st.Now() != next {
+				t.Fatalf("%v: advanced to %v, Next said %v", strat, st.Now(), next)
+			}
+			steps++
+		}
+		if steps == 0 {
+			t.Fatalf("%v: no events processed", strat)
+		}
+		got := st.Result()
+		if got.Makespan != want.Makespan || got.AvgWait != want.AvgWait ||
+			got.AvgBoundedSlowdown != want.AvgBoundedSlowdown ||
+			got.Utilization != want.Utilization || got.Backfilled != want.Backfilled {
+			t.Fatalf("%v: stream result %+v differs from batch %+v", strat, got, want)
+		}
+		for i := range jobs {
+			if got.Start[i] != want.Start[i] || got.Finish[i] != want.Finish[i] {
+				t.Fatalf("%v: job %d times (%v,%v) vs (%v,%v)",
+					strat, i, got.Start[i], got.Finish[i], want.Start[i], want.Finish[i])
+			}
+		}
+	}
+}
+
+// goldenStreamMakespan pins the EASY replay of the fixed workload above;
+// the stepped refactor must not move it.
+const goldenStreamMakespan = 736.9230829130137
+
+func TestStreamGoldenPinned(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const p = 16
+	st, err := NewStream(p, EASY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := 0.0
+	for i := 0; i < 60; i++ {
+		arr += r.Float64() * 5
+		run := 1 + r.Float64()*30
+		if _, err := st.Submit(Job{Arrival: arr, Procs: 1 + r.Intn(p), Runtime: run, Estimate: run * (1 + r.Float64())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		ok, err := st.Advance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if got := st.Result().Makespan; got != goldenStreamMakespan {
+		t.Errorf("golden EASY makespan drifted: got %v, want %v", got, goldenStreamMakespan)
+	}
+}
+
+func TestStreamSubmitValidation(t *testing.T) {
+	if _, err := NewStream(0, FCFS); err == nil {
+		t.Error("accepted 0 processors")
+	}
+	st, err := NewStream(4, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit(Job{Arrival: 0, Procs: 8, Runtime: 1, Estimate: 1}); err == nil {
+		t.Error("accepted too-wide job")
+	}
+	if _, err := st.Submit(Job{Arrival: 0, Procs: 1, Runtime: 0, Estimate: 1}); err == nil {
+		t.Error("accepted zero runtime")
+	}
+	if _, err := st.Submit(Job{Arrival: 0, Procs: 1, Runtime: 2, Estimate: 2}); err != nil {
+		t.Fatalf("rejected a valid job: %v", err)
+	}
+	if _, err := st.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit(Job{Arrival: 9, Procs: 1, Runtime: 2, Estimate: 2}); err == nil {
+		t.Error("accepted a submit after the stream started")
+	}
+}

@@ -1,5 +1,7 @@
 package model
 
+import "fmt"
+
 // Tables is an immutable per-graph cache of the quantities the scheduler
 // hot path asks for millions of times per search: execution times et(t, p)
 // for every processor count up to MaxP, the prefix Pbest values of every
@@ -119,4 +121,53 @@ func (tg *TaskGraph) Tables(maxP int) *Tables {
 	}
 	tg.tables.Store(tb)
 	return tb
+}
+
+// ConcatTables assembles a Tables cache for a disjoint-union graph whose
+// task list is the concatenation of the parts' task lists (in argument
+// order), without re-evaluating any speedup profile: the per-task et and
+// pbest rows depend only on each task's Profile, never on graph
+// structure, so the parts' rows are shared by reference. The concurrency
+// ratios are NOT shareable — they depend on the union graph's Concurrent
+// sets — and are recomputed here with the same per-task sweep an
+// ordinary build uses, so every value the result serves is bit-identical
+// to a fresh tg.Tables(maxP) on the combined graph. Each part must cover
+// at least maxP (wider rows are fine; lookups never index past maxP).
+//
+// The streaming scheduler uses this to carry the active jobs' tables
+// across combined-graph rebuilds: O(V·P) profile evaluation is skipped,
+// only the O(V²) concurrency sweep is paid per rebuild. The result is
+// not installed; pass it to tg.AdoptTables.
+func ConcatTables(tg *TaskGraph, maxP int, parts ...*Tables) (*Tables, error) {
+	if maxP < 1 {
+		maxP = 1
+	}
+	total := 0
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("model: ConcatTables part %d is nil", i)
+		}
+		if p.maxP < maxP {
+			return nil, fmt.Errorf("model: ConcatTables part %d covers maxP=%d, need %d", i, p.maxP, maxP)
+		}
+		total += len(p.et)
+	}
+	n := tg.N()
+	if total != n {
+		return nil, fmt.Errorf("model: ConcatTables parts cover %d tasks, graph has %d", total, n)
+	}
+	tb := &Tables{
+		maxP:  maxP,
+		et:    make([][]float64, 0, n),
+		pbest: make([][]int32, 0, n),
+		cr:    make([]float64, n),
+	}
+	for _, p := range parts {
+		tb.et = append(tb.et, p.et...)
+		tb.pbest = append(tb.pbest, p.pbest...)
+	}
+	for t := 0; t < n; t++ {
+		tb.cr[t] = tg.concurrencyRatioSlow(t)
+	}
+	return tb, nil
 }

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"locmps/internal/speedup"
+)
+
+// buildDisjointPair returns two small graphs and their disjoint union
+// (part-1 tasks first), built twice over so one copy can grow a fresh
+// table cache while the other adopts a concatenated one.
+func buildDisjointPair(t *testing.T) (g1, g2, unionA, unionB *TaskGraph) {
+	t.Helper()
+	tasks1 := []Task{
+		{Name: "a", Profile: speedup.Linear{T1: 10}},
+		{Name: "b", Profile: speedup.Linear{T1: 20}},
+		{Name: "c", Profile: speedup.Linear{T1: 5}},
+	}
+	edges1 := []Edge{{From: 0, To: 2, Volume: 100}, {From: 1, To: 2, Volume: 50}}
+	tasks2 := []Task{
+		{Name: "d", Profile: speedup.Linear{T1: 8}},
+		{Name: "e", Profile: speedup.Linear{T1: 16}},
+	}
+	edges2 := []Edge{{From: 0, To: 1, Volume: 30}}
+
+	g1 = mustGraph(t, tasks1, edges1)
+	g2 = mustGraph(t, tasks2, edges2)
+	union := func() *TaskGraph {
+		tasks := append(append([]Task{}, tasks1...), tasks2...)
+		edges := append([]Edge{}, edges1...)
+		for _, e := range edges2 {
+			edges = append(edges, Edge{From: e.From + len(tasks1), To: e.To + len(tasks1), Volume: e.Volume})
+		}
+		return mustGraph(t, tasks, edges)
+	}
+	return g1, g2, union(), union()
+}
+
+// TestConcatTablesBitIdentical: a concatenated cache must serve exactly
+// the values a fresh build on the union graph serves — execution times
+// and Pbest are shared by reference from the parts, concurrency ratios
+// are recomputed on the union.
+func TestConcatTablesBitIdentical(t *testing.T) {
+	const maxP = 6
+	g1, g2, unionA, unionB := buildDisjointPair(t)
+	fresh := unionA.Tables(maxP)
+	cat, err := ConcatTables(unionB, maxP, g1.Tables(maxP), g2.Tables(maxP))
+	if err != nil {
+		t.Fatalf("ConcatTables: %v", err)
+	}
+	if !unionB.AdoptTables(cat) {
+		t.Fatal("AdoptTables rejected the concatenated cache")
+	}
+	n := unionA.N()
+	for task := 0; task < n; task++ {
+		for p := 0; p <= maxP; p++ {
+			if a, b := fresh.ExecTime(task, p), cat.ExecTime(task, p); a != b {
+				t.Fatalf("et(%d,%d): fresh %v vs concat %v", task, p, a, b)
+			}
+		}
+		for p := 1; p <= maxP; p++ {
+			if a, b := fresh.Pbest(task, p), cat.Pbest(task, p); a != b {
+				t.Fatalf("pbest(%d,%d): fresh %v vs concat %v", task, p, a, b)
+			}
+		}
+		if a, b := fresh.ConcurrencyRatio(task), cat.ConcurrencyRatio(task); a != b {
+			t.Fatalf("cr(%d): fresh %v vs concat %v", task, a, b)
+		}
+	}
+	// Row sharing, not copying: the concatenated et rows must be the
+	// parts' own slices.
+	if &cat.et[0][0] != &g1.Tables(maxP).et[0][0] {
+		t.Error("part 1 et row was copied instead of shared")
+	}
+}
+
+func TestConcatTablesErrors(t *testing.T) {
+	const maxP = 4
+	g1, g2, union, _ := buildDisjointPair(t)
+	t1, t2 := g1.Tables(maxP), g2.Tables(maxP)
+	if _, err := ConcatTables(union, maxP, t1, nil); err == nil || !strings.Contains(err.Error(), "nil") {
+		t.Errorf("nil part: err = %v", err)
+	}
+	if _, err := ConcatTables(union, maxP+1, t1, t2); err == nil || !strings.Contains(err.Error(), "covers maxP") {
+		t.Errorf("narrow part: err = %v", err)
+	}
+	if _, err := ConcatTables(union, maxP, t1); err == nil || !strings.Contains(err.Error(), "cover") {
+		t.Errorf("task-count mismatch: err = %v", err)
+	}
+}

@@ -146,6 +146,7 @@ func Execute(alg schedule.Scheduler, tg *model.TaskGraph, c model.Cluster, opt O
 	if !c.Overlap {
 		r.port = r.cpu
 	}
+	defer r.close()
 	if err := r.run(); err != nil {
 		return Trace{}, err
 	}
@@ -162,11 +163,27 @@ type runtime struct {
 	policy    Policy
 	cfg       core.Config
 
+	// alg and worker are pinned across reschedules (lazily created on
+	// the first Reallocate re-plan): the graph's model tables are built
+	// once and served from the graph's cache to every round, and the
+	// worker's pinned scratch keeps the redistribution-cost cache and
+	// memo storage warm between rounds instead of rebuilding per step.
+	alg    *core.LoCMPS
+	worker *core.Worker
+
 	cpu, port []float64
 	speed     []float64 // current execution-time multiplier per node
 	applied   int       // slowdowns already applied
 	started   []bool
 	trace     Trace
+}
+
+// close releases the pinned worker (if any reschedule created one).
+func (r *runtime) close() {
+	if r.worker != nil {
+		r.worker.Close()
+		r.worker = nil
+	}
 }
 
 // factorAt applies all slowdown events with Time <= t and returns the
@@ -348,9 +365,12 @@ func (r *runtime) reschedule() error {
 	var newPlan *schedule.Schedule
 	var err error
 	if r.policy.Reallocate {
-		alg := core.New()
-		alg.Engine = r.cfg
-		newPlan, err = alg.ScheduleWithPreset(r.tg, r.c, preset)
+		if r.worker == nil {
+			r.alg = core.New()
+			r.alg.Engine = r.cfg
+			r.worker = core.NewWorker()
+		}
+		newPlan, err = r.worker.ScheduleWithPreset(r.alg, r.tg, r.c, preset)
 	} else {
 		newPlan, err = core.LoCBSWithPreset(r.tg, r.c, np, r.cfg, preset)
 	}

@@ -210,3 +210,33 @@ func TestOnlineInvariantsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRescheduleReusesModelTables: the re-planning path must serve every
+// round from the graph's cached model tables (built once) and, in
+// Reallocate mode, from one pinned worker — not rebuild them per step.
+// Pointer identity of the Tables across an Execute with reschedules is
+// the regression assertion.
+func TestRescheduleReusesModelTables(t *testing.T) {
+	for _, realloc := range []bool{false, true} {
+		tasks := make([]model.Task, 6)
+		for i := range tasks {
+			tasks[i] = model.Task{Name: "w", Profile: speedup.Linear{T1: 40}}
+		}
+		tg := mustTG(t, tasks, nil)
+		tb := tg.Tables(cl.P) // built before the run; must survive it
+		tr, err := Execute(sched.LoCMPS(), tg, cl, Options{
+			Slowdowns: []Slowdown{{Time: 0.1, Node: 0, Factor: 8}},
+			Policy:    Policy{DriftThreshold: 0.05, Reallocate: realloc},
+		})
+		if err != nil {
+			t.Fatalf("reallocate=%v: %v", realloc, err)
+		}
+		if tr.Reschedules == 0 {
+			t.Fatalf("reallocate=%v: run never rescheduled", realloc)
+		}
+		if got := tg.Tables(cl.P); got != tb {
+			t.Errorf("reallocate=%v: model tables were rebuilt across %d reschedules",
+				realloc, tr.Reschedules)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"testing"
+
+	"locmps/internal/audit"
+)
+
+// TestStreamScalingX8 extends the metamorphic harness to the streaming
+// simulator: scaling every execution time, arrival, failure and resize
+// instant by 8 (a power of two — multiplying an IEEE double by it only
+// shifts the exponent) and the bandwidth by 1/8 must scale every event
+// time and every completion time exactly 8x, with identical event kinds.
+// Execution times are frozen into Table profiles on both sides so the
+// two runs observe the same workload up to the scale factor.
+func TestStreamScalingX8(t *testing.T) {
+	const k = 8.0
+	cfg := churnConfig(t)
+	scaled := cfg
+	scaled.Cluster.Bandwidth = cfg.Cluster.Bandwidth / k
+	scaled.Jobs = make([]Job, len(cfg.Jobs))
+	for i, j := range cfg.Jobs {
+		base, err := audit.TimeScaled(j.TG, cfg.Cluster.P, 1)
+		if err != nil {
+			t.Fatalf("freeze job %d: %v", i, err)
+		}
+		cfg.Jobs[i].TG = base
+		up, err := audit.TimeScaled(j.TG, cfg.Cluster.P, k)
+		if err != nil {
+			t.Fatalf("scale job %d: %v", i, err)
+		}
+		scaled.Jobs[i] = Job{Arrival: j.Arrival * k, TG: up}
+	}
+	scaled.Failures = make([]Fail, len(cfg.Failures))
+	for i, f := range cfg.Failures {
+		scaled.Failures[i] = Fail{Time: f.Time * k, Job: f.Job}
+	}
+	scaled.Resizes = make([]Resize, len(cfg.Resizes))
+	for i, r := range cfg.Resizes {
+		scaled.Resizes[i] = Resize{Time: r.Time * k, Procs: r.Procs}
+	}
+
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	up, err := Run(scaled)
+	if err != nil {
+		t.Fatalf("scaled run: %v", err)
+	}
+	if len(base.Events) != len(up.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(base.Events), len(up.Events))
+	}
+	for i := range base.Events {
+		b, s := base.Events[i], up.Events[i]
+		if s.Time != k*b.Time {
+			t.Fatalf("event %d: scaled time %v != %v * %v", i, s.Time, k, b.Time)
+		}
+		if b.Arrivals != s.Arrivals || b.Completions != s.Completions ||
+			b.Failures != s.Failures || b.Resized != s.Resized ||
+			b.Retired != s.Retired || b.FastPath != s.FastPath {
+			t.Fatalf("event %d kinds differ: %+v vs %+v", i, b, s)
+		}
+	}
+	for j := range base.JobCompletion {
+		if up.JobCompletion[j] != k*base.JobCompletion[j] {
+			t.Fatalf("job %d: scaled completion %v != %v * %v",
+				j, up.JobCompletion[j], k, base.JobCompletion[j])
+		}
+	}
+	if up.End.Makespan != k*base.End.Makespan {
+		t.Errorf("scaled end makespan %v != %v * %v", up.End.Makespan, k, base.End.Makespan)
+	}
+}

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// USLFit is a Universal Scalability Law fit of achieved throughput X
+// against offered load N:
+//
+//	X(N) = gamma * N / (1 + alpha*(N-1) + beta*N*(N-1))
+//
+// gamma is the unloaded per-unit rate, alpha the contention (serial
+// fraction) penalty, beta the coherency (pairwise-exchange) penalty.
+// Peak is the load at which throughput tops out, sqrt((1-alpha)/beta)
+// — +Inf when beta <= 0 (no measured retrograde region).
+type USLFit struct {
+	Gamma, Alpha, Beta float64
+	Peak               float64
+}
+
+// FitUSL fits the USL to (load, throughput) samples by least squares on
+// the linearized form y = N/X = A + B*N + C*N^2, then maps back via
+// gamma = 1/(A+B+C), beta = C*gamma, alpha = B*gamma + beta. At least
+// three samples with distinct positive loads and positive throughputs
+// are required.
+func FitUSL(load, rate []float64) (USLFit, error) {
+	if len(load) != len(rate) || len(load) < 3 {
+		return USLFit{}, fmt.Errorf("stream: USL fit needs >=3 paired samples, got %d/%d", len(load), len(rate))
+	}
+	// Normal equations for y = A + B*x + C*x^2.
+	var s [5]float64 // sums of x^0..x^4
+	var ty, txy, tx2y float64
+	for i := range load {
+		x, r := load[i], rate[i]
+		if x <= 0 || r <= 0 || math.IsNaN(x) || math.IsNaN(r) {
+			return USLFit{}, fmt.Errorf("stream: USL sample %d (%v, %v) not positive", i, x, r)
+		}
+		y := x / r
+		xp := 1.0
+		for k := 0; k < 5; k++ {
+			s[k] += xp
+			xp *= x
+		}
+		ty += y
+		txy += x * y
+		tx2y += x * x * y
+	}
+	// Solve the 3x3 system by Cramer's rule.
+	det := func(m [9]float64) float64 {
+		return m[0]*(m[4]*m[8]-m[5]*m[7]) - m[1]*(m[3]*m[8]-m[5]*m[6]) + m[2]*(m[3]*m[7]-m[4]*m[6])
+	}
+	m := [9]float64{s[0], s[1], s[2], s[1], s[2], s[3], s[2], s[3], s[4]}
+	d := det(m)
+	if math.Abs(d) < 1e-12 {
+		return USLFit{}, fmt.Errorf("stream: USL fit is degenerate (need >=3 distinct loads)")
+	}
+	a := det([9]float64{ty, s[1], s[2], txy, s[2], s[3], tx2y, s[3], s[4]}) / d
+	b := det([9]float64{s[0], ty, s[2], s[1], txy, s[3], s[2], tx2y, s[4]}) / d
+	c := det([9]float64{s[0], s[1], ty, s[1], s[2], txy, s[2], s[3], tx2y}) / d
+	sum := a + b + c
+	if sum <= 0 {
+		return USLFit{}, fmt.Errorf("stream: USL fit yields non-positive unit cost %v", sum)
+	}
+	fit := USLFit{Gamma: 1 / sum}
+	fit.Beta = c * fit.Gamma
+	fit.Alpha = b*fit.Gamma + fit.Beta
+	if fit.Beta > 0 && fit.Alpha < 1 {
+		fit.Peak = math.Sqrt((1 - fit.Alpha) / fit.Beta)
+	} else {
+		fit.Peak = math.Inf(1)
+	}
+	return fit, nil
+}

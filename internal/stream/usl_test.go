@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFitUSLRecoversExact feeds noiseless USL throughput curves to the
+// fitter and checks the parameters come back to within numerical error.
+func TestFitUSLRecoversExact(t *testing.T) {
+	const gamma, alpha, beta = 120.0, 0.04, 0.0008
+	loads := []float64{1, 2, 4, 8, 16, 32, 48}
+	rates := make([]float64, len(loads))
+	for i, n := range loads {
+		rates[i] = gamma * n / (1 + alpha*(n-1) + beta*n*(n-1))
+	}
+	fit, err := FitUSL(loads, rates)
+	if err != nil {
+		t.Fatalf("FitUSL: %v", err)
+	}
+	rel := func(got, want float64) float64 { return math.Abs(got-want) / math.Max(math.Abs(want), 1e-12) }
+	if rel(fit.Gamma, gamma) > 1e-6 {
+		t.Errorf("gamma = %v, want %v", fit.Gamma, gamma)
+	}
+	if rel(fit.Alpha, alpha) > 1e-4 {
+		t.Errorf("alpha = %v, want %v", fit.Alpha, alpha)
+	}
+	if rel(fit.Beta, beta) > 1e-4 {
+		t.Errorf("beta = %v, want %v", fit.Beta, beta)
+	}
+	wantPeak := math.Sqrt((1 - alpha) / beta)
+	if rel(fit.Peak, wantPeak) > 1e-4 {
+		t.Errorf("peak = %v, want %v", fit.Peak, wantPeak)
+	}
+}
+
+// TestFitUSLNoCoherency: with beta = 0 the fitted curve has no
+// retrograde region and the peak is unbounded.
+func TestFitUSLNoCoherency(t *testing.T) {
+	loads := []float64{1, 2, 4, 8}
+	rates := make([]float64, len(loads))
+	for i, n := range loads {
+		rates[i] = 50 * n / (1 + 0.1*(n-1))
+	}
+	fit, err := FitUSL(loads, rates)
+	if err != nil {
+		t.Fatalf("FitUSL: %v", err)
+	}
+	if !math.IsInf(fit.Peak, 1) && fit.Peak < loads[len(loads)-1] {
+		t.Errorf("peak %v inside the measured contention-only range", fit.Peak)
+	}
+}
+
+func TestFitUSLErrors(t *testing.T) {
+	if _, err := FitUSL([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("accepted two samples")
+	}
+	if _, err := FitUSL([]float64{1, 1, 1}, []float64{1, 1, 1}); err == nil {
+		t.Error("accepted degenerate identical loads")
+	}
+	if _, err := FitUSL([]float64{1, 2, -3}, []float64{1, 2, 3}); err == nil {
+		t.Error("accepted a negative load")
+	}
+}

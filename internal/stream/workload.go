@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"locmps/internal/jobsched"
+	"locmps/internal/synth"
+)
+
+// PoissonOpts configures open-loop Poisson load generation: arrivals
+// follow a fixed-rate exponential clock that never waits for the
+// scheduler (the loadgen idiom — offered load is a property of the
+// workload, not of service capacity), so saturation shows up as a
+// growing active set rather than a silently throttled arrival stream.
+type PoissonOpts struct {
+	// Jobs is the total number of jobs to emit.
+	Jobs int
+	// Rate is the arrival rate λ (jobs per unit simulated time).
+	Rate float64
+	// Burst and BurstSize make every Burst-th arrival instant deliver
+	// BurstSize jobs at once (both must exceed 1 to take effect),
+	// modelling bursty submission without changing the mean gap clock.
+	Burst, BurstSize int
+	// MinTasks and MaxTasks bound the per-job DAG size, drawn uniformly.
+	MinTasks, MaxTasks int
+	// Graph shapes each job's DAG; Tasks and Seed are overridden per
+	// job. Zero value selects synth.DefaultParams.
+	Graph synth.Params
+	// Seed drives both the arrival clock and the per-job graph seeds.
+	Seed int64
+}
+
+// PoissonJobs generates an open-loop Poisson job stream. Deterministic
+// per seed.
+func PoissonJobs(o PoissonOpts) ([]Job, error) {
+	if o.Jobs < 1 {
+		return nil, fmt.Errorf("stream: need at least 1 job, got %d", o.Jobs)
+	}
+	if o.Rate <= 0 {
+		return nil, fmt.Errorf("stream: arrival rate must be positive, got %v", o.Rate)
+	}
+	if o.MinTasks < 1 || o.MaxTasks < o.MinTasks {
+		return nil, fmt.Errorf("stream: invalid task range [%d,%d]", o.MinTasks, o.MaxTasks)
+	}
+	gp := o.Graph
+	if gp == (synth.Params{}) {
+		gp = synth.DefaultParams()
+	}
+	r := rand.New(rand.NewSource(o.Seed))
+	jobs := make([]Job, 0, o.Jobs)
+	t := 0.0
+	arrival := 0
+	for len(jobs) < o.Jobs {
+		t += r.ExpFloat64() / o.Rate
+		arrival++
+		n := 1
+		if o.Burst > 1 && o.BurstSize > 1 && arrival%o.Burst == 0 {
+			n = o.BurstSize
+		}
+		for k := 0; k < n && len(jobs) < o.Jobs; k++ {
+			jp := gp
+			jp.Tasks = o.MinTasks + int(r.Int63n(int64(o.MaxTasks-o.MinTasks+1)))
+			jp.Seed = o.Seed*1_000_003 + int64(len(jobs))
+			tg, err := synth.Generate(jp)
+			if err != nil {
+				return nil, fmt.Errorf("stream: job %d: %w", len(jobs), err)
+			}
+			jobs = append(jobs, Job{Arrival: t, TG: tg})
+		}
+	}
+	return jobs, nil
+}
+
+// SWFOpts configures SWF trace replay.
+type SWFOpts struct {
+	// MaxJobs caps how many trace records become jobs (0 = all).
+	MaxJobs int
+	// MinTasks and MaxTasks clamp the per-job DAG size derived from the
+	// record's processor request.
+	MinTasks, MaxTasks int
+	// TimeScale multiplies trace arrival times (0 = 1), compressing
+	// long traces into short replays.
+	TimeScale float64
+	// Graph shapes each job's DAG; Tasks, MeanWork and Seed are
+	// overridden per record. Zero value selects synth.DefaultParams.
+	Graph synth.Params
+	// Seed drives the per-job graph seeds.
+	Seed int64
+}
+
+// SWFJobs replays a Standard Workload Format trace as a DAG job stream:
+// each record becomes one job whose DAG size follows the record's
+// processor request (clamped to [MinTasks, MaxTasks]) and whose mean
+// task work spreads the record's total work (runtime x processors)
+// across its tasks. maxProcs caps record widths exactly as
+// jobsched.ReadSWF does. Deterministic per (trace, seed).
+func SWFJobs(r io.Reader, maxProcs int, o SWFOpts) ([]Job, error) {
+	if o.MinTasks < 1 || o.MaxTasks < o.MinTasks {
+		return nil, fmt.Errorf("stream: invalid task range [%d,%d]", o.MinTasks, o.MaxTasks)
+	}
+	raw, err := jobsched.ReadSWF(r, maxProcs)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if o.MaxJobs > 0 && len(raw) > o.MaxJobs {
+		raw = raw[:o.MaxJobs]
+	}
+	scale := o.TimeScale
+	if scale == 0 {
+		scale = 1
+	}
+	gp := o.Graph
+	if gp == (synth.Params{}) {
+		gp = synth.DefaultParams()
+	}
+	jobs := make([]Job, 0, len(raw))
+	for i, rec := range raw {
+		tasks := rec.Procs
+		if tasks < o.MinTasks {
+			tasks = o.MinTasks
+		}
+		if tasks > o.MaxTasks {
+			tasks = o.MaxTasks
+		}
+		jp := gp
+		jp.Tasks = tasks
+		jp.Seed = o.Seed*1_000_003 + int64(i)
+		if work := rec.Runtime * float64(rec.Procs) / float64(tasks) * scale; work > 0 {
+			jp.MeanWork = work
+		}
+		tg, err := synth.Generate(jp)
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace job %d: %w", i, err)
+		}
+		jobs = append(jobs, Job{Arrival: rec.Arrival * scale, TG: tg})
+	}
+	return jobs, nil
+}
