@@ -21,12 +21,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The concurrency-heavy packages (barrier window evaluation, shared
-# cross-request state, anytime cancellation) re-run fresh under the race
-# detector with four scheduler threads, so the interleavings exist even on
-# wide CI runners configured narrow or vice versa.
+# The concurrency-heavy packages (barrier window evaluation, in-run probe
+# pool, shared cross-request state, anytime cancellation) re-run fresh
+# under the race detector at GOMAXPROCS 1 and 4: serial (pools degenerate)
+# and wide (fan-outs real), with the golden determinism fixture checked at
+# both widths — parallelism must be invisible in the output.
 race-core:
-	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/core/... ./internal/serve/...
+	for gmp in 1 4; do \
+		echo "=== GOMAXPROCS=$$gmp ==="; \
+		GOMAXPROCS=$$gmp $(GO) test -run TestGoldenDeterminism -count=1 . && \
+		GOMAXPROCS=$$gmp $(GO) test -race -count=1 ./internal/core/... ./internal/serve/... || exit 1; \
+	done
 
 # A single iteration of each mid-scale scheduler benchmark: catches gross
 # regressions and asserts the hot path still runs end to end.
@@ -107,11 +112,15 @@ bench-diff:
 	@test -f $(NEW) || $(MAKE) bench-save OUT=$(NEW)
 	benchstat $(OLD) $(NEW)
 
-# CPU and heap profiles of the two mid-scale scheduler benchmarks, for
-# `go tool pprof profiles/locmps.test profiles/cpu.pprof`.
+# CPU and heap profiles of the mid-scale scheduler benchmarks plus the
+# 100-task cold case that drives the probe-pool/pruning work (DESIGN.md
+# §13), for `go tool pprof profiles/locmps.test profiles/cpu.pprof`.
+# PROFILE_BENCH narrows the capture to one case, e.g.
+# `make profile PROFILE_BENCH='BenchmarkLoCMPS100Tasks128Procs$$'`.
+PROFILE_BENCH ?= BenchmarkLoCMPS(30Tasks16Procs|50Tasks64Procs|100Tasks128Procs)$$
 profile:
 	mkdir -p profiles
-	$(GO) test -run '^$$' -bench 'BenchmarkLoCMPS(30Tasks16Procs|50Tasks64Procs)' -benchtime 2x \
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)' -benchtime 2x \
 		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof -o profiles/locmps.test .
 
 # Re-check the golden determinism fixture on its own.

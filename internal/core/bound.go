@@ -1,0 +1,92 @@
+package core
+
+import "locmps/internal/schedule"
+
+// This file implements the partial lower bound that lets a prune-bounded
+// placement run (runOpts.pruneBound) abort early: the LoC-MPS window
+// evaluation threads the incumbent's makespan into each non-winning
+// candidate's run, and the run stops as soon as the bound proves its final
+// makespan could not beat the incumbent. Every component of the bound is
+// admissible — it never exceeds the makespan the completed run would have
+// produced — which the randomized admissibility test in bound_test.go
+// checks directly by re-running completed schedules with pruneBound set to
+// their own makespan.
+//
+// The bound is the running maximum of three admissible terms:
+//
+//   - static area: Σ over non-preset tasks of np[t]·et(t,np[t])·minF / P.
+//     Each task occupies np[t] processors for at least et·minF time (minF
+//     is the fastest node factor), and only P processors exist. Preset
+//     tasks are excluded from the area — their durations are pinned by the
+//     preset, not derived from the model — and contribute through their
+//     committed placements instead.
+//   - committed finish: a placed task's finish time is already a lower
+//     bound on the makespan.
+//   - residual chains: after t finishes, its heaviest successor chain
+//     still needs rb time, where rb is a zero-communication bottom level
+//     over et·minF. Communication and contention can only push successors
+//     later, so finish(t)+rb is admissible (a comm-aware bottom level
+//     would not be: overlapped or locality-free placements can beat it).
+//
+// The first divergence from core.LowerBound is deliberate: LowerBound
+// bounds the best schedule any allocation could reach, while this bound is
+// conditioned on the run's fixed allocation vector np and its committed
+// prefix, which is what makes it tighten as the run proceeds.
+
+// initBound arms the bound for a prune-bounded run: the rb sweep, the
+// static area term and the contributions of preset placements already on
+// the chart. Called once per run, after the preset has been committed to
+// the schedule and before the first placement step.
+func (e *placer) initBound() {
+	n := e.tg.N()
+	rb := growFloats(e.sc.rbBuf, n)
+	minF := e.minFactor()
+	order := e.tg.TopoOrder()
+	area := 0.0
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if e.sc.preset[v] {
+			// A preset task's finish is pinned by fiat, not derived from
+			// its predecessors, so residual chains must not pass through
+			// it: rb = 0 keeps the bound admissible (its own committed
+			// placement still contributes via updateBound below).
+			rb[v] = 0
+			continue
+		}
+		succ := 0.0
+		for _, se := range e.tg.SuccEdges(v) {
+			if rb[se.Other] > succ {
+				succ = rb[se.Other]
+			}
+		}
+		et := e.tb.ExecTime(v, e.np[v]) * minF
+		rb[v] = et + succ
+		area += et * float64(e.np[v])
+	}
+	e.sc.rbBuf = rb
+	e.rb = rb
+	e.lbNow = area / float64(e.cluster.P)
+	for t := 0; t < n; t++ {
+		if e.sc.preset[t] {
+			e.updateBound(t)
+		}
+	}
+}
+
+// updateBound folds t's committed placement into the running bound and
+// reports whether it now provably exceeds pruneBound. The Eps margin keeps
+// exact ties alive: a run whose bound merely equals the incumbent may
+// still complete and match it.
+func (e *placer) updateBound(t int) bool {
+	f := e.sched.Placements[t].Finish
+	succ := 0.0
+	for _, se := range e.tg.SuccEdges(t) {
+		if e.rb[se.Other] > succ {
+			succ = e.rb[se.Other]
+		}
+	}
+	if cand := f + succ; cand > e.lbNow {
+		e.lbNow = cand
+	}
+	return e.lbNow > e.pruneBound+schedule.Eps
+}

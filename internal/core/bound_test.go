@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestPruneBoundAdmissible is the admissibility property of the partial
+// lower bound: seeded with the run's own final makespan, the bound may
+// never fire — if it did, the "lower bound" exceeded the true makespan at
+// some placement step, which would let pruning discard candidates that tie
+// or beat the incumbent. The completed run must also stay bit-identical,
+// since the bound only observes the run.
+func TestPruneBoundAdmissible(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(0); seed < 24; seed++ {
+		tg, cluster, np := probeCase(4200 + seed)
+		ref, err := LoCBS(tg, cluster, np, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		sc := getScratch()
+		got, err := runPlacer(tg, cluster, np, cfg, Preset{}, sc, 0, runOpts{pruneBound: ref.Makespan})
+		putScratch(sc)
+		if err != nil {
+			t.Fatalf("seed %d: run pruned at its own final makespan %v — the partial bound exceeded the true makespan: %v",
+				seed, ref.Makespan, err)
+		}
+		assertSameSchedule(t, got, ref, "bounded vs unbounded")
+	}
+}
+
+// TestPruneBoundFiresAndScratchSurvives checks the abort path: a bound far
+// below any achievable makespan must prune (reporting the skipped task
+// placements), and the same scratch must then complete an ordinary run with
+// a bit-identical schedule — a pruned run may poison neither the chart nor
+// the resume trace.
+func TestPruneBoundFiresAndScratchSurvives(t *testing.T) {
+	cfg := DefaultConfig()
+	tg, cluster, np := probeCase(77)
+	ref, err := LoCBS(tg, cluster, np, cfg)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	key := searchEpoch.Add(1)
+	if _, err := runPlacer(tg, cluster, np, cfg, Preset{}, sc, key, runOpts{pruneBound: ref.Makespan / 1e6}); !errors.Is(err, errPruned) {
+		t.Fatalf("bound at makespan/1e6 did not prune: err = %v", err)
+	}
+	if sc.lastPruned == 0 {
+		t.Error("pruned run reported zero skipped task placements")
+	}
+	got, err := runPlacer(tg, cluster, np, cfg, Preset{}, sc, key, runOpts{})
+	if err != nil {
+		t.Fatalf("run after prune: %v", err)
+	}
+	assertSameSchedule(t, got, ref, "post-prune vs reference")
+}
+
+// TestPruneBoundDeterministicAcrossResume: a run that resumes from a trace
+// prefix replays committed placements instead of searching them, and the
+// bound check runs on replayed steps too — so a resumed run must prune at
+// exactly the same placement step as a from-scratch run of the same
+// instance under the same bound.
+func TestPruneBoundDeterministicAcrossResume(t *testing.T) {
+	cfg := DefaultConfig()
+	tg, cluster, np := probeCase(555)
+	ref, err := LoCBS(tg, cluster, np, cfg)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	// A bound between the initial static bound and the final makespan makes
+	// the abort land mid-run, where replayed and searched prefixes overlap.
+	bound := ref.Makespan * 0.75
+	fresh := getScratch()
+	_, errFresh := runPlacer(tg, cluster, np, cfg, Preset{}, fresh, 0, runOpts{pruneBound: bound})
+	freshPruned := fresh.lastPruned
+	putScratch(fresh)
+
+	sc := getScratch()
+	defer putScratch(sc)
+	key := searchEpoch.Add(1)
+	// Warm the trace with a completed run, then re-run under the bound: the
+	// replayed prefix must not change where (or whether) the abort happens.
+	if _, err := runPlacer(tg, cluster, np, cfg, Preset{}, sc, key, runOpts{}); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	_, errResumed := runPlacer(tg, cluster, np, cfg, Preset{}, sc, key, runOpts{pruneBound: bound})
+	if errors.Is(errFresh, errPruned) != errors.Is(errResumed, errPruned) {
+		t.Fatalf("fresh and resumed runs disagree on pruning: %v vs %v", errFresh, errResumed)
+	}
+	if errFresh != nil && !errors.Is(errFresh, errPruned) {
+		t.Fatalf("fresh run failed: %v", errFresh)
+	}
+	if sc.lastPruned != freshPruned {
+		t.Errorf("resumed run pruned %d task placements, fresh run %d — the abort step moved",
+			sc.lastPruned, freshPruned)
+	}
+}
+
+// TestPruneBoundRandomizedNeverOvershoots sweeps random instances with
+// bounds sampled between zero and the true makespan: whenever the bound is
+// at least the true makespan the run must complete, and whenever it
+// completes the result must be bit-identical — together these pin the
+// bound's one-sided error (it may only under-estimate).
+func TestPruneBoundRandomizedNeverOvershoots(t *testing.T) {
+	cfg := DefaultConfig()
+	r := rand.New(rand.NewSource(31337))
+	pruned := 0
+	for seed := int64(0); seed < 20; seed++ {
+		tg, cluster, np := probeCase(6000 + seed)
+		ref, err := LoCBS(tg, cluster, np, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		bound := ref.Makespan * (0.2 + 1.3*r.Float64())
+		sc := getScratch()
+		got, err := runPlacer(tg, cluster, np, cfg, Preset{}, sc, 0, runOpts{pruneBound: bound})
+		putScratch(sc)
+		switch {
+		case errors.Is(err, errPruned):
+			if bound >= ref.Makespan {
+				t.Errorf("seed %d: pruned under bound %v >= true makespan %v", seed, bound, ref.Makespan)
+			}
+			pruned++
+		case err != nil:
+			t.Fatalf("seed %d: %v", seed, err)
+		default:
+			assertSameSchedule(t, got, ref, "bounded vs unbounded")
+		}
+	}
+	if pruned == 0 {
+		t.Error("no sampled bound pruned; the abort path was never exercised")
+	}
+}

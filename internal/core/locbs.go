@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -71,16 +72,48 @@ func LoCBS(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config) (*s
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	return runPlacer(tg, cluster, np, cfg.withDefaults(), Preset{}, sc, 0)
+	return runPlacer(tg, cluster, np, cfg.withDefaults(), Preset{}, sc, 0, runOpts{})
 }
 
+// runOpts carries the per-run performance knobs of one placement run. Both
+// are bit-identity-preserving: probeWorkers only changes where candidate
+// probes execute, and pruneBound only aborts runs whose completed makespan
+// provably could not beat the bound — callers treat an aborted run as "not
+// evaluated", never as a result.
+type runOpts struct {
+	// probeWorkers >= 2 fans the surviving tail of each task's candidate
+	// slot scan out over the probe pool (probe.go); below 2 the scan stays
+	// serial. Ignored under AdaptiveWidth, whose width search interleaves
+	// np mutations with probing.
+	probeWorkers int
+	// pruneBound > 0 arms the partial lower bound of run: the run aborts
+	// with errPruned as soon as the bound proves the final makespan must
+	// exceed pruneBound. Ignored under AdaptiveWidth (the residual-bound
+	// sweep needs the final widths).
+	pruneBound float64
+}
+
+// errPruned aborts a placement run whose partial lower bound proved the
+// final makespan cannot beat the caller's pruneBound. It is a control-flow
+// sentinel, not a failure: the aborted run's scratch trace is left invalid
+// (exactly like an errored run) and the caller counts the run as skipped.
+var errPruned = errors.New("core: placement run pruned by lower bound")
+
 // placeStats reports how much of a placement run was served by the resume
-// path: tasks replayed from the trace prefix, steps rolled back off the
-// chart, and whether any prefix was reused at all.
+// path (tasks replayed from the trace prefix, steps rolled back off the
+// chart, whether any prefix was reused), plus what the probe pool and the
+// prune bound did with the run.
 type placeStats struct {
 	replayed   int
 	rolledBack int
 	resumed    bool
+	// pruned is the number of task placements an errPruned abort skipped
+	// (0 for completed runs).
+	pruned int
+	// probeFanouts counts candidate scans that engaged the probe pool;
+	// probeSlots accumulates the slots those fan-outs evaluated.
+	probeFanouts int
+	probeSlots   int
 }
 
 // runPlacerPooled is runPlacer with its own pool-drawn scratch, for callers
@@ -90,11 +123,24 @@ type placeStats struct {
 // non-zero resumeKey lets the drawn scratch resume from a trace it recorded
 // earlier in the same search (pool recycling makes that the common case
 // once speculation has run a few batches).
-func runPlacerPooled(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, resumeKey uint64) (*schedule.Schedule, placeStats, error) {
+func runPlacerPooled(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, resumeKey uint64, opts runOpts) (*schedule.Schedule, placeStats, error) {
 	sc := getScratch()
 	defer putScratch(sc)
-	s, err := runPlacer(tg, cluster, np, cfg, preset, sc, resumeKey)
-	return s, placeStats{replayed: sc.lastReplayed, rolledBack: sc.lastRolledBack, resumed: sc.lastResumed}, err
+	s, err := runPlacer(tg, cluster, np, cfg, preset, sc, resumeKey, opts)
+	return s, sc.lastPlaceStats(), err
+}
+
+// lastPlaceStats snapshots the per-run counters the most recent runPlacer
+// call left on the scratch.
+func (sc *placerScratch) lastPlaceStats() placeStats {
+	return placeStats{
+		replayed:     sc.lastReplayed,
+		rolledBack:   sc.lastRolledBack,
+		resumed:      sc.lastResumed,
+		pruned:       sc.lastPruned,
+		probeFanouts: sc.lastProbeFanouts,
+		probeSlots:   sc.lastProbeSlots,
+	}
 }
 
 // runPlacer executes one pre-validated LoCBS run against pooled scratch:
@@ -111,12 +157,13 @@ func runPlacerPooled(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg C
 // see run), the chart is rolled back to the first divergent step, and only
 // the suffix is searched. Schedules are bit-identical to a from-scratch run
 // either way.
-func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, sc *placerScratch, resumeKey uint64) (*schedule.Schedule, error) {
+func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config, preset Preset, sc *placerScratch, resumeKey uint64, opts runOpts) (*schedule.Schedule, error) {
 	tr := &sc.trace
 	record := resumeKey != 0 && !cfg.AdaptiveWidth
 	resume := record && tr.matches(resumeKey, tg, cluster, cfg)
 	sc.preparePlacer(tg.N(), cluster.P, cfg.Backfill, resume)
 	sc.lastReplayed, sc.lastRolledBack, sc.lastResumed = 0, 0, false
+	sc.lastPruned, sc.lastProbeFanouts, sc.lastProbeSlots = 0, 0, 0
 	// The trace is invalid while the run mutates the chart and the trace's
 	// own step records; a successful completion re-validates it below.
 	tr.key = 0
@@ -132,6 +179,13 @@ func runPlacer(tg *model.TaskGraph, cluster model.Cluster, np []int, cfg Config,
 		factor:  preset.NodeFactor,
 		resume:  resume,
 		record:  record,
+	}
+	if !cfg.AdaptiveWidth {
+		e.probeWorkers = opts.probeWorkers
+		e.pruneBound = opts.pruneBound
+	}
+	if record {
+		e.shareEpoch = resumeKey
 	}
 	if record {
 		// Shares cached by earlier runs of the same search stay warm; a
@@ -230,6 +284,19 @@ type placer struct {
 	// resume replays the scratch trace's placement prefix; record appends
 	// this run's steps to the trace (both set by runPlacer).
 	resume, record bool
+
+	// probeWorkers/pruneBound are the run's performance knobs (runOpts),
+	// already gated on AdaptiveWidth; shareEpoch is the search's resume key
+	// (0 outside a recorded search), stamped onto arena cost buffers so
+	// their share caches stay warm within a search.
+	probeWorkers int
+	pruneBound   float64
+	shareEpoch   uint64
+	// rb/lbNow are the pruning state of a prune-bounded run: the
+	// zero-communication residual bottom levels and the running partial
+	// lower bound (see initBound). rb is nil when pruning is off.
+	rb    []float64
+	lbNow float64
 }
 
 func intsEqual(a, b []int) bool {
@@ -303,6 +370,14 @@ func (e *placer) run() error {
 	tr := &e.sc.trace
 	step := 0
 	fast := e.resume
+
+	if e.pruneBound > 0 {
+		e.initBound()
+		if e.lbNow > e.pruneBound+schedule.Eps {
+			e.sc.lastPruned = remaining
+			return errPruned
+		}
+	}
 
 	for done := 0; done < remaining; done++ {
 		// Highest priority wins, ties broken by lower task id; the scan
@@ -381,6 +456,14 @@ func (e *placer) run() error {
 					ready = append(ready, se.Other)
 				}
 			}
+		}
+		// The bound check runs on replayed and searched steps alike, so a
+		// resumed run prunes at exactly the same placement step as a
+		// from-scratch run would (the committed decisions are identical).
+		if e.rb != nil && e.updateBound(tp) {
+			e.sc.lastPruned = remaining - done - 1
+			e.sc.readyBuf = ready[:0]
+			return errPruned
 		}
 	}
 	if fast && step < len(tr.order) {
@@ -461,7 +544,7 @@ func (e *placer) place(tp int) (attempt, error) {
 	// then id) does not depend on the candidate slot, so it is established
 	// once per task; tryAt filters it by idleness at each probed time.
 	e.buildPreference(tp)
-	e.sc.ctCount, e.sc.ctNext = 0, 0
+	e.sc.ct.reset()
 
 	widths := e.sc.widthBuf[:0]
 	if e.cfg.AdaptiveWidth {
@@ -482,6 +565,10 @@ func (e *placer) place(tp int) (attempt, error) {
 	endsFrom := sort.SearchFloat64s(ends, maxParentFt)
 	minF := e.minFactor()
 
+	// The serial scan probes through a probeCtx view over the scratch's own
+	// buffers; probe workers get disjoint arena-backed contexts (probe.go).
+	pc := e.sc.serialProbeCtx()
+
 	var best attempt
 	bestOK := false
 	for _, n := range widths {
@@ -491,13 +578,28 @@ func (e *placer) place(tp int) (attempt, error) {
 		// list is walked with a resumable cursor: -1 marks an unprobed
 		// processor, whose first probe binary-searches instead of scanning
 		// the whole list up to tau (tasks place late, lists are deep).
-		e.sc.posBuf = resetIntsTo(e.sc.posBuf, e.cluster.P, -1)
+		pc.cur = resetIntsTo(pc.cur, e.cluster.P, -1)
 		tau, idx := maxParentFt, endsFrom
+		serial := 0
 		for {
 			if bestOK && tau+etFastest >= best.finish {
 				break // later slots can only finish later
 			}
-			att, ok, err := e.tryAt(tp, tau, n, et, parents, maxParentFt)
+			if e.probeWorkers >= 2 && serial >= probeSerialSpan && idx < len(ends) {
+				// The scan survived the serial prefix, so this is one of the
+				// long boundary walks worth parallelizing: hand the rest of
+				// the width to the probe pool. Its serial in-order fold
+				// replays exactly the rules below, so best/bestOK come back
+				// bit-identical to continuing here.
+				var err error
+				best, bestOK, err = e.probeTail(tp, tau, idx, n, et, etFastest, parents, maxParentFt, best, bestOK)
+				if err != nil {
+					return attempt{}, err
+				}
+				break
+			}
+			serial++
+			att, ok, err := e.tryAt(pc, tp, tau, n, et, parents, maxParentFt)
 			if err != nil {
 				return attempt{}, err
 			}
@@ -520,6 +622,7 @@ func (e *placer) place(tp int) (attempt, error) {
 			idx++
 		}
 	}
+	e.sc.syncSerialProbeCtx(pc)
 	if !bestOK {
 		return attempt{}, fmt.Errorf("core: could not place task %d (np=%d) on P=%d", tp, e.np[tp], e.cluster.P)
 	}
@@ -645,8 +748,10 @@ func sortByScore(pref []int32, score []float64) {
 // tryAt evaluates placing tp in the idle slot beginning at tau. Because the
 // redistribution time depends on the chosen subset and the subset must stay
 // idle until the (redistribution-delayed) finish time, the search iterates
-// to a fixed point, tightening the required idle window each round.
-func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []model.AdjEdge, maxParentFt float64) (attempt, bool, error) {
+// to a fixed point, tightening the required idle window each round. All
+// mutable state goes through pc, so concurrent probes of the same immutable
+// chart are race-free as long as each owns its probeCtx.
+func (e *placer) tryAt(pc *probeCtx, tp int, tau float64, n int, et float64, parents []model.AdjEdge, maxParentFt float64) (attempt, bool, error) {
 	// Each fixed-point round takes the first n sufficiently-idle processors
 	// in preference order. A slow node in the subset stretches the whole
 	// task (it runs at the slowest member's pace), which almost always
@@ -656,18 +761,19 @@ func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []model.A
 	// preference order only until the subset is filled, so a task needing
 	// n processors rarely touches more than the first ~n chart columns.
 	// Skipped processors keep valid cursors because probe times never
-	// decrease within a width. The probe itself is freeAt with the binary
-	// search replaced by the resumable per-processor cursor in posBuf.
+	// decrease within a width (per probeCtx: a probe worker only ever sees
+	// ascending slot times, see probeTail). The probe itself is freeAt with
+	// the binary search replaced by the resumable per-processor cursor.
 	pref := e.pref
 	ch := &e.sc.chart
-	cur := e.sc.posBuf
+	cur := pc.cur
 	backfill := ch.backfill
-	free := e.sc.freeBuf[:0]
+	free := pc.free[:0]
 	next := 0 // next preference-order processor not yet probed
 
 	need := tau + et // minimal idle window; grows as comm delays surface
 	for round := 0; round < 4; round++ {
-		procs := e.sc.procBuf[:0]
+		procs := pc.procs[:0]
 		// The subset is feasible iff its least idle-until covers the
 		// finish time, so only the minimum needs tracking.
 		minUntil := infinity
@@ -725,14 +831,14 @@ func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []model.A
 				}
 			}
 		}
-		e.sc.freeBuf, e.sc.procBuf = free, procs
+		pc.free, pc.procs = free, procs
 		if len(procs) < n {
 			return attempt{}, false, nil
 		}
 		// Canonical block-cyclic layout order.
 		slices.Sort(procs)
 
-		att, err := e.timeOn(tp, tau, et, parents, maxParentFt, procs)
+		att, err := e.timeOn(pc, tau, et, parents, maxParentFt, procs)
 		if err != nil {
 			return attempt{}, false, err
 		}
@@ -747,34 +853,34 @@ func (e *placer) tryAt(tp int, tau float64, n int, et float64, parents []model.A
 	return attempt{}, false, nil
 }
 
-// timeOn computes start/finish and communication charges for running tp on
-// the given processor set with the slot opening at tau. The charges depend
-// only on the processor set (not on tau), so they are memoized across the
-// candidate-time probes of the task being placed.
-func (e *placer) timeOn(tp int, tau, et float64, parents []model.AdjEdge, maxParentFt float64, procs []int) (attempt, error) {
-	sc := e.sc
+// timeOn computes start/finish and communication charges for running the
+// task being placed on the given processor set with the slot opening at
+// tau. The charges depend only on the processor set (not on tau), so they
+// are memoized in pc's ct memo across the candidate-time probes.
+func (e *placer) timeOn(pc *probeCtx, tau, et float64, parents []model.AdjEdge, maxParentFt float64, procs []int) (attempt, error) {
+	m := pc.ct
 	ph := procsHash(procs)
 	slot := -1
-	for i := 0; i < sc.ctCount; i++ {
-		if sc.ctHash[i] == ph && intsEqual(sc.ctProcs[i], procs) {
+	for i := 0; i < m.count; i++ {
+		if m.hash[i] == ph && intsEqual(m.procs[i], procs) {
 			slot = i
 			break
 		}
 	}
 	if slot < 0 {
-		if sc.ctCount < len(sc.ctProcs) {
-			slot = sc.ctCount
-			sc.ctCount++
+		if m.count < len(m.procs) {
+			slot = m.count
+			m.count++
 		} else {
-			slot = sc.ctNext
-			sc.ctNext = (sc.ctNext + 1) % len(sc.ctProcs)
+			slot = m.next
+			m.next = (m.next + 1) % len(m.procs)
 		}
-		sc.ctProcs[slot] = append(sc.ctProcs[slot][:0], procs...)
-		sc.ctHash[slot] = ph
-		comm := sc.ctComm[slot][:0]
+		m.procs[slot] = append(m.procs[slot][:0], procs...)
+		m.hash[slot] = ph
+		comm := m.comm[slot][:0]
 		maxCt, sumCt, rct := 0.0, 0.0, 0.0
 		for _, pe := range parents {
-			ct := e.edgeCost(pe.Other, pe.Volume, procs, ph)
+			ct := e.edgeCost(pc, pe.Other, pe.Volume, procs, ph)
 			comm = append(comm, ct)
 			if ct > maxCt {
 				maxCt = ct
@@ -784,11 +890,11 @@ func (e *placer) timeOn(tp int, tau, et float64, parents []model.AdjEdge, maxPar
 				rct = arr
 			}
 		}
-		sc.ctComm[slot] = comm
-		sc.ctMax[slot], sc.ctSum[slot], sc.ctRct[slot] = maxCt, sumCt, rct
+		m.comm[slot] = comm
+		m.max[slot], m.sum[slot], m.rct[slot] = maxCt, sumCt, rct
 	}
-	att := attempt{procs: procs, comm: sc.ctComm[slot]}
-	maxCt, sumCt, rct := sc.ctMax[slot], sc.ctSum[slot], sc.ctRct[slot]
+	att := attempt{procs: procs, comm: m.comm[slot]}
+	maxCt, sumCt, rct := m.max[slot], m.sum[slot], m.rct[slot]
 	if e.cluster.Overlap {
 		// Asynchronous transfers: data redistribution proceeds while the
 		// target processors may still be busy with other work.
@@ -843,10 +949,10 @@ func (e *placer) minFactor() float64 {
 }
 
 // edgeCost is the locality-aware redistribution time from parent's group to
-// the candidate subset, memoized by complete content in the scratch's cost
-// cache (the search re-asks the same layout pairs run after run). procsHash
+// the candidate subset, memoized by complete content in pc's cost-cache
+// levels (the search re-asks the same layout pairs run after run). procsHash
 // is the caller's digest of procs, computed once per candidate subset.
-func (e *placer) edgeCost(par int, vol float64, procs []int, procsHash uint64) float64 {
+func (e *placer) edgeCost(pc *probeCtx, par int, vol float64, procs []int, procsHash uint64) float64 {
 	if vol == 0 {
 		return 0
 	}
@@ -855,20 +961,28 @@ func (e *placer) edgeCost(par int, vol float64, procs []int, procsHash uint64) f
 		return 0 // same layout, nothing moves
 	}
 	h := costHash(procsHash, vol, e.rm.BlockBytes, e.rm.Bandwidth, src)
-	if c, ok := e.sc.costCache.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
+	if c, ok := pc.costs.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
 		return c
 	}
-	// L2: the read-only cross-worker snapshot installed by Worker.UseShared
-	// for this (graph, cluster) content. A hit is promoted into the live L1
-	// so repeats stay one probe.
-	if sh := e.sc.costShared; sh != nil {
-		if c, ok := sh.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
-			e.sc.costCache.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
+	// Fallback levels behind the writable L1: the serial scan's cache
+	// (frozen while a fan-out is in flight; nil on the serial path, whose
+	// L1 it is) and the read-only cross-worker snapshot installed by
+	// Worker.UseShared for this (graph, cluster) content. Hits are promoted
+	// into the live L1 so repeats stay one probe.
+	if rd := pc.costRead; rd != nil {
+		if c, ok := rd.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
+			pc.costs.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
 			return c
 		}
 	}
-	c := e.rm.FastCostBuf(vol, src, procs, e.sc.costBuf)
-	e.sc.costCache.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
+	if sh := pc.costShared; sh != nil {
+		if c, ok := sh.lookup(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs); ok {
+			pc.costs.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
+			return c
+		}
+	}
+	c := e.rm.FastCostBuf(vol, src, procs, pc.costBuf)
+	pc.costs.store(h, vol, e.rm.BlockBytes, e.rm.Bandwidth, src, procs, c)
 	return c
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -74,6 +75,21 @@ type LoCMPS struct {
 	// concurrent evaluation, which changes only where LoCBS runs execute,
 	// never what is scheduled.
 	SpeculativeWorkers int
+	// ProbeWorkers bounds the probe pool inside a single LoCBS run: the
+	// candidate-slot scan of each task placement fans its surviving tail
+	// out over this many workers and folds the results back in slot order
+	// (see probe.go), so schedules stay bit-identical to the serial scan.
+	// 0 selects one worker per CPU; values below 2 keep the scan serial.
+	// The pool accelerates the main path's placement runs — window runs
+	// already executing concurrently under SpeculativeWorkers probe
+	// serially, so the two pools never multiply into specWorkers ×
+	// probeWorkers goroutines.
+	ProbeWorkers int
+	// DisablePruning turns off the partial-lower-bound abort of
+	// speculative window runs. Schedules are bit-identical either way — a
+	// pruned run only costs a memo warm, never a decision — so the switch
+	// exists for ablation and tests.
+	DisablePruning bool
 
 	// mu guards stats, the only mutable state on the instance.
 	mu sync.Mutex
@@ -122,6 +138,20 @@ type SearchStats struct {
 	// traced placement steps rolled back off the chart at the first dirty
 	// position (the suffix each resume had to re-place).
 	RollbackDepth int
+	// PrunedRuns counts speculative window runs aborted by the partial
+	// lower bound: the incumbent's makespan proved the candidate could
+	// not beat it, so the run was abandoned mid-placement instead of
+	// completed as a memo warm. Pruned runs are not counted as LoCBSRuns
+	// or WindowRuns.
+	PrunedRuns int
+	// PrunedTasks accumulates the task placements those aborts skipped.
+	PrunedTasks int
+	// ProbeFanouts counts candidate-slot scans that engaged the probe pool
+	// (scans surviving the serial prefix when ProbeWorkers >= 2).
+	ProbeFanouts int
+	// ProbeSlots accumulates the candidate slots evaluated concurrently by
+	// those fan-outs.
+	ProbeSlots int
 }
 
 // Metrics converts the stats into the model-level RunMetrics snapshot the
@@ -141,6 +171,10 @@ func (st SearchStats) Metrics() model.RunMetrics {
 		ReplayedTasks:    st.ReplayedTasks,
 		ResumedRuns:      st.ResumedRuns,
 		RollbackDepth:    st.RollbackDepth,
+		PrunedRuns:       st.PrunedRuns,
+		PrunedTasks:      st.PrunedTasks,
+		ProbeFanouts:     st.ProbeFanouts,
+		ProbeSlots:       st.ProbeSlots,
 	}
 }
 
@@ -164,6 +198,21 @@ func (s *LoCMPS) LastRunMetrics() model.RunMetrics {
 // hide a speculative run behind, so it would only add serial work).
 func (s *LoCMPS) speculativeWorkers() int {
 	w := s.SpeculativeWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// probeWorkers resolves the effective probe-pool bound the same way: 0
+// means one per CPU; below 2 the candidate scans stay serial (there is no
+// second worker to probe a slot concurrently, so a pool would only add
+// dispatch overhead).
+func (s *LoCMPS) probeWorkers() int {
+	w := s.ProbeWorkers
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
@@ -205,6 +254,24 @@ func NewICASLB() *LoCMPS {
 	}
 }
 
+// NewParallel returns the paper configuration with both intra-search pools
+// pinned to the given worker count: concurrent §III.C window evaluation
+// (SpeculativeWorkers) and the in-run probe pool (ProbeWorkers). Both are
+// bit-identity-preserving, so this differs from New only in where the work
+// executes. workers = 0 keeps the GOMAXPROCS default; 1 forces fully serial
+// execution of an otherwise fully accelerated search.
+func NewParallel(workers int) *LoCMPS {
+	if workers < 0 {
+		workers = 0
+	}
+	return &LoCMPS{
+		AlgorithmName:      "LoC-MPS",
+		Engine:             DefaultConfig(),
+		SpeculativeWorkers: workers,
+		ProbeWorkers:       workers,
+	}
+}
+
 // NewReference returns the paper configuration with every engine-level
 // acceleration (memo table, incremental resume, speculative evaluation)
 // switched off. Schedules are bit-identical to New's — the accelerations
@@ -217,6 +284,8 @@ func NewReference() *LoCMPS {
 		DisableMemo:        true,
 		DisableResume:      true,
 		SpeculativeWorkers: 1,
+		ProbeWorkers:       1,
+		DisablePruning:     true,
 	}
 }
 
@@ -274,9 +343,11 @@ type search struct {
 	sc      *placerScratch
 	stats   SearchStats
 	// memo caches every evaluated allocation vector (nil when disabled);
-	// specWorkers > 1 enables speculative window evaluation.
-	memo        *allocMemo
-	specWorkers int
+	// specWorkers > 1 enables speculative window evaluation and
+	// probeWorkers > 1 the in-run probe pool of the main path.
+	memo         *allocMemo
+	specWorkers  int
+	probeWorkers int
 	// resumeKey is this search's epoch for incremental placement (0 when
 	// resume is disabled): every runLoCBS under the same key may resume
 	// from the trace its scratch recorded for the previous run.
@@ -323,18 +394,19 @@ func (s *LoCMPS) runSearchOn(ctx context.Context, sc *placerScratch, tg *model.T
 	}
 	sc.prepareSearch(n, tg.M())
 	r := &search{
-		alg:         s,
-		tg:          tg,
-		cluster:     cluster,
-		cfg:         s.Engine.withDefaults(),
-		preset:      preset,
-		tb:          tg.Tables(cluster.P),
-		sc:          sc,
-		specWorkers: s.speculativeWorkers(),
-		ctx:         ctx,
-		budget:      budget,
-		pbest:       make([]int, n),
-		caps:        make([]int, n),
+		alg:          s,
+		tg:           tg,
+		cluster:      cluster,
+		cfg:          s.Engine.withDefaults(),
+		preset:       preset,
+		tb:           tg.Tables(cluster.P),
+		sc:           sc,
+		specWorkers:  s.speculativeWorkers(),
+		probeWorkers: s.probeWorkers(),
+		ctx:          ctx,
+		budget:       budget,
+		pbest:        make([]int, n),
+		caps:         make([]int, n),
 	}
 	if !s.DisableMemo {
 		r.memo = newAllocMemo()
@@ -429,7 +501,7 @@ outerLoop:
 					// schedule is bit-identical to the serial search.
 					window := r.candidateWindow(np, cp, iter == 0)
 					if len(window) > 0 {
-						t := r.evaluateWindow(np, window)
+						t := r.evaluateWindow(np, window, bestSL.makespan)
 						if iter == 0 {
 							entryTask, entryEdgeID = t, -1
 						}
@@ -535,9 +607,11 @@ func (r *search) runLoCBS(np []int) (*schedule.Schedule, error) {
 		r.stats.CacheMisses++
 	}
 	r.stats.LoCBSRuns++
-	sched, err := runPlacer(r.tg, r.cluster, np, r.cfg, r.preset, r.sc, r.resumeKey)
+	// Main-path runs own the whole machine while they execute (window
+	// fan-outs have their own parallelism), so they get the probe pool.
+	sched, err := runPlacer(r.tg, r.cluster, np, r.cfg, r.preset, r.sc, r.resumeKey, runOpts{probeWorkers: r.probeWorkers})
 	if err == nil {
-		r.noteResume(placeStats{replayed: r.sc.lastReplayed, rolledBack: r.sc.lastRolledBack, resumed: r.sc.lastResumed})
+		r.noteRun(r.sc.lastPlaceStats())
 		if r.memo != nil {
 			r.memo.insert(np, sched, false)
 		}
@@ -545,13 +619,16 @@ func (r *search) runLoCBS(np []int) (*schedule.Schedule, error) {
 	return sched, err
 }
 
-// noteResume folds one placement run's resume accounting into the stats.
-func (r *search) noteResume(ps placeStats) {
+// noteRun folds one completed placement run's resume and probe accounting
+// into the stats.
+func (r *search) noteRun(ps placeStats) {
 	r.stats.ReplayedTasks += ps.replayed
 	r.stats.RollbackDepth += ps.rolledBack
 	if ps.resumed {
 		r.stats.ResumedRuns++
 	}
+	r.stats.ProbeFanouts += ps.probeFanouts
+	r.stats.ProbeSlots += ps.probeSlots
 }
 
 // evaluateWindow resolves one §III.C widening step: when concurrent window
@@ -563,9 +640,28 @@ func (r *search) noteResume(ps placeStats) {
 // winner — and any later look-ahead entering through an alternate candidate
 // — is a memo hit. Runs that error are simply not cached: the main path
 // re-runs the vector and surfaces the error deterministically.
-func (r *search) evaluateWindow(np []int, window []taskCand) int {
+//
+// incumbent (the committed best schedule's makespan) arms dominance
+// pruning: the winner is a pure function of the window, so it is known
+// before the fan-out, and every non-winning candidate — whose completed
+// schedule would only ever serve as a memo warm — runs under the incumbent
+// as its prune bound. A run whose partial lower bound proves it cannot
+// beat the incumbent aborts mid-placement; losing that warm at worst costs
+// a fresh run if a later look-ahead enters through the candidate, it never
+// changes a schedule. The winner's run is consumed immediately by the main
+// path and therefore never pruned.
+//
+// Pooled window runs probe serially: the window fan-out already owns the
+// pool's parallelism, and nesting probe workers inside each pooled run
+// would oversubscribe the machine specWorkers × probeWorkers fold.
+func (r *search) evaluateWindow(np []int, window []taskCand, incumbent float64) int {
 	if r.memo == nil || r.specWorkers < 2 || len(window) < 2 {
 		return r.selectWinner(window)
+	}
+	winner := r.selectWinner(window)
+	bound := incumbent
+	if r.alg.DisablePruning {
+		bound = 0
 	}
 	// Snapshot the vectors to evaluate before touching np; skip the ones
 	// already cached so stats stay deterministic for a given machine shape.
@@ -580,31 +676,44 @@ func (r *search) evaluateWindow(np []int, window []taskCand) int {
 		}
 	}
 	if len(vecs) == 0 {
-		return r.selectWinner(window)
+		return winner
 	}
 	scheds := make([]*schedule.Schedule, len(vecs))
 	resumes := make([]placeStats, len(vecs))
+	prunes := make([]bool, len(vecs))
 	_ = par.For(r.specWorkers, len(vecs), func(i int) error {
 		// Each worker's pool scratch carries the trace of its own previous
 		// window run, so window candidates — which share all but two width
 		// entries with each other — resume from long prefixes too.
-		s, ps, err := runPlacerPooled(r.tg, r.cluster, vecs[i], r.cfg, r.preset, r.resumeKey)
-		if err == nil {
+		opts := runOpts{}
+		if tasks[i] != winner {
+			opts.pruneBound = bound
+		}
+		s, ps, err := runPlacerPooled(r.tg, r.cluster, vecs[i], r.cfg, r.preset, r.resumeKey, opts)
+		switch {
+		case err == nil:
 			scheds[i], resumes[i] = s, ps
+		case errors.Is(err, errPruned):
+			resumes[i], prunes[i] = ps, true
 		}
 		return nil
 	})
-	// The barrier: every candidate evaluated, now pick the winner and fold
-	// in the accounting — barrier runs as WindowRuns, the non-winning
-	// subset additionally as the (speculative) warms they are.
-	winner := r.selectWinner(window)
+	// The barrier: every candidate evaluated, now fold in the accounting —
+	// barrier runs as WindowRuns, the non-winning subset additionally as
+	// the (speculative) warms they are, pruned runs only as prune counts
+	// (they completed nothing).
 	for i, s := range scheds {
+		if prunes[i] {
+			r.stats.PrunedRuns++
+			r.stats.PrunedTasks += resumes[i].pruned
+			continue
+		}
 		if s == nil {
 			continue
 		}
 		r.stats.LoCBSRuns++
 		r.stats.WindowRuns++
-		r.noteResume(resumes[i])
+		r.noteRun(resumes[i])
 		if tasks[i] != winner {
 			r.stats.SpeculativeRuns++
 		}

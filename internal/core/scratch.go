@@ -36,18 +36,26 @@ type placerScratch struct {
 	readyBuf []int // current ready frontier
 	widthBuf []int
 	shareBuf []float64
-	// ctProcs/ctComm/ctAgg memoize the tau-independent communication
-	// charges of the processor sets recently probed for the task being
-	// placed; the fixed-point rounds alternate between a few subsets, so a
-	// handful of slots captures nearly every repeat.
-	ctProcs [32][]int
-	ctHash  [32]uint64
-	ctComm  [32][]float64
-	ctMax   [32]float64
-	ctSum   [32]float64
-	ctRct   [32]float64
-	ctCount int
-	ctNext  int
+	// ct memoizes the tau-independent communication charges of the
+	// processor sets recently probed for the task being placed; this is the
+	// serial scan's instance (each probe arena owns its own, see probe.go).
+	ct ctMemo
+	// Probe-parallel state (probe.go): the serial scan's probe context,
+	// per-worker arenas whose caches stay warm across runs, and the batch
+	// tau/result buffers of the fan-out.
+	serial   probeCtx
+	arenas   []probeArena
+	tauBuf   []float64
+	probeRes []probeResult
+	// rbBuf holds the zero-comm residual bottom levels of a prune-bounded
+	// run (the rb sweep of placer.residualBounds).
+	rbBuf []float64
+	// lastPruned/lastProbeFanouts/lastProbeSlots report what the most
+	// recent runPlacer call did with pruning and the probe pool; the search
+	// layer folds them into SearchStats alongside the resume counters.
+	lastPruned       int
+	lastProbeFanouts int
+	lastProbeSlots   int
 	// Per-task preference-order cache: prefScores/prefOrder hold one row
 	// of P entries per task, valid while prefValid[t] and the task's score
 	// vector is unchanged. The sorted order is a pure function of the

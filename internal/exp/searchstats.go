@@ -61,6 +61,10 @@ func SearchStatsFigure(opt SuiteOptions) (Figure, error) {
 		{"replayed-tasks", func(m model.RunMetrics) float64 { return float64(m.ReplayedTasks) }},
 		{"rollback-depth", func(m model.RunMetrics) float64 { return float64(m.RollbackDepth) }},
 		{"replay-%", func(m model.RunMetrics) float64 { return 100 * m.ReplayRate() }},
+		{"pruned-runs", func(m model.RunMetrics) float64 { return float64(m.PrunedRuns) }},
+		{"pruned-tasks", func(m model.RunMetrics) float64 { return float64(m.PrunedTasks) }},
+		{"probe-fanouts", func(m model.RunMetrics) float64 { return float64(m.ProbeFanouts) }},
+		{"probe-slots", func(m model.RunMetrics) float64 { return float64(m.ProbeSlots) }},
 	}
 	for _, sp := range series {
 		s := Series{Name: sp.name}

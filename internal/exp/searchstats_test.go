@@ -12,7 +12,8 @@ func TestSearchStatsFigure(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{"locbs-runs", "lookahead-steps", "cache-hit-%", "window-runs", "spec-runs", "spec-waste",
-		"resumed-runs", "replayed-tasks", "rollback-depth", "replay-%"}
+		"resumed-runs", "replayed-tasks", "rollback-depth", "replay-%",
+		"pruned-runs", "pruned-tasks", "probe-fanouts", "probe-slots"}
 	if len(f.Series) != len(want) {
 		t.Fatalf("stats: %d series, want %d", len(f.Series), len(want))
 	}

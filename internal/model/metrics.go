@@ -48,6 +48,17 @@ type RunMetrics struct {
 	// RollbackDepth accumulates, over all resumed runs, how many traced
 	// placement steps were rolled back at the first divergent position.
 	RollbackDepth int
+	// PrunedRuns counts speculative window runs aborted by the partial
+	// lower bound (the incumbent's makespan proved the candidate could not
+	// beat it); PrunedTasks accumulates the task placements those aborts
+	// skipped. Pruned runs are not included in LoCBSRuns or WindowRuns.
+	PrunedRuns  int
+	PrunedTasks int
+	// ProbeFanouts counts candidate-slot scans handed to the in-run probe
+	// pool; ProbeSlots accumulates the slots those fan-outs evaluated
+	// concurrently. Both are zero when probe parallelism is off.
+	ProbeFanouts int
+	ProbeSlots   int
 }
 
 // ReplayRate is the fraction of traced placement work served by replay:
@@ -95,6 +106,12 @@ func (m RunMetrics) String() string {
 	if m.ResumedRuns > 0 {
 		fmt.Fprintf(&b, " resume=%d replayed=%d rollback=%d (%.1f%% replay)",
 			m.ResumedRuns, m.ReplayedTasks, m.RollbackDepth, 100*m.ReplayRate())
+	}
+	if m.PrunedRuns > 0 {
+		fmt.Fprintf(&b, " pruned=%d (%d tasks)", m.PrunedRuns, m.PrunedTasks)
+	}
+	if m.ProbeFanouts > 0 {
+		fmt.Fprintf(&b, " probe=%d fanouts (%d slots)", m.ProbeFanouts, m.ProbeSlots)
 	}
 	return b.String()
 }

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"testing"
+
+	"locmps/internal/audit"
+)
+
+// TestStreamParallelWorkersMatchSerial pins the incremental scheduler's
+// intra-search pools (concurrent window evaluation, in-run probe pool,
+// dominance pruning) to four workers and replays the full churn scenario —
+// staggered arrivals, failures, shrink and grow — against the serial
+// configuration. Every event time, job completion and the assembled end
+// state must be bit-identical: the pools run on the pinned worker's
+// scratch, so this is also the regression test that the streaming path
+// accepts the probe-arena scratch shape.
+func TestStreamParallelWorkersMatchSerial(t *testing.T) {
+	cfg := churnConfig(t)
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	cfg4 := cfg
+	cfg4.Workers = 4
+	parallel, err := Run(cfg4)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if len(serial.Events) != len(parallel.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(serial.Events), len(parallel.Events))
+	}
+	for i := range serial.Events {
+		if serial.Events[i].Time != parallel.Events[i].Time {
+			t.Fatalf("event %d at %v (serial) vs %v (parallel)", i, serial.Events[i].Time, parallel.Events[i].Time)
+		}
+	}
+	for j := range serial.JobCompletion {
+		if serial.JobCompletion[j] != parallel.JobCompletion[j] {
+			t.Fatalf("job %d completion %v vs %v", j, serial.JobCompletion[j], parallel.JobCompletion[j])
+		}
+	}
+	if diff := audit.DiffSchedules(serial.EndGraph, serial.End, parallel.End); diff != "" {
+		t.Fatalf("end states differ: %s", diff)
+	}
+}

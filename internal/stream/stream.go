@@ -105,6 +105,13 @@ type Config struct {
 	// accounting). Leave false everywhere except hot benchmark loops
 	// that measure pure rescheduling cost.
 	SkipAudit bool
+	// Workers pins both intra-search pools (concurrent window evaluation
+	// and the in-run probe pool) of the incremental scheduler to this
+	// count; 0 keeps the GOMAXPROCS default and 1 forces serial searches.
+	// Plans are bit-identical at every event regardless — the pools only
+	// change where placement work executes. Ignored in Scratch mode,
+	// whose reference configuration is serial by definition.
+	Workers int
 	// Window sizes the reschedule-latency quantile ring (0 selects
 	// DefaultWindow).
 	Window int
@@ -268,7 +275,11 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Scratch {
 		s.alg = core.NewReference()
 	} else {
-		s.alg = core.New()
+		if cfg.Workers > 0 {
+			s.alg = core.NewParallel(cfg.Workers)
+		} else {
+			s.alg = core.New()
+		}
 		s.worker = core.NewWorker()
 	}
 	return s, nil
